@@ -1,0 +1,25 @@
+//! Wall-clock Criterion benchmark of the AES-GCM encryption engine (the dominant cost of
+//! a Plinius mirror-out on real SGX hardware).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use plinius_crypto::{Key, SealedBuffer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_seal(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let key = Key::generate_128(&mut rng);
+    let mut group = c.benchmark_group("aes_gcm_seal");
+    group.sample_size(10);
+    for size in [4 * 1024usize, 64 * 1024] {
+        let data = vec![7u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| SealedBuffer::seal(&key, &data, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seal);
+criterion_main!(benches);

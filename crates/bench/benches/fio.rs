@@ -1,0 +1,14 @@
+//! Criterion benchmark of the FIO device-characterization sweep (Fig. 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plinius_pmem::figure2_sweep;
+
+fn bench_fio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fio");
+    group.sample_size(10);
+    group.bench_function("figure2_sweep", |b| b.iter(figure2_sweep));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fio);
+criterion_main!(benches);

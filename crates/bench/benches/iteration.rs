@@ -1,0 +1,19 @@
+//! Criterion benchmark of the Fig. 8 data pipeline: decrypting a training batch from PM
+//! versus staging it unencrypted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plinius_bench::iteration_sweep;
+use sim_clock::CostModel;
+
+fn bench_iteration(c: &mut Criterion) {
+    let cost = CostModel::sgx_eml_pm();
+    let mut group = c.benchmark_group("iteration_pipeline");
+    group.sample_size(10);
+    group.bench_function("batch128", |b| {
+        b.iter(|| iteration_sweep(&cost, &[128], 256).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benchmark of one Fig. 7 measurement point (PM mirroring vs SSD
+//! checkpointing for a small model), exercising the full save/restore paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plinius_bench::mirror_point;
+use sim_clock::CostModel;
+
+fn bench_mirroring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mirroring_4mb_model");
+    group.sample_size(10);
+    for cost in CostModel::both_servers() {
+        group.bench_function(cost.profile.to_string(), |b| {
+            b.iter(|| mirror_point(&cost, 4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mirroring);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark of the SPS workload (Fig. 6) for the three Romulus flavours.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plinius_romulus::sps::{run_sps, SpsConfig};
+use plinius_romulus::Flavor;
+use plinius_sgx::Enclave;
+use sim_clock::CostModel;
+
+fn bench_sps(c: &mut Criterion) {
+    let cost = CostModel::sgx_eml_pm();
+    let mut group = c.benchmark_group("sps_64_swaps_per_tx");
+    group.sample_size(10);
+    group.bench_function("native", |b| {
+        b.iter(|| run_sps(Flavor::Native, &cost, &SpsConfig::small(64)).unwrap())
+    });
+    group.bench_function("sgx_romulus", |b| {
+        b.iter(|| {
+            let enclave = Enclave::builder(b"sgx".to_vec()).cost_model(cost.clone()).build();
+            run_sps(Flavor::Sgx(enclave), &cost, &SpsConfig::small(64)).unwrap()
+        })
+    });
+    group.bench_function("scone_romulus", |b| {
+        b.iter(|| {
+            let enclave = Enclave::builder(b"scone".to_vec()).cost_model(cost.clone()).build();
+            run_sps(Flavor::Scone(enclave), &cost, &SpsConfig::small(64)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sps);
+criterion_main!(benches);

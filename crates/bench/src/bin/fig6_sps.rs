@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6: SPS benchmark (swaps/us vs transaction size) comparing native
+//! Romulus, sgx-romulus and scone-romulus for two PWB+fence combinations.
+
+use plinius_romulus::sps::figure6_sweep;
+use sim_clock::CostModel;
+
+fn main() {
+    let transactions = if std::env::args().any(|a| a == "--quick") { 8 } else { 24 };
+    let cost = CostModel::sgx_eml_pm();
+    println!("Figure 6 — SPS on {} ({} transactions per point)", cost.profile, transactions);
+    println!("{:<20} {:<16} {:>10} {:>12}", "PWB+fence", "system", "swaps/tx", "swaps/us");
+    match figure6_sweep(&cost, transactions) {
+        Ok(results) => {
+            for r in results {
+                println!(
+                    "{:<20} {:<16} {:>10} {:>12.2}",
+                    r.pwb.to_string(),
+                    r.flavor,
+                    r.swaps_per_tx,
+                    r.swaps_per_us
+                );
+            }
+        }
+        Err(e) => eprintln!("sweep failed: {e}"),
+    }
+}

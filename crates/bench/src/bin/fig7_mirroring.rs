@@ -1,0 +1,34 @@
+//! Regenerates Fig. 7: PM mirroring vs SSD checkpointing save/restore latency versus
+//! model size, for both server profiles (sgx-emlPM and emlSGX-PM).
+
+use plinius_bench::{mirroring_sweep, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB};
+use sim_clock::CostModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &FIG7_SIZES_QUICK_MB } else { &FIG7_SIZES_MB };
+    for cost in CostModel::both_servers() {
+        println!("\nFigure 7 — {} (latencies in ms, simulated)", cost.profile);
+        println!(
+            "{:>7} {:>8} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+            "MB", "EPC", "enc(PM)", "write(PM)", "save(PM)", "enc(SSD)", "write(SSD)", "save(SSD)",
+            "read(PM)", "dec(PM)", "read(SSD)", "dec(SSD)"
+        );
+        match mirroring_sweep(&cost, sizes) {
+            Ok(points) => {
+                for p in points {
+                    println!(
+                        "{:>7} {:>8} | {:>10.1} {:>10.1} {:>10.1} | {:>10.1} {:>10.1} {:>10.1} | {:>10.1} {:>10.1} | {:>10.1} {:>10.1}",
+                        p.target_mb,
+                        if p.beyond_epc { "beyond" } else { "below" },
+                        p.pm_encrypt_ms, p.pm_write_ms, p.pm_save_ms(),
+                        p.ssd_encrypt_ms, p.ssd_write_ms, p.ssd_save_ms(),
+                        p.pm_read_ms, p.pm_decrypt_ms,
+                        p.ssd_read_ms, p.ssd_decrypt_ms
+                    );
+                }
+            }
+            Err(e) => eprintln!("sweep failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! AES block cipher (FIPS-197) supporting 128-, 192- and 256-bit keys.
+//!
+//! Only the forward cipher is implemented because every mode used by Plinius
+//! (GCM, i.e. CTR + GHASH) needs just the encryption direction. The implementation
+//! is a straightforward table-free software version: slow compared to AES-NI but
+//! bit-exact, dependency-free and easy to audit, which mirrors the role of the
+//! Intel SGX SDK crypto library inside the enclave.
+
+/// AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+
+/// The AES S-box.
+#[rustfmt::skip]
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Round constants for the key schedule.
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
+
+/// Multiplication by `x` (i.e. 2) in GF(2^8) with the AES polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80;
+    let mut r = b << 1;
+    if hi != 0 {
+        r ^= 0x1b;
+    }
+    r
+}
+
+/// An expanded AES key schedule, usable for any supported key length.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes").field("rounds", &self.rounds).finish()
+    }
+}
+
+impl Aes {
+    /// Expands an AES key. The key must be 16, 24 or 32 bytes long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key length is not one of 16, 24 or 32 bytes; key-length
+    /// validation with a recoverable error happens one level up in
+    /// [`crate::Key::new`].
+    pub fn new(key: &[u8]) -> Self {
+        let (nk, rounds) = match key.len() {
+            16 => (4usize, 10usize),
+            24 => (6, 12),
+            32 => (8, 14),
+            n => panic!("unsupported AES key length: {n} bytes"),
+        };
+        let nb = 4usize;
+        let total_words = nb * (rounds + 1);
+        let mut w = vec![[0u8; 4]; total_words];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            word.copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for t in temp.iter_mut() {
+                    *t = SBOX[*t as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = Vec::with_capacity(rounds + 1);
+        for r in 0..=rounds {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            round_keys.push(rk);
+        }
+        Aes { round_keys, rounds }
+    }
+
+    /// Number of rounds for this key size (10, 12 or 14).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
+        let mut state = *block;
+        add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[self.rounds]);
+        *block = state;
+    }
+
+    /// Encrypts a block, returning the ciphertext instead of mutating in place.
+    pub fn encrypt_block_copy(&self, block: &[u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= *k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for s in state.iter_mut() {
+        *s = SBOX[*s as usize];
+    }
+}
+
+/// The state is stored column-major: byte `state[4*c + r]` is row `r`, column `c`.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    // Row 1: shift left by 1.
+    state[1] = s[5];
+    state[5] = s[9];
+    state[9] = s[13];
+    state[13] = s[1];
+    // Row 2: shift left by 2.
+    state[2] = s[10];
+    state[6] = s[14];
+    state[10] = s[2];
+    state[14] = s[6];
+    // Row 3: shift left by 3.
+    state[3] = s[15];
+    state[7] = s[3];
+    state[11] = s[7];
+    state[15] = s[11];
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let a0 = col[0];
+        let a1 = col[1];
+        let a2 = col[2];
+        let a3 = col[3];
+        let all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = a0 ^ all ^ xtime(a0 ^ a1);
+        col[1] = a1 ^ all ^ xtime(a1 ^ a2);
+        col[2] = a2 ^ all ^ xtime(a2 ^ a3);
+        col[3] = a3 ^ all ^ xtime(a3 ^ a0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// FIPS-197 Appendix C.1 example vector for AES-128.
+    #[test]
+    fn fips197_aes128_vector() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let aes = Aes::new(&key);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&pt);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    /// FIPS-197 Appendix C.2 example vector for AES-192.
+    #[test]
+    fn fips197_aes192_vector() {
+        let key = hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let aes = Aes::new(&key);
+        assert_eq!(aes.rounds(), 12);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&pt);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
+    }
+
+    /// FIPS-197 Appendix C.3 example vector for AES-256.
+    #[test]
+    fn fips197_aes256_vector() {
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let aes = Aes::new(&key);
+        assert_eq!(aes.rounds(), 14);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&pt);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+    }
+
+    #[test]
+    fn encrypt_block_copy_matches_in_place() {
+        let key = [7u8; 16];
+        let aes = Aes::new(&key);
+        let block = [42u8; 16];
+        let copy = aes.encrypt_block_copy(&block);
+        let mut in_place = block;
+        aes.encrypt_block(&mut in_place);
+        assert_eq!(copy, in_place);
+        assert_ne!(copy, block, "cipher must change the block");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported AES key length")]
+    fn rejects_bad_key_length() {
+        let _ = Aes::new(&[0u8; 10]);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key_material() {
+        let aes = Aes::new(&[0xAB; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains("171"), "debug output: {dbg}");
+        assert!(dbg.contains("rounds"));
+    }
+}

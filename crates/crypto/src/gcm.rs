@@ -1,0 +1,314 @@
+//! Galois/Counter Mode (GCM) on top of the AES block cipher, following
+//! NIST SP 800-38D — the same AEAD used by the Intel SGX SDK routines that
+//! Plinius' encryption engine relies on.
+
+use crate::aes::{Aes, BLOCK_SIZE};
+use crate::CryptoError;
+
+/// Length of the GCM initialization vector used by Plinius (96 bits).
+pub const IV_LEN: usize = 12;
+/// Length of the authentication tag (128 bits).
+pub const TAG_LEN: usize = 16;
+
+/// AES-GCM authenticated encryption context.
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    cipher: Aes,
+    /// The hash subkey H = AES_K(0^128), interpreted as a big-endian integer.
+    h: u128,
+}
+
+impl AesGcm {
+    /// Creates a GCM context from an already-expanded AES cipher.
+    pub fn new(cipher: Aes) -> Self {
+        let h_block = cipher.encrypt_block_copy(&[0u8; BLOCK_SIZE]);
+        let h = u128::from_be_bytes(h_block);
+        AesGcm { cipher, h }
+    }
+
+    /// Creates a GCM context directly from key bytes (16, 24 or 32 bytes).
+    pub fn from_key(key: &[u8]) -> Self {
+        Self::new(Aes::new(key))
+    }
+
+    /// Encrypts `plaintext` with the given 12-byte IV and additional authenticated
+    /// data, returning `(ciphertext, tag)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidIvLength`] if the IV is not 12 bytes.
+    pub fn encrypt(
+        &self,
+        iv: &[u8],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Result<(Vec<u8>, [u8; TAG_LEN]), CryptoError> {
+        let j0 = self.j0(iv)?;
+        let ciphertext = self.ctr(inc32(j0), plaintext);
+        let tag = self.compute_tag(j0, aad, &ciphertext);
+        Ok((ciphertext, tag))
+    }
+
+    /// Decrypts `ciphertext` and verifies its tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidIvLength`] for a malformed IV and
+    /// [`CryptoError::AuthenticationFailed`] if the tag does not verify (in which
+    /// case no plaintext is released).
+    pub fn decrypt(
+        &self,
+        iv: &[u8],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        let j0 = self.j0(iv)?;
+        let expected = self.compute_tag(j0, aad, ciphertext);
+        if tag.len() != TAG_LEN || !constant_time_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        Ok(self.ctr(inc32(j0), ciphertext))
+    }
+
+    /// Derives the pre-counter block J0 from the IV.
+    fn j0(&self, iv: &[u8]) -> Result<[u8; BLOCK_SIZE], CryptoError> {
+        if iv.len() == IV_LEN {
+            let mut j0 = [0u8; BLOCK_SIZE];
+            j0[..IV_LEN].copy_from_slice(iv);
+            j0[15] = 1;
+            Ok(j0)
+        } else if iv.is_empty() {
+            Err(CryptoError::InvalidIvLength(0))
+        } else {
+            // GHASH-based derivation for non-96-bit IVs (rarely used by Plinius but
+            // included for SP 800-38D completeness).
+            let mut ghash = Ghash::new(self.h);
+            ghash.update_padded(iv);
+            let mut len_block = [0u8; BLOCK_SIZE];
+            len_block[8..].copy_from_slice(&((iv.len() as u64) * 8).to_be_bytes());
+            ghash.update_block(&len_block);
+            Ok(ghash.finalize().to_be_bytes())
+        }
+    }
+
+    /// CTR keystream application starting from the given counter block.
+    fn ctr(&self, mut counter: [u8; BLOCK_SIZE], data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        for chunk in data.chunks(BLOCK_SIZE) {
+            let keystream = self.cipher.encrypt_block_copy(&counter);
+            for (d, k) in chunk.iter().zip(keystream.iter()) {
+                out.push(d ^ k);
+            }
+            counter = inc32(counter);
+        }
+        out
+    }
+
+    /// GHASH over AAD and ciphertext, encrypted with J0 to form the tag.
+    fn compute_tag(&self, j0: [u8; BLOCK_SIZE], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut ghash = Ghash::new(self.h);
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        let mut len_block = [0u8; BLOCK_SIZE];
+        len_block[..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        len_block[8..].copy_from_slice(&((ciphertext.len() as u64) * 8).to_be_bytes());
+        ghash.update_block(&len_block);
+        let s = ghash.finalize().to_be_bytes();
+        let e_j0 = self.cipher.encrypt_block_copy(&j0);
+        let mut tag = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
+            tag[i] = s[i] ^ e_j0[i];
+        }
+        tag
+    }
+}
+
+/// Increments the last 32 bits of a counter block (the `inc32` function of SP 800-38D).
+fn inc32(mut block: [u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
+    let mut ctr = u32::from_be_bytes([block[12], block[13], block[14], block[15]]);
+    ctr = ctr.wrapping_add(1);
+    block[12..].copy_from_slice(&ctr.to_be_bytes());
+    block
+}
+
+/// Constant-time comparison of two equally sized byte strings.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Incremental GHASH state.
+struct Ghash {
+    h: u128,
+    y: u128,
+}
+
+impl Ghash {
+    fn new(h: u128) -> Self {
+        Ghash { h, y: 0 }
+    }
+
+    /// Absorbs one full 16-byte block.
+    fn update_block(&mut self, block: &[u8; BLOCK_SIZE]) {
+        self.y = gf_mult(self.y ^ u128::from_be_bytes(*block), self.h);
+    }
+
+    /// Absorbs arbitrary-length data, zero-padding the final partial block.
+    fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(BLOCK_SIZE) {
+            let mut block = [0u8; BLOCK_SIZE];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.update_block(&block);
+        }
+    }
+
+    fn finalize(self) -> u128 {
+        self.y
+    }
+}
+
+/// Multiplication in GF(2^128) with the GCM polynomial, operating on the
+/// big-endian "reflected" representation used by SP 800-38D.
+fn gf_mult(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        if v & 1 == 0 {
+            v >>= 1;
+        } else {
+            v = (v >> 1) ^ R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// NIST GCM test case 1: empty plaintext, all-zero key and IV.
+    #[test]
+    fn nist_test_case_1() {
+        let gcm = AesGcm::from_key(&[0u8; 16]);
+        let (ct, tag) = gcm.encrypt(&[0u8; 12], &[], &[]).unwrap();
+        assert!(ct.is_empty());
+        assert_eq!(tag.to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    /// NIST GCM test case 2: one zero block of plaintext.
+    #[test]
+    fn nist_test_case_2() {
+        let gcm = AesGcm::from_key(&[0u8; 16]);
+        let (ct, tag) = gcm.encrypt(&[0u8; 12], &[], &[0u8; 16]).unwrap();
+        assert_eq!(ct, hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    /// NIST GCM test case 3: four blocks of plaintext, no AAD.
+    #[test]
+    fn nist_test_case_3() {
+        let key = hex("feffe9928665731c6d6a8f9467308308");
+        let iv = hex("cafebabefacedbaddecaf888");
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let gcm = AesGcm::from_key(&key);
+        let (ct, tag) = gcm.encrypt(&iv, &[], &pt).unwrap();
+        assert_eq!(
+            ct,
+            hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985")
+        );
+        assert_eq!(tag.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    /// NIST GCM test case 4: same as case 3 but with truncated plaintext and AAD.
+    #[test]
+    fn nist_test_case_4_with_aad() {
+        let key = hex("feffe9928665731c6d6a8f9467308308");
+        let iv = hex("cafebabefacedbaddecaf888");
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let gcm = AesGcm::from_key(&key);
+        let (ct, tag) = gcm.encrypt(&iv, &aad, &pt).unwrap();
+        assert_eq!(
+            ct,
+            hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091")
+        );
+        assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+    }
+
+    #[test]
+    fn round_trip_and_tamper_detection() {
+        let gcm = AesGcm::from_key(&[9u8; 16]);
+        let iv = [3u8; 12];
+        let aad = b"layer-0-weights";
+        let pt = b"confidential model parameters".to_vec();
+        let (mut ct, tag) = gcm.encrypt(&iv, aad, &pt).unwrap();
+        assert_eq!(gcm.decrypt(&iv, aad, &ct, &tag).unwrap(), pt);
+        // Flip one ciphertext bit: decryption must fail and release nothing.
+        ct[0] ^= 1;
+        assert_eq!(
+            gcm.decrypt(&iv, aad, &ct, &tag).unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
+        ct[0] ^= 1;
+        // Wrong AAD also fails.
+        assert!(gcm.decrypt(&iv, b"other", &ct, &tag).is_err());
+    }
+
+    #[test]
+    fn non_96_bit_iv_uses_ghash_derivation() {
+        let gcm = AesGcm::from_key(&[1u8; 16]);
+        let iv = [7u8; 16]; // 128-bit IV takes the GHASH path.
+        let (ct, tag) = gcm.encrypt(&iv, &[], b"hello").unwrap();
+        assert_eq!(gcm.decrypt(&iv, &[], &ct, &tag).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn empty_iv_is_rejected() {
+        let gcm = AesGcm::from_key(&[1u8; 16]);
+        assert_eq!(
+            gcm.encrypt(&[], &[], b"x").unwrap_err(),
+            CryptoError::InvalidIvLength(0)
+        );
+    }
+
+    #[test]
+    fn inc32_wraps_only_low_word() {
+        let mut block = [0xFFu8; 16];
+        block = inc32(block);
+        assert_eq!(&block[..12], &[0xFF; 12]);
+        assert_eq!(&block[12..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn constant_time_eq_basic() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+    }
+}

@@ -1,0 +1,364 @@
+//! # plinius-crypto
+//!
+//! Authenticated encryption primitives for the Plinius reproduction, implemented from
+//! scratch (no third-party crypto crates): the AES block cipher, AES-GCM (the AEAD used
+//! by the Intel SGX SDK routines that Plinius' encryption engine calls), SHA-256 and
+//! HMAC-SHA256 for enclave measurements and sealing-key derivation.
+//!
+//! The crate also provides the exact *sealed-buffer layout* Plinius stores on persistent
+//! memory (§IV of the paper): for every encrypted parameter buffer a fresh random 12-byte
+//! IV is generated, the plaintext is encrypted with AES-GCM, and the IV plus the 16-byte
+//! MAC are appended to the ciphertext — 28 bytes of metadata per buffer, i.e. 140 bytes
+//! per mirrored layer (5 parameter matrices per layer).
+//!
+//! # Example
+//!
+//! ```
+//! use plinius_crypto::{Key, SealedBuffer};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let key = Key::generate_128(&mut rng);
+//! let sealed = SealedBuffer::seal(&key, b"layer weights", &mut rng)?;
+//! assert_eq!(sealed.open(&key)?, b"layer weights");
+//! # Ok::<(), plinius_crypto::CryptoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::RngCore;
+use std::error::Error;
+use std::fmt;
+
+pub mod aes;
+pub mod gcm;
+pub mod sha256;
+
+pub use aes::Aes;
+pub use gcm::{AesGcm, IV_LEN, TAG_LEN};
+pub use sha256::{hmac_sha256, Sha256};
+
+/// Metadata overhead (IV + MAC) appended to every sealed buffer, in bytes.
+///
+/// Matches the paper's accounting of 28 B per encrypted parameter buffer and
+/// 140 B of PM metadata per mirrored layer (5 buffers per layer).
+pub const SEAL_OVERHEAD: usize = IV_LEN + TAG_LEN;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The supplied key had an unsupported length (must be 16, 24 or 32 bytes).
+    InvalidKeyLength(usize),
+    /// The supplied IV had an unsupported length.
+    InvalidIvLength(usize),
+    /// GCM tag verification failed: the data was tampered with or the key is wrong.
+    AuthenticationFailed,
+    /// A sealed buffer was too short to contain the IV and MAC trailer.
+    TruncatedSealedBuffer(usize),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength(n) => {
+                write!(f, "invalid AES key length: {n} bytes (expected 16, 24 or 32)")
+            }
+            CryptoError::InvalidIvLength(n) => write!(f, "invalid GCM IV length: {n} bytes"),
+            CryptoError::AuthenticationFailed => {
+                write!(f, "authentication tag verification failed")
+            }
+            CryptoError::TruncatedSealedBuffer(n) => {
+                write!(f, "sealed buffer of {n} bytes is shorter than the 28-byte trailer")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+/// A symmetric AES key (128, 192 or 256 bits). Plinius uses 128-bit keys.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Key {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key bytes.
+        f.debug_struct("Key").field("bits", &(self.bytes.len() * 8)).finish()
+    }
+}
+
+impl Key {
+    /// Wraps raw key bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless the key is 16, 24 or 32 bytes.
+    pub fn new(bytes: &[u8]) -> Result<Self, CryptoError> {
+        match bytes.len() {
+            16 | 24 | 32 => Ok(Key {
+                bytes: bytes.to_vec(),
+            }),
+            n => Err(CryptoError::InvalidKeyLength(n)),
+        }
+    }
+
+    /// Generates a random 128-bit key (the key size Plinius uses).
+    pub fn generate_128<R: RngCore>(rng: &mut R) -> Self {
+        let mut bytes = vec![0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        Key { bytes }
+    }
+
+    /// Generates a random 256-bit key.
+    pub fn generate_256<R: RngCore>(rng: &mut R) -> Self {
+        let mut bytes = vec![0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        Key { bytes }
+    }
+
+    /// Key length in bits.
+    pub fn bits(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Raw key bytes (needed to provision the key over the attested channel).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Builds the AES-GCM context for this key.
+    pub fn gcm(&self) -> AesGcm {
+        AesGcm::from_key(&self.bytes)
+    }
+}
+
+/// An encrypted buffer in the on-PM layout used by Plinius:
+/// `ciphertext || IV (12 B) || MAC (16 B)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBuffer {
+    bytes: Vec<u8>,
+}
+
+impl SealedBuffer {
+    /// Encrypts `plaintext` under `key` with a freshly generated random IV and returns
+    /// the sealed representation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] from the underlying GCM operation.
+    pub fn seal<R: RngCore>(
+        key: &Key,
+        plaintext: &[u8],
+        rng: &mut R,
+    ) -> Result<Self, CryptoError> {
+        Self::seal_with_aad(key, plaintext, &[], rng)
+    }
+
+    /// Like [`SealedBuffer::seal`] but binds additional authenticated data (e.g. a layer
+    /// index) into the MAC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] from the underlying GCM operation.
+    pub fn seal_with_aad<R: RngCore>(
+        key: &Key,
+        plaintext: &[u8],
+        aad: &[u8],
+        rng: &mut R,
+    ) -> Result<Self, CryptoError> {
+        let mut iv = [0u8; IV_LEN];
+        rng.fill_bytes(&mut iv);
+        let (ciphertext, tag) = key.gcm().encrypt(&iv, aad, plaintext)?;
+        let mut bytes = ciphertext;
+        bytes.extend_from_slice(&iv);
+        bytes.extend_from_slice(&tag);
+        Ok(SealedBuffer { bytes })
+    }
+
+    /// Re-interprets raw bytes (e.g. read back from PM) as a sealed buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::TruncatedSealedBuffer`] if the data cannot even hold the
+    /// 28-byte IV+MAC trailer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, CryptoError> {
+        if bytes.len() < SEAL_OVERHEAD {
+            return Err(CryptoError::TruncatedSealedBuffer(bytes.len()));
+        }
+        Ok(SealedBuffer { bytes })
+    }
+
+    /// Decrypts and authenticates the buffer, returning the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::AuthenticationFailed`] if the buffer was tampered with or
+    /// the wrong key/AAD is supplied.
+    pub fn open(&self, key: &Key) -> Result<Vec<u8>, CryptoError> {
+        self.open_with_aad(key, &[])
+    }
+
+    /// Decrypts with additional authenticated data.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SealedBuffer::open`].
+    pub fn open_with_aad(&self, key: &Key, aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let ct_len = self.bytes.len() - SEAL_OVERHEAD;
+        let ciphertext = &self.bytes[..ct_len];
+        let iv = &self.bytes[ct_len..ct_len + IV_LEN];
+        let tag = &self.bytes[ct_len + IV_LEN..];
+        key.gcm().decrypt(iv, aad, ciphertext, tag)
+    }
+
+    /// The full on-PM byte representation (ciphertext + IV + MAC).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the buffer and returns the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total size in bytes, including the 28-byte trailer.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the buffer is empty (it never is: the trailer is always present).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Length of the plaintext this buffer decrypts to.
+    pub fn plaintext_len(&self) -> usize {
+        self.bytes.len() - SEAL_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_length_validation() {
+        assert!(Key::new(&[0u8; 16]).is_ok());
+        assert!(Key::new(&[0u8; 24]).is_ok());
+        assert!(Key::new(&[0u8; 32]).is_ok());
+        assert_eq!(
+            Key::new(&[0u8; 20]).unwrap_err(),
+            CryptoError::InvalidKeyLength(20)
+        );
+    }
+
+    #[test]
+    fn generated_keys_have_expected_sizes_and_differ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Key::generate_128(&mut rng);
+        let b = Key::generate_128(&mut rng);
+        assert_eq!(a.bits(), 128);
+        assert_ne!(a.as_bytes(), b.as_bytes());
+        assert_eq!(Key::generate_256(&mut rng).bits(), 256);
+    }
+
+    #[test]
+    fn key_debug_hides_bytes() {
+        let key = Key::new(&[0xCD; 16]).unwrap();
+        let dbg = format!("{key:?}");
+        assert!(!dbg.contains("205"));
+        assert!(dbg.contains("128"));
+    }
+
+    #[test]
+    fn sealed_buffer_layout_matches_paper_overhead() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal(&key, &[0u8; 100], &mut rng).unwrap();
+        assert_eq!(sealed.len(), 100 + SEAL_OVERHEAD);
+        assert_eq!(sealed.plaintext_len(), 100);
+        assert_eq!(SEAL_OVERHEAD, 28);
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = Key::generate_128(&mut rng);
+        let data = b"weights and biases".to_vec();
+        let sealed = SealedBuffer::seal(&key, &data, &mut rng).unwrap();
+        assert_eq!(sealed.open(&key).unwrap(), data);
+    }
+
+    #[test]
+    fn open_with_wrong_key_fails() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = Key::generate_128(&mut rng);
+        let other = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal(&key, b"secret", &mut rng).unwrap();
+        assert_eq!(
+            sealed.open(&other).unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
+    }
+
+    #[test]
+    fn aad_binds_context() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal_with_aad(&key, b"w", b"layer-3", &mut rng).unwrap();
+        assert_eq!(sealed.open_with_aad(&key, b"layer-3").unwrap(), b"w");
+        assert!(sealed.open_with_aad(&key, b"layer-4").is_err());
+        assert!(sealed.open(&key).is_err());
+    }
+
+    #[test]
+    fn tampering_with_stored_bytes_is_detected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let key = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal(&key, b"model parameters", &mut rng).unwrap();
+        let mut raw = sealed.into_bytes();
+        raw[3] ^= 0x40;
+        let tampered = SealedBuffer::from_bytes(raw).unwrap();
+        assert!(tampered.open(&key).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncated_data() {
+        assert_eq!(
+            SealedBuffer::from_bytes(vec![0u8; 10]).unwrap_err(),
+            CryptoError::TruncatedSealedBuffer(10)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_round_trips() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let key = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal(&key, &[], &mut rng).unwrap();
+        assert_eq!(sealed.plaintext_len(), 0);
+        assert_eq!(sealed.open(&key).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn fresh_iv_per_seal_gives_distinct_ciphertexts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let key = Key::generate_128(&mut rng);
+        let a = SealedBuffer::seal(&key, b"same plaintext", &mut rng).unwrap();
+        let b = SealedBuffer::seal(&key, b"same plaintext", &mut rng).unwrap();
+        assert_ne!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_informative() {
+        assert_eq!(
+            CryptoError::AuthenticationFailed.to_string(),
+            "authentication tag verification failed"
+        );
+        assert!(CryptoError::InvalidKeyLength(7).to_string().contains("7 bytes"));
+    }
+}

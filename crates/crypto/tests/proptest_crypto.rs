@@ -1,0 +1,87 @@
+//! Property-based tests for the crypto substrate: AES-GCM round-trips, tamper
+//! detection, and hash/HMAC determinism over arbitrary inputs.
+
+use plinius_crypto::{CryptoError, Key, SealedBuffer, Sha256, SEAL_OVERHEAD};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any plaintext sealed under any 128-bit key opens back to the same bytes.
+    #[test]
+    fn seal_open_round_trip(seed in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal(&key, &data, &mut rng).unwrap();
+        prop_assert_eq!(sealed.len(), data.len() + SEAL_OVERHEAD);
+        prop_assert_eq!(sealed.open(&key).unwrap(), data);
+    }
+
+    /// Flipping any single bit of the sealed representation breaks authentication.
+    #[test]
+    fn any_single_bitflip_is_detected(
+        seed in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        byte_choice in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal(&key, &data, &mut rng).unwrap();
+        let mut raw = sealed.into_bytes();
+        let idx = byte_choice as usize % raw.len();
+        raw[idx] ^= 1 << bit;
+        let tampered = SealedBuffer::from_bytes(raw).unwrap();
+        prop_assert_eq!(tampered.open(&key).unwrap_err(), CryptoError::AuthenticationFailed);
+    }
+
+    /// Decrypting with a different key never succeeds.
+    #[test]
+    fn wrong_key_never_opens(seed in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = Key::generate_128(&mut rng);
+        let wrong = Key::generate_128(&mut rng);
+        prop_assume!(key.as_bytes() != wrong.as_bytes());
+        let sealed = SealedBuffer::seal(&key, &data, &mut rng).unwrap();
+        prop_assert!(sealed.open(&wrong).is_err());
+    }
+
+    /// AAD participates in authentication: a mismatched AAD never opens.
+    #[test]
+    fn aad_mismatch_never_opens(
+        seed in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        aad_a in proptest::collection::vec(any::<u8>(), 0..32),
+        aad_b in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        prop_assume!(aad_a != aad_b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = Key::generate_128(&mut rng);
+        let sealed = SealedBuffer::seal_with_aad(&key, &data, &aad_a, &mut rng).unwrap();
+        prop_assert_eq!(sealed.open_with_aad(&key, &aad_a).unwrap(), data);
+        prop_assert!(sealed.open_with_aad(&key, &aad_b).is_err());
+    }
+
+    /// SHA-256 is deterministic and the incremental API agrees with the one-shot API
+    /// regardless of how the input is chunked.
+    #[test]
+    fn sha256_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..4096), chunk in 1usize..97) {
+        let one_shot = Sha256::digest(&data);
+        let mut h = Sha256::new();
+        for c in data.chunks(chunk) {
+            h.update(c);
+        }
+        prop_assert_eq!(h.finalize(), one_shot);
+    }
+
+    /// 256-bit keys round-trip just like 128-bit keys.
+    #[test]
+    fn aes256_round_trip(seed in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = Key::generate_256(&mut rng);
+        let sealed = SealedBuffer::seal(&key, &data, &mut rng).unwrap();
+        prop_assert_eq!(sealed.open(&key).unwrap(), data);
+    }
+}

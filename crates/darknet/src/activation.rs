@@ -1,0 +1,211 @@
+//! Activation functions supported by the layer implementations. The paper's models use
+//! leaky rectified linear units (LReLU) in every convolutional layer and softmax outputs;
+//! the remaining variants exist because Darknet configuration files may request them.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An element-wise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Leaky ReLU with slope 0.1 for negative inputs (Darknet's `leaky`).
+    #[default]
+    Leaky,
+    /// Logistic sigmoid.
+    Logistic,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            Activation::Leaky => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+            Activation::Logistic => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *activated* output `y`
+    /// (the convention Darknet uses, which avoids storing pre-activation values).
+    pub fn gradient(&self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Leaky => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+            Activation::Logistic => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+
+    /// Applies the activation to a whole buffer in place.
+    pub fn apply_slice(&self, xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Multiplies `delta` by the activation gradient evaluated at the activated
+    /// outputs `ys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn gradient_slice(&self, ys: &[f32], delta: &mut [f32]) {
+        assert_eq!(ys.len(), delta.len(), "gradient length mismatch");
+        for (d, y) in delta.iter_mut().zip(ys.iter()) {
+            *d *= self.gradient(*y);
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Linear => "linear",
+            Activation::Relu => "relu",
+            Activation::Leaky => "leaky",
+            Activation::Logistic => "logistic",
+            Activation::Tanh => "tanh",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Error returned when parsing an unknown activation name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseActivationError(pub String);
+
+impl fmt::Display for ParseActivationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown activation '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseActivationError {}
+
+impl FromStr for Activation {
+    type Err = ParseActivationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "linear" => Ok(Activation::Linear),
+            "relu" => Ok(Activation::Relu),
+            "leaky" | "lrelu" => Ok(Activation::Leaky),
+            "logistic" | "sigmoid" => Ok(Activation::Logistic),
+            "tanh" => Ok(Activation::Tanh),
+            other => Err(ParseActivationError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_matches_darknet_definition() {
+        let a = Activation::Leaky;
+        assert_eq!(a.apply(2.0), 2.0);
+        assert!((a.apply(-2.0) + 0.2).abs() < 1e-6);
+        assert_eq!(a.gradient(1.0), 1.0);
+        assert_eq!(a.gradient(-0.5), 0.1);
+    }
+
+    #[test]
+    fn relu_and_linear() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.gradient(0.0), 0.0);
+        assert_eq!(Activation::Linear.apply(-3.0), -3.0);
+        assert_eq!(Activation::Linear.gradient(123.0), 1.0);
+    }
+
+    #[test]
+    fn logistic_and_tanh_ranges() {
+        let s = Activation::Logistic.apply(0.0);
+        assert!((s - 0.5).abs() < 1e-6);
+        assert!((Activation::Logistic.gradient(0.5) - 0.25).abs() < 1e-6);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-6);
+        assert!((Activation::Tanh.gradient(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // d/dx f(x) evaluated via finite differences must match gradient(f(x)).
+        let eps = 1e-3f32;
+        for act in [
+            Activation::Linear,
+            Activation::Leaky,
+            Activation::Logistic,
+            Activation::Tanh,
+        ] {
+            for &x in &[-1.7f32, -0.3, 0.4, 2.1] {
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.gradient(act.apply(x));
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut xs = vec![-1.0, 2.0];
+        Activation::Leaky.apply_slice(&mut xs);
+        assert!((xs[0] + 0.1).abs() < 1e-6);
+        assert_eq!(xs[1], 2.0);
+        let mut delta = vec![1.0, 1.0];
+        Activation::Leaky.gradient_slice(&xs, &mut delta);
+        assert_eq!(delta, vec![0.1, 1.0]);
+    }
+
+    #[test]
+    fn parsing_round_trips_and_rejects_unknown() {
+        for a in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::Leaky,
+            Activation::Logistic,
+            Activation::Tanh,
+        ] {
+            assert_eq!(a.to_string().parse::<Activation>().unwrap(), a);
+        }
+        assert_eq!("lrelu".parse::<Activation>().unwrap(), Activation::Leaky);
+        assert!("swish".parse::<Activation>().is_err());
+        assert_eq!(Activation::default(), Activation::Leaky);
+    }
+}

@@ -1,0 +1,192 @@
+//! Max-pooling layer: spatial down-sampling with winner-take-all gradient routing.
+
+use crate::matrix::conv_out_dim;
+
+/// A 2-D max-pooling layer.
+#[derive(Debug, Clone)]
+pub struct MaxPoolLayer {
+    in_h: usize,
+    in_w: usize,
+    in_c: usize,
+    size: usize,
+    stride: usize,
+    out_h: usize,
+    out_w: usize,
+    output: Vec<f32>,
+    delta: Vec<f32>,
+    /// Index (into the per-sample input) of the winning element for every output, used to
+    /// route the gradient during the backward pass.
+    indexes: Vec<usize>,
+}
+
+impl MaxPoolLayer {
+    /// Creates a max-pooling layer over inputs of shape `(in_c, in_h, in_w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pooling window is larger than the input.
+    pub fn new(in_h: usize, in_w: usize, in_c: usize, size: usize, stride: usize, batch: usize) -> Self {
+        assert!(size > 0 && stride > 0, "bad pooling geometry");
+        assert!(size <= in_h && size <= in_w, "pooling window larger than input");
+        let out_h = conv_out_dim(in_h, size, stride, 0);
+        let out_w = conv_out_dim(in_w, size, stride, 0);
+        let outputs = in_c * out_h * out_w;
+        MaxPoolLayer {
+            in_h,
+            in_w,
+            in_c,
+            size,
+            stride,
+            out_h,
+            out_w,
+            output: vec![0.0; outputs * batch],
+            delta: vec![0.0; outputs * batch],
+            indexes: vec![0; outputs * batch],
+        }
+    }
+
+    /// Number of inputs per sample.
+    pub fn inputs(&self) -> usize {
+        self.in_c * self.in_h * self.in_w
+    }
+
+    /// Number of outputs per sample.
+    pub fn outputs(&self) -> usize {
+        self.in_c * self.out_h * self.out_w
+    }
+
+    /// Output shape `(channels, height, width)`.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        (self.in_c, self.out_h, self.out_w)
+    }
+
+    fn ensure_batch(&mut self, batch: usize) {
+        let needed = self.outputs() * batch;
+        if self.output.len() < needed {
+            self.output.resize(needed, 0.0);
+            self.delta.resize(needed, 0.0);
+            self.indexes.resize(needed, 0);
+        }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is shorter than `batch * inputs()`.
+    pub fn forward(&mut self, input: &[f32], batch: usize) {
+        assert!(input.len() >= batch * self.inputs(), "maxpool input too small");
+        self.ensure_batch(batch);
+        for b in 0..batch {
+            let sample = &input[b * self.inputs()..(b + 1) * self.inputs()];
+            for c in 0..self.in_c {
+                for oh in 0..self.out_h {
+                    for ow in 0..self.out_w {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for kh in 0..self.size {
+                            for kw in 0..self.size {
+                                let ih = oh * self.stride + kh;
+                                let iw = ow * self.stride + kw;
+                                if ih < self.in_h && iw < self.in_w {
+                                    let idx = (c * self.in_h + ih) * self.in_w + iw;
+                                    if sample[idx] > best {
+                                        best = sample[idx];
+                                        best_idx = idx;
+                                    }
+                                }
+                            }
+                        }
+                        let out_idx =
+                            b * self.outputs() + (c * self.out_h + oh) * self.out_w + ow;
+                        self.output[out_idx] = best;
+                        self.indexes[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward pass: routes each output delta to the winning input position.
+    pub fn backward(&mut self, _input: &[f32], prev_delta: Option<&mut [f32]>, batch: usize) {
+        let Some(prev) = prev_delta else { return };
+        for b in 0..batch {
+            for o in 0..self.outputs() {
+                let out_idx = b * self.outputs() + o;
+                let in_idx = b * self.inputs() + self.indexes[out_idx];
+                prev[in_idx] += self.delta[out_idx];
+            }
+        }
+    }
+
+    /// Output buffer of the latest forward pass.
+    pub fn output(&self) -> &[f32] {
+        &self.output
+    }
+
+    /// Mutable delta buffer.
+    pub fn delta_mut(&mut self) -> &mut [f32] {
+        &mut self.delta
+    }
+
+    /// Simultaneous shared-output / mutable-delta borrow.
+    pub fn output_and_delta_mut(&mut self) -> (&[f32], &mut [f32]) {
+        (&self.output, &mut self.delta)
+    }
+
+    /// Approximate FLOPs per sample (comparisons counted as one op each).
+    pub fn flops_per_sample(&self) -> u64 {
+        (self.outputs() * self.size * self.size) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima_of_each_window() {
+        let mut l = MaxPoolLayer::new(4, 4, 1, 2, 2, 1);
+        assert_eq!(l.out_shape(), (1, 2, 2));
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 2.0, 5.0, 6.0,
+            3.0, 4.0, 7.0, 8.0,
+            9.0, 10.0, 13.0, 14.0,
+            11.0, 12.0, 15.0, 16.0,
+        ];
+        l.forward(&input, 1);
+        assert_eq!(l.output(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_delta_to_argmax() {
+        let mut l = MaxPoolLayer::new(2, 2, 1, 2, 2, 1);
+        let input = vec![1.0, 9.0, 3.0, 4.0];
+        l.forward(&input, 1);
+        l.delta_mut()[0] = 2.5;
+        let mut prev = vec![0.0; 4];
+        l.backward(&input, Some(&mut prev), 1);
+        assert_eq!(prev, vec![0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_channel_and_batch() {
+        let mut l = MaxPoolLayer::new(2, 2, 2, 2, 2, 2);
+        assert_eq!(l.outputs(), 2);
+        // Two samples, two channels of 2x2 each.
+        let sample: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 8.0, 7.0, 6.0, 5.0];
+        let mut input = sample.clone();
+        input.extend(sample.iter().map(|v| v * 10.0));
+        l.forward(&input, 2);
+        assert_eq!(l.output()[..2], [4.0, 8.0]);
+        assert_eq!(l.output()[2..4], [40.0, 80.0]);
+        assert!(l.flops_per_sample() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn window_larger_than_input_is_rejected() {
+        let _ = MaxPoolLayer::new(2, 2, 1, 3, 1, 1);
+    }
+}

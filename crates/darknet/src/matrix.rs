@@ -1,0 +1,471 @@
+//! Dense matrix container and the BLAS-like kernels (GEMM, AXPY, im2col/col2im) that the
+//! Darknet-style layers are built on. Everything is plain `f32` on the heap — the same
+//! representation the original C framework uses, which keeps the port to the (simulated)
+//! enclave straightforward.
+
+use rand::Rng;
+use std::fmt;
+
+/// A row-major dense matrix of `f32` values.
+///
+/// Training data is handled as one sample per row (the `matrix` type of Darknet), and the
+/// same container doubles as a general 2-D buffer for tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[-scale, scale]`.
+    pub fn random<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major backing storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing storage.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, r: usize, c: usize, value: f32) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Index of the maximum element of row `r` (arg-max, used for classification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has zero columns or `r` is out of range.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        assert!(!row.is_empty(), "argmax of an empty row");
+        let mut best = 0;
+        for (i, v) in row.iter().enumerate() {
+            if *v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix[{}x{}]", self.rows, self.cols)
+    }
+}
+
+/// `y += alpha * x` (the BLAS AXPY kernel).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` (the BLAS SCAL kernel).
+pub fn scal(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`, where `op` optionally
+/// transposes its argument. `A` is `m x k` (after `op`), `B` is `k x n`, `C` is `m x n`,
+/// all row-major with the given leading dimensions.
+///
+/// # Panics
+///
+/// Panics if any buffer is too small for the requested shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(c.len() >= (m.saturating_sub(1)) * ldc + n, "C buffer too small");
+    if beta != 1.0 {
+        for i in 0..m {
+            for j in 0..n {
+                c[i * ldc + j] *= beta;
+            }
+        }
+    }
+    let a_at = |i: usize, p: usize| -> f32 {
+        if ta {
+            a[p * lda + i]
+        } else {
+            a[i * lda + p]
+        }
+    };
+    let b_at = |p: usize, j: usize| -> f32 {
+        if tb {
+            b[j * ldb + p]
+        } else {
+            b[p * ldb + j]
+        }
+    };
+    // Bounds are checked implicitly through slice indexing.
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = alpha * a_at(i, p);
+            if a_ip == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * ldc + j] += a_ip * b_at(p, j);
+            }
+        }
+    }
+}
+
+/// Rearranges an image (channels x height x width, channel-major as in Darknet) into a
+/// column matrix for convolution-as-GEMM. The output has `channels*ksize*ksize` rows and
+/// `out_h*out_w` columns.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    input: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
+    let out_h = conv_out_dim(height, ksize, stride, pad);
+    let out_w = conv_out_dim(width, ksize, stride, pad);
+    let channels_col = channels * ksize * ksize;
+    assert!(output.len() >= channels_col * out_h * out_w, "im2col output too small");
+    for c in 0..channels_col {
+        let w_offset = c % ksize;
+        let h_offset = (c / ksize) % ksize;
+        let c_im = c / ksize / ksize;
+        for h in 0..out_h {
+            for w in 0..out_w {
+                let im_row = h_offset as isize + (h * stride) as isize - pad as isize;
+                let im_col = w_offset as isize + (w * stride) as isize - pad as isize;
+                let col_index = (c * out_h + h) * out_w + w;
+                output[col_index] = if im_row < 0
+                    || im_col < 0
+                    || im_row >= height as isize
+                    || im_col >= width as isize
+                {
+                    0.0
+                } else {
+                    input[(c_im * height + im_row as usize) * width + im_col as usize]
+                };
+            }
+        }
+    }
+}
+
+/// The inverse of [`im2col`]: scatters (accumulates) a column matrix back into an image,
+/// used to propagate gradients to the convolution input.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    column: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    ksize: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
+    let out_h = conv_out_dim(height, ksize, stride, pad);
+    let out_w = conv_out_dim(width, ksize, stride, pad);
+    let channels_col = channels * ksize * ksize;
+    assert!(output.len() >= channels * height * width, "col2im output too small");
+    for c in 0..channels_col {
+        let w_offset = c % ksize;
+        let h_offset = (c / ksize) % ksize;
+        let c_im = c / ksize / ksize;
+        for h in 0..out_h {
+            for w in 0..out_w {
+                let im_row = h_offset as isize + (h * stride) as isize - pad as isize;
+                let im_col = w_offset as isize + (w * stride) as isize - pad as isize;
+                if im_row < 0 || im_col < 0 || im_row >= height as isize || im_col >= width as isize
+                {
+                    continue;
+                }
+                let col_index = (c * out_h + h) * out_w + w;
+                output[(c_im * height + im_row as usize) * width + im_col as usize] +=
+                    column[col_index];
+            }
+        }
+    }
+}
+
+/// Output spatial dimension of a convolution/pooling with the given geometry.
+pub fn conv_out_dim(dim: usize, ksize: usize, stride: usize, pad: usize) -> usize {
+    (dim + 2 * pad - ksize) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrix_construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = 9.0;
+        assert_eq!(m.get(0, 0), 9.0);
+        assert_eq!(m.to_string(), "Matrix[2x3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_validates_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_row_finds_largest() {
+        let m = Matrix::from_vec(2, 3, vec![0.1, 0.7, 0.2, 0.9, 0.05, 0.05]);
+        assert_eq!(m.argmax_row(0), 1);
+        assert_eq!(m.argmax_row(1), 0);
+    }
+
+    #[test]
+    fn random_matrix_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::random(10, 10, 0.5, &mut rng);
+        assert!(m.data().iter().all(|v| v.abs() <= 0.5));
+        assert!(m.data().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn axpy_scal_dot() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![6.0, 12.0, 18.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+    }
+
+    #[test]
+    fn gemm_nn_matches_hand_computation() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> AB = [[19,22],[43,50]]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        gemm(false, false, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_transpose_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = 3;
+        let n = 4;
+        let k = 5;
+        let a = Matrix::random(m, k, 1.0, &mut rng);
+        let b = Matrix::random(k, n, 1.0, &mut rng);
+        // Reference: C = A * B.
+        let mut c_ref = vec![0.0; m * n];
+        gemm(false, false, m, n, k, 1.0, a.data(), k, b.data(), n, 0.0, &mut c_ref, n);
+        // A^T stored transposed (k x m) then used with ta=true.
+        let mut a_t = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                a_t[p * m + i] = a.get(i, p);
+            }
+        }
+        let mut c_ta = vec![0.0; m * n];
+        gemm(true, false, m, n, k, 1.0, &a_t, m, b.data(), n, 0.0, &mut c_ta, n);
+        for (x, y) in c_ref.iter().zip(c_ta.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        // B^T stored transposed (n x k) then used with tb=true.
+        let mut b_t = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b.get(p, j);
+            }
+        }
+        let mut c_tb = vec![0.0; m * n];
+        gemm(false, true, m, n, k, 1.0, a.data(), k, &b_t, k, 0.0, &mut c_tb, n);
+        for (x, y) in c_ref.iter().zip(c_tb.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gemm_beta_accumulates() {
+        let a = vec![1.0];
+        let b = vec![1.0];
+        let mut c = vec![10.0];
+        gemm(false, false, 1, 1, 1, 2.0, &a, 1, &b, 1, 1.0, &mut c, 1);
+        assert_eq!(c[0], 12.0);
+        gemm(false, false, 1, 1, 1, 2.0, &a, 1, &b, 1, 0.0, &mut c, 1);
+        assert_eq!(c[0], 2.0);
+    }
+
+    #[test]
+    fn conv_out_dim_formula() {
+        assert_eq!(conv_out_dim(28, 3, 1, 1), 28);
+        assert_eq!(conv_out_dim(28, 2, 2, 0), 14);
+        assert_eq!(conv_out_dim(5, 3, 1, 0), 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is the identity reshape.
+        let input: Vec<f32> = (0..2 * 3 * 3).map(|v| v as f32).collect();
+        let mut out = vec![0.0; 2 * 3 * 3];
+        im2col(&input, 2, 3, 3, 1, 1, 0, &mut out);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn im2col_known_small_case() {
+        // Single channel 3x3 image, 2x2 kernel, stride 1, no pad: 4 output positions.
+        let input = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let mut out = vec![0.0; 4 * 4];
+        im2col(&input, 1, 3, 3, 2, 1, 0, &mut out);
+        // Row 0 of the column matrix holds the top-left element of each patch.
+        assert_eq!(&out[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // Row 3 holds the bottom-right element of each patch.
+        assert_eq!(&out[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the standard adjoint check.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (c, h, w, k, s, p) = (2usize, 5usize, 5usize, 3usize, 1usize, 1usize);
+        let out_h = conv_out_dim(h, k, s, p);
+        let out_w = conv_out_dim(w, k, s, p);
+        let x: Vec<f32> = (0..c * h * w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..c * k * k * out_h * out_w)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let mut x_col = vec![0.0; y.len()];
+        im2col(&x, c, h, w, k, s, p, &mut x_col);
+        let mut y_im = vec![0.0; x.len()];
+        col2im(&y, c, h, w, k, s, p, &mut y_im);
+        let lhs = dot(&x_col, &y);
+        let rhs = dot(&x, &y_im);
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,486 @@
+//! The mirroring module (Fig. 4, Algorithm 3): encrypted mirror copies of the enclave
+//! model in persistent memory.
+//!
+//! The mirror model is represented on PM as a linked list of persistent layer nodes (so
+//! that layers can later be added or removed without relocating the whole model, as the
+//! paper notes). Every trainable layer node carries pointers to the five encrypted
+//! parameter buffers of that layer; every buffer is an AES-GCM sealed blob whose 12-byte
+//! IV and 16-byte MAC account for the paper's 140 bytes of PM metadata per layer.
+//!
+//! A *mirror-out* (model save) encrypts the parameters inside the enclave and writes them
+//! to the mirror within a single Romulus durable transaction, together with the iteration
+//! counter; a crash therefore always leaves either the previous or the new model version.
+//! A *mirror-in* (model restore) reads the encrypted buffers from PM into the enclave and
+//! decrypts them into the enclave model.
+
+use crate::{bytes_to_f32s, f32s_to_bytes, PliniusContext, PliniusError};
+use plinius_crypto::{SealedBuffer, SEAL_OVERHEAD};
+use plinius_darknet::Network;
+use plinius_romulus::PmPtr;
+use sim_clock::SimSpan;
+
+/// Root-directory slot holding the mirror-model header.
+pub const ROOT_MODEL: usize = 0;
+
+/// Number of encrypted parameter buffers per mirrored layer.
+const TENSORS_PER_LAYER: usize = plinius_darknet::PARAM_TENSORS_PER_LAYER;
+
+/// Byte size of the persistent model header: `[iteration][num_layers][first_layer_ptr]`.
+const HEADER_BYTES: usize = 24;
+
+/// Byte size of one persistent layer node:
+/// `[next_ptr][num_tensors]` + `TENSORS_PER_LAYER x [tensor_ptr][sealed_len]`.
+const NODE_BYTES: usize = 16 + TENSORS_PER_LAYER * 16;
+
+/// Report of one mirror-out (model save): the Fig. 7 "Save" breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirrorOutReport {
+    /// Simulated time spent encrypting parameters inside the enclave.
+    pub encrypt: SimSpan,
+    /// Simulated time spent writing the encrypted buffers to PM (durable transaction).
+    pub write: SimSpan,
+    /// Plaintext model bytes mirrored.
+    pub model_bytes: usize,
+    /// Bytes of encryption metadata (IV + MAC trailers) added on PM.
+    pub metadata_bytes: usize,
+}
+
+impl MirrorOutReport {
+    /// Total simulated save latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.encrypt.millis() + self.write.millis()
+    }
+}
+
+/// Report of one mirror-in (model restore): the Fig. 7 "Restore" breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirrorInReport {
+    /// Simulated time spent reading encrypted buffers from PM into the enclave.
+    pub read: SimSpan,
+    /// Simulated time spent decrypting inside the enclave.
+    pub decrypt: SimSpan,
+    /// Training iteration recovered from the mirror.
+    pub iteration: u64,
+    /// Plaintext model bytes restored.
+    pub model_bytes: usize,
+}
+
+impl MirrorInReport {
+    /// Total simulated restore latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.read.millis() + self.decrypt.millis()
+    }
+}
+
+/// Handle to the persistent mirror of one enclave model.
+#[derive(Debug, Clone)]
+pub struct MirrorModel {
+    header: PmPtr,
+    layer_nodes: Vec<PmPtr>,
+    /// Sealed length of every tensor of every layer, in layer order.
+    sealed_lens: Vec<Vec<usize>>,
+}
+
+impl MirrorModel {
+    /// Whether a mirror model already exists in the context's PM pool.
+    pub fn exists(ctx: &PliniusContext) -> bool {
+        matches!(ctx.romulus().root(ROOT_MODEL), Ok(p) if !p.is_null())
+    }
+
+    /// Allocates the persistent mirror for `network` (Algorithm 3, `alloc_mirror_model`):
+    /// one header, one node per trainable layer, and space for every encrypted tensor.
+    /// All allocations happen in a single durable transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Romulus errors (e.g. out of persistent memory).
+    pub fn allocate(ctx: &PliniusContext, network: &Network) -> Result<Self, PliniusError> {
+        let layer_tensor_lens: Vec<Vec<usize>> = network
+            .layers()
+            .iter()
+            .filter(|l| l.is_trainable())
+            .map(|l| l.params().iter().map(|p| p.data.len() * 4 + SEAL_OVERHEAD).collect())
+            .collect();
+        let num_layers = layer_tensor_lens.len() as u64;
+        let mut header = PmPtr::NULL;
+        let mut layer_nodes = Vec::new();
+        ctx.romulus().transaction(|tx| {
+            header = tx.alloc(HEADER_BYTES)?;
+            tx.write_u64(header, 0)?; // iteration
+            tx.write_u64(header.add(8), num_layers)?;
+            // Allocate nodes front to back, linking as we go.
+            let mut nodes: Vec<PmPtr> = Vec::with_capacity(layer_tensor_lens.len());
+            for tensor_lens in &layer_tensor_lens {
+                let node = tx.alloc(NODE_BYTES)?;
+                tx.write_u64(node, 0)?; // next (patched below)
+                tx.write_u64(node.add(8), tensor_lens.len() as u64)?;
+                for (j, sealed_len) in tensor_lens.iter().enumerate() {
+                    let tensor = tx.alloc(*sealed_len)?;
+                    tx.write_u64(node.add(16 + (j as u64) * 16), tensor.offset())?;
+                    tx.write_u64(node.add(16 + (j as u64) * 16 + 8), *sealed_len as u64)?;
+                }
+                if let Some(prev) = nodes.last() {
+                    tx.write_u64(*prev, node.offset())?;
+                }
+                nodes.push(node);
+            }
+            let first = nodes.first().map(|p| p.offset()).unwrap_or(0);
+            tx.write_u64(header.add(16), first)?;
+            tx.set_root(ROOT_MODEL, header)?;
+            layer_nodes = nodes;
+            Ok(())
+        })?;
+        Ok(MirrorModel {
+            header,
+            layer_nodes,
+            sealed_lens: layer_tensor_lens,
+        })
+    }
+
+    /// Opens an existing mirror (after a restart), walking the persistent linked list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::NoMirrorModel`] if no mirror exists.
+    pub fn open(ctx: &PliniusContext) -> Result<Self, PliniusError> {
+        let header = ctx.romulus().root(ROOT_MODEL)?;
+        if header.is_null() {
+            return Err(PliniusError::NoMirrorModel);
+        }
+        let rom = ctx.romulus();
+        let num_layers = rom.read_u64(header.add(8))? as usize;
+        let mut layer_nodes = Vec::with_capacity(num_layers);
+        let mut sealed_lens = Vec::with_capacity(num_layers);
+        let mut cursor = PmPtr::from_offset(rom.read_u64(header.add(16))?);
+        while !cursor.is_null() {
+            let num_tensors = rom.read_u64(cursor.add(8))? as usize;
+            let mut lens = Vec::with_capacity(num_tensors);
+            for j in 0..num_tensors {
+                lens.push(rom.read_u64(cursor.add(16 + (j as u64) * 16 + 8))? as usize);
+            }
+            layer_nodes.push(cursor);
+            sealed_lens.push(lens);
+            cursor = PmPtr::from_offset(rom.read_u64(cursor)?);
+        }
+        if layer_nodes.len() != num_layers {
+            return Err(PliniusError::MirrorMismatch(format!(
+                "header declares {num_layers} layers but the list holds {}",
+                layer_nodes.len()
+            )));
+        }
+        Ok(MirrorModel {
+            header,
+            layer_nodes,
+            sealed_lens,
+        })
+    }
+
+    /// Number of mirrored (trainable) layers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_nodes.len()
+    }
+
+    /// Bytes of per-layer encryption metadata stored on PM (28 B per tensor, 140 B per
+    /// layer with five tensors), as accounted in §VI of the paper.
+    pub fn metadata_bytes(&self) -> usize {
+        self.sealed_lens.iter().map(|l| l.len() * SEAL_OVERHEAD).sum()
+    }
+
+    /// The iteration counter currently stored in the mirror header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Romulus read errors.
+    pub fn iteration(&self, ctx: &PliniusContext) -> Result<u64, PliniusError> {
+        Ok(ctx.romulus().read_u64(self.header)?)
+    }
+
+    /// Mirror-out (Algorithm 3, `mirror_out`): encrypts the enclave model's parameters
+    /// and synchronises the PM mirror within one durable transaction, recording the
+    /// iteration counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::KeyNotProvisioned`] without a model key,
+    /// [`PliniusError::MirrorMismatch`] if the model shape changed, or Romulus errors.
+    pub fn mirror_out(
+        &self,
+        ctx: &PliniusContext,
+        network: &Network,
+    ) -> Result<MirrorOutReport, PliniusError> {
+        let key = ctx.key()?;
+        let clock = ctx.clock();
+        let mut rng = ctx.enclave_rng();
+        let trainable: Vec<_> = network.layers().iter().filter(|l| l.is_trainable()).collect();
+        if trainable.len() != self.layer_nodes.len() {
+            return Err(PliniusError::MirrorMismatch(format!(
+                "enclave model has {} trainable layers, mirror has {}",
+                trainable.len(),
+                self.layer_nodes.len()
+            )));
+        }
+        let mut model_bytes = 0usize;
+        // Phase 1: in-enclave encryption of every parameter tensor.
+        let (sealed, encrypt) = SimSpan::record(&clock, || -> Result<Vec<Vec<Vec<u8>>>, PliniusError> {
+            let mut all = Vec::with_capacity(trainable.len());
+            for (i, layer) in trainable.iter().enumerate() {
+                let mut layer_blobs = Vec::with_capacity(TENSORS_PER_LAYER);
+                for (j, param) in layer.params().iter().enumerate() {
+                    let plaintext = f32s_to_bytes(param.data);
+                    model_bytes += plaintext.len();
+                    ctx.enclave().charge_crypto(plaintext.len() as u64);
+                    let aad = format!("layer{i}-tensor{j}");
+                    let blob =
+                        SealedBuffer::seal_with_aad(&key, &plaintext, aad.as_bytes(), &mut rng)?;
+                    layer_blobs.push(blob.into_bytes());
+                }
+                all.push(layer_blobs);
+            }
+            Ok(all)
+        });
+        let sealed = sealed?;
+        // Phase 2: durable write of the encrypted buffers + iteration counter to PM.
+        let (write_result, write) = SimSpan::record(&clock, || {
+            ctx.romulus().transaction(|tx| {
+                tx.write_u64(self.header, network.iteration())?;
+                for (node_idx, layer_blobs) in sealed.iter().enumerate() {
+                    let node = self.layer_nodes[node_idx];
+                    for (j, blob) in layer_blobs.iter().enumerate() {
+                        let expected = self.sealed_lens[node_idx][j];
+                        if blob.len() != expected {
+                            return Err(plinius_romulus::RomulusError::Corrupted(format!(
+                                "sealed tensor length {} does not match allocation {expected}",
+                                blob.len()
+                            )));
+                        }
+                        let tensor_ptr =
+                            PmPtr::from_offset(tx.read_u64(node.add(16 + (j as u64) * 16))?);
+                        tx.write_bytes(tensor_ptr, blob)?;
+                    }
+                }
+                Ok(())
+            })
+        });
+        write_result?;
+        Ok(MirrorOutReport {
+            encrypt,
+            write,
+            model_bytes,
+            metadata_bytes: self.metadata_bytes(),
+        })
+    }
+
+    /// Mirror-in (Algorithm 3, `mirror_in`): reads the encrypted mirror from PM into the
+    /// enclave, decrypts it and installs the parameters into the enclave model, restoring
+    /// the iteration counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::KeyNotProvisioned`] without a model key, authentication
+    /// failures if the mirror was tampered with, or a mismatch error if the model shape
+    /// differs.
+    pub fn mirror_in(
+        &self,
+        ctx: &PliniusContext,
+        network: &mut Network,
+    ) -> Result<MirrorInReport, PliniusError> {
+        let key = ctx.key()?;
+        let clock = ctx.clock();
+        let rom = ctx.romulus();
+        // Phase 1: read encrypted buffers from PM into enclave memory.
+        let (read_out, read) = SimSpan::record(&clock, || -> Result<(u64, Vec<Vec<Vec<u8>>>), PliniusError> {
+            let iteration = rom.read_u64(self.header)?;
+            let mut all = Vec::with_capacity(self.layer_nodes.len());
+            for (node_idx, node) in self.layer_nodes.iter().enumerate() {
+                let mut layer_blobs = Vec::with_capacity(TENSORS_PER_LAYER);
+                for (j, sealed_len) in self.sealed_lens[node_idx].iter().enumerate() {
+                    let ptr = PmPtr::from_offset(rom.read_u64(node.add(16 + (j as u64) * 16))?);
+                    layer_blobs.push(rom.read_bytes(ptr, *sealed_len)?);
+                }
+                all.push(layer_blobs);
+            }
+            Ok((iteration, all))
+        });
+        let (iteration, blobs) = read_out?;
+        // Phase 2: in-enclave decryption and installation into the enclave model.
+        let (decrypt_result, decrypt) = SimSpan::record(&clock, || -> Result<usize, PliniusError> {
+            let mut model_bytes = 0usize;
+            let mut node_idx = 0usize;
+            for layer in network.layers_mut().iter_mut() {
+                if !layer.is_trainable() {
+                    continue;
+                }
+                if node_idx >= blobs.len() {
+                    return Err(PliniusError::MirrorMismatch(
+                        "enclave model has more trainable layers than the mirror".into(),
+                    ));
+                }
+                let mut tensors = Vec::with_capacity(TENSORS_PER_LAYER);
+                for (j, blob) in blobs[node_idx].iter().enumerate() {
+                    ctx.enclave().charge_crypto(blob.len() as u64);
+                    let aad = format!("layer{node_idx}-tensor{j}");
+                    let sealed = SealedBuffer::from_bytes(blob.clone())?;
+                    let plaintext = sealed.open_with_aad(&key, aad.as_bytes())?;
+                    model_bytes += plaintext.len();
+                    tensors.push(bytes_to_f32s(&plaintext)?);
+                }
+                let expected: Vec<usize> = layer.params().iter().map(|p| p.data.len()).collect();
+                let got: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
+                if expected != got {
+                    return Err(PliniusError::MirrorMismatch(format!(
+                        "layer {node_idx}: expected tensor sizes {expected:?}, mirror holds {got:?}"
+                    )));
+                }
+                layer.set_params(&tensors);
+                node_idx += 1;
+            }
+            if node_idx != blobs.len() {
+                return Err(PliniusError::MirrorMismatch(
+                    "mirror holds more layers than the enclave model".into(),
+                ));
+            }
+            Ok(model_bytes)
+        });
+        let model_bytes = decrypt_result?;
+        network.set_iteration(iteration);
+        Ok(MirrorInReport {
+            read,
+            decrypt,
+            iteration,
+            model_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plinius_crypto::Key;
+    use plinius_darknet::config::{build_network, mnist_cnn_config};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn context_with_key(pm_bytes: usize) -> PliniusContext {
+        let ctx = PliniusContext::small_test(pm_bytes);
+        let mut rng = StdRng::seed_from_u64(99);
+        ctx.provision_key_directly(Key::generate_128(&mut rng));
+        ctx
+    }
+
+    fn small_network(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        build_network(&mnist_cnn_config(2, 4, 4), &mut rng).unwrap()
+    }
+
+    fn snapshot(net: &Network) -> Vec<Vec<f32>> {
+        net.layers()
+            .iter()
+            .filter(|l| l.is_trainable())
+            .flat_map(|l| l.params().iter().map(|p| p.data.to_vec()).collect::<Vec<_>>())
+            .collect()
+    }
+
+    #[test]
+    fn allocate_mirror_out_mirror_in_round_trip() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(1);
+        net.set_iteration(42);
+        assert!(!MirrorModel::exists(&ctx));
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        assert!(MirrorModel::exists(&ctx));
+        let out = mirror.mirror_out(&ctx, &net).unwrap();
+        assert!(out.model_bytes > 0);
+        assert!(out.total_ms() > 0.0);
+        // Restore into a differently initialised network: parameters must match exactly.
+        let mut other = small_network(2);
+        assert_ne!(snapshot(&net), snapshot(&other));
+        let report = mirror.mirror_in(&ctx, &mut other).unwrap();
+        assert_eq!(report.iteration, 42);
+        assert_eq!(other.iteration(), 42);
+        assert_eq!(snapshot(&net), snapshot(&other));
+        assert_eq!(report.model_bytes, out.model_bytes);
+    }
+
+    #[test]
+    fn metadata_overhead_is_140_bytes_per_layer() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let net = small_network(3);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        assert_eq!(mirror.metadata_bytes(), mirror.num_layers() * 140);
+    }
+
+    #[test]
+    fn mirror_survives_context_reopen() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(4);
+        net.set_iteration(7);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        mirror.mirror_out(&ctx, &net).unwrap();
+        let key = ctx.key().unwrap();
+        let pool = ctx.pool().clone();
+        drop((ctx, mirror));
+        // "Restart": new enclave over the same pool, key re-provisioned via attestation
+        // (provisioned directly here).
+        let ctx2 = PliniusContext::open(pool, sim_clock::CostModel::sgx_eml_pm()).unwrap();
+        ctx2.provision_key_directly(key);
+        let mirror2 = MirrorModel::open(&ctx2).unwrap();
+        let mut restored = small_network(5);
+        let report = mirror2.mirror_in(&ctx2, &mut restored).unwrap();
+        assert_eq!(report.iteration, 7);
+        assert_eq!(snapshot(&restored), snapshot(&small_network(4)));
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let net = small_network(6);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        mirror.mirror_out(&ctx, &net).unwrap();
+        let mut rng = StdRng::seed_from_u64(1234);
+        ctx.provision_key_directly(Key::generate_128(&mut rng));
+        let mut other = small_network(7);
+        assert!(matches!(
+            mirror.mirror_in(&ctx, &mut other).unwrap_err(),
+            PliniusError::Crypto(plinius_crypto::CryptoError::AuthenticationFailed)
+        ));
+    }
+
+    #[test]
+    fn mismatched_model_is_rejected() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let net = small_network(8);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        mirror.mirror_out(&ctx, &net).unwrap();
+        // A deeper network does not fit the mirror.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut deeper = build_network(&mnist_cnn_config(3, 4, 4), &mut rng).unwrap();
+        assert!(matches!(
+            mirror.mirror_in(&ctx, &mut deeper).unwrap_err(),
+            PliniusError::MirrorMismatch(_)
+        ));
+        assert!(matches!(
+            mirror.mirror_out(&ctx, &deeper).unwrap_err(),
+            PliniusError::MirrorMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn open_without_mirror_errors() {
+        let ctx = context_with_key(512 * 1024);
+        assert!(matches!(
+            MirrorModel::open(&ctx).unwrap_err(),
+            PliniusError::NoMirrorModel
+        ));
+    }
+
+    #[test]
+    fn missing_key_is_reported() {
+        let ctx = PliniusContext::small_test(8 * 1024 * 1024);
+        let net = small_network(10);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        assert!(matches!(
+            mirror.mirror_out(&ctx, &net).unwrap_err(),
+            PliniusError::KeyNotProvisioned
+        ));
+    }
+}

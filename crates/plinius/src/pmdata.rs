@@ -1,0 +1,292 @@
+//! The PM-data module (Fig. 4/5, §V "Initial dataset loading to PM"): encrypted,
+//! byte-addressable training data resident in persistent memory.
+//!
+//! Training data is loaded into PM *once*; afterwards it stays there across crashes and
+//! restarts, so recovery never has to re-read the dataset from secondary storage. Every
+//! sample (image + one-hot label) is stored as an individually sealed AES-GCM blob so the
+//! training loop can decrypt exactly the batch it needs into enclave memory.
+
+use crate::{PliniusContext, PliniusError};
+use plinius_crypto::{SealedBuffer, SEAL_OVERHEAD};
+use plinius_darknet::Dataset;
+use plinius_romulus::PmPtr;
+use rand::Rng;
+
+/// Root-directory slot holding the PM dataset header.
+pub const ROOT_DATASET: usize = 1;
+
+/// Persistent header layout: `[samples][inputs][classes][sealed_len][block_ptr]`.
+const HEADER_BYTES: usize = 40;
+
+/// Handle to the encrypted training dataset resident in PM.
+#[derive(Debug, Clone)]
+pub struct PmDataset {
+    header: PmPtr,
+    block: PmPtr,
+    samples: usize,
+    inputs: usize,
+    classes: usize,
+    sealed_len: usize,
+}
+
+impl PmDataset {
+    /// Whether a dataset has already been loaded into the context's PM pool.
+    pub fn exists(ctx: &PliniusContext) -> bool {
+        matches!(ctx.romulus().root(ROOT_DATASET), Ok(p) if !p.is_null())
+    }
+
+    /// Loads (encrypts and copies) a dataset into PM — the `ocall_load_data_in_pm` +
+    /// PM-data-module path of Algorithm 2, executed once per deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::KeyNotProvisioned`] without a model key, or Romulus errors
+    /// (e.g. the PM pool is too small for the dataset).
+    pub fn load(ctx: &PliniusContext, dataset: &Dataset) -> Result<Self, PliniusError> {
+        let key = ctx.key()?;
+        let mut rng = ctx.enclave_rng();
+        let plain_len = (dataset.inputs() + dataset.classes()) * 4;
+        let sealed_len = plain_len + SEAL_OVERHEAD;
+        // The untrusted helper reads the (already encrypted at rest) data from storage
+        // into DRAM and hands its address to the enclave via an ecall; here that step is
+        // the ocall/ecall pair bracketing the PM copy.
+        ctx.enclave().ocall("load_initial_data", || ())?;
+        let samples = dataset.len();
+        let mut header = PmPtr::NULL;
+        let mut block = PmPtr::NULL;
+        ctx.enclave().ecall("load_data_in_pm", || ())?;
+        ctx.romulus().transaction(|tx| {
+            header = tx.alloc(HEADER_BYTES)?;
+            block = tx.alloc(samples * sealed_len)?;
+            tx.write_u64(header, samples as u64)?;
+            tx.write_u64(header.add(8), dataset.inputs() as u64)?;
+            tx.write_u64(header.add(16), dataset.classes() as u64)?;
+            tx.write_u64(header.add(24), sealed_len as u64)?;
+            tx.write_u64(header.add(32), block.offset())?;
+            Ok(())
+        })?;
+        // Encrypt and persist the samples in chunks of transactions so the volatile log
+        // stays bounded (the data block itself was allocated above).
+        const CHUNK: usize = 256;
+        let mut index = 0usize;
+        while index < samples {
+            let end = (index + CHUNK).min(samples);
+            let mut sealed_chunk = Vec::with_capacity(end - index);
+            for i in index..end {
+                let plaintext = dataset.sample_bytes(i);
+                ctx.enclave().charge_crypto(plaintext.len() as u64);
+                let aad = format!("sample{i}");
+                let blob = SealedBuffer::seal_with_aad(&key, &plaintext, aad.as_bytes(), &mut rng)?;
+                sealed_chunk.push(blob.into_bytes());
+            }
+            ctx.romulus().transaction(|tx| {
+                for (offset_in_chunk, blob) in sealed_chunk.iter().enumerate() {
+                    let i = index + offset_in_chunk;
+                    tx.write_bytes(block.add((i * sealed_len) as u64), blob)?;
+                }
+                Ok(())
+            })?;
+            index = end;
+        }
+        // Publish the dataset root only after all samples are durable.
+        ctx.romulus().transaction(|tx| tx.set_root(ROOT_DATASET, header))?;
+        Ok(PmDataset {
+            header,
+            block,
+            samples,
+            inputs: dataset.inputs(),
+            classes: dataset.classes(),
+            sealed_len,
+        })
+    }
+
+    /// Opens the dataset already resident in PM (after a restart).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::NoPmDataset`] if no dataset was loaded.
+    pub fn open(ctx: &PliniusContext) -> Result<Self, PliniusError> {
+        let header = ctx.romulus().root(ROOT_DATASET)?;
+        if header.is_null() {
+            return Err(PliniusError::NoPmDataset);
+        }
+        let rom = ctx.romulus();
+        Ok(PmDataset {
+            header,
+            block: PmPtr::from_offset(rom.read_u64(header.add(32))?),
+            samples: rom.read_u64(header)? as usize,
+            inputs: rom.read_u64(header.add(8))? as usize,
+            classes: rom.read_u64(header.add(16))? as usize,
+            sealed_len: rom.read_u64(header.add(24))? as usize,
+        })
+    }
+
+    /// Persistent location of the dataset header in PM.
+    pub fn header_ptr(&self) -> PmPtr {
+        self.header
+    }
+
+    /// Number of samples resident in PM.
+    pub fn len(&self) -> usize {
+        self.samples
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Inputs per sample.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total encrypted bytes occupied in PM.
+    pub fn pm_bytes(&self) -> usize {
+        self.samples * self.sealed_len + HEADER_BYTES
+    }
+
+    /// Reads and decrypts one sample into enclave memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an authentication error if the PM copy was tampered with, or
+    /// [`PliniusError::MirrorMismatch`] for an index out of range.
+    pub fn sample(&self, ctx: &PliniusContext, index: usize) -> Result<(Vec<f32>, Vec<f32>), PliniusError> {
+        if index >= self.samples {
+            return Err(PliniusError::MirrorMismatch(format!(
+                "sample index {index} out of range ({} samples)",
+                self.samples
+            )));
+        }
+        let key = ctx.key()?;
+        let blob = ctx
+            .romulus()
+            .read_bytes(self.block.add((index * self.sealed_len) as u64), self.sealed_len)?;
+        ctx.enclave().charge_crypto(blob.len() as u64);
+        let aad = format!("sample{index}");
+        let plaintext = SealedBuffer::from_bytes(blob)?.open_with_aad(&key, aad.as_bytes())?;
+        ctx.enclave().charge_data_staging(plaintext.len() as u64);
+        Dataset::sample_from_bytes(self.inputs, self.classes, &plaintext).map_err(PliniusError::from)
+    }
+
+    /// Decrypts a batch of `batch` random samples into contiguous `(images, labels)`
+    /// buffers — the `decrypt_pm_data(batch_size)` step of Algorithm 2.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PmDataset::sample`].
+    pub fn decrypt_batch<R: Rng>(
+        &self,
+        ctx: &PliniusContext,
+        batch: usize,
+        rng: &mut R,
+    ) -> Result<(Vec<f32>, Vec<f32>), PliniusError> {
+        let mut images = Vec::with_capacity(batch * self.inputs);
+        let mut labels = Vec::with_capacity(batch * self.classes);
+        for _ in 0..batch {
+            let index = rng.gen_range(0..self.samples);
+            let (img, lbl) = self.sample(ctx, index)?;
+            images.extend_from_slice(&img);
+            labels.extend_from_slice(&lbl);
+        }
+        Ok((images, labels))
+    }
+
+    /// Reads a batch of *plaintext* samples directly (no decryption), used by the Fig. 8
+    /// baseline that trains from unencrypted PM data.
+    ///
+    /// This still charges the PM-read and staging costs, only the AES-GCM work is
+    /// skipped; the data stored in PM remains encrypted, so this path is only meaningful
+    /// for the performance comparison (it re-reads from the plaintext dataset kept by the
+    /// caller).
+    pub fn staging_cost_only(&self, ctx: &PliniusContext, batch: usize) {
+        let plain_len = (self.inputs + self.classes) * 4;
+        ctx.enclave().charge_data_staging((batch * plain_len) as u64);
+        ctx.enclave().charge_pm_read((batch * plain_len) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plinius_crypto::Key;
+    use plinius_darknet::synthetic_images;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_with_key() -> PliniusContext {
+        let ctx = PliniusContext::small_test(16 * 1024 * 1024);
+        let mut rng = StdRng::seed_from_u64(5);
+        ctx.provision_key_directly(Key::generate_128(&mut rng));
+        ctx
+    }
+
+    #[test]
+    fn load_and_read_back_samples() {
+        let ctx = ctx_with_key();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = synthetic_images(40, 8, 8, 3, 0.1, &mut rng);
+        assert!(!PmDataset::exists(&ctx));
+        let pm = PmDataset::load(&ctx, &data).unwrap();
+        assert!(PmDataset::exists(&ctx));
+        assert_eq!(pm.len(), 40);
+        assert_eq!(pm.inputs(), 64);
+        assert_eq!(pm.classes(), 3);
+        assert!(pm.pm_bytes() > 40 * 64 * 4);
+        for i in [0usize, 13, 39] {
+            let (img, lbl) = pm.sample(&ctx, i).unwrap();
+            assert_eq!(img, data.image(i));
+            assert_eq!(lbl, data.label(i));
+        }
+        assert!(pm.sample(&ctx, 40).is_err());
+    }
+
+    #[test]
+    fn batches_have_correct_shape() {
+        let ctx = ctx_with_key();
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = synthetic_images(20, 6, 6, 4, 0.1, &mut rng);
+        let pm = PmDataset::load(&ctx, &data).unwrap();
+        let (images, labels) = pm.decrypt_batch(&ctx, 8, &mut rng).unwrap();
+        assert_eq!(images.len(), 8 * 36);
+        assert_eq!(labels.len(), 8 * 4);
+        // Every label row is one-hot.
+        for row in labels.chunks(4) {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        }
+        pm.staging_cost_only(&ctx, 8);
+    }
+
+    #[test]
+    fn dataset_survives_reopen_and_requires_key() {
+        let ctx = ctx_with_key();
+        let key = ctx.key().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = synthetic_images(10, 5, 5, 2, 0.1, &mut rng);
+        PmDataset::load(&ctx, &data).unwrap();
+        let pool = ctx.pool().clone();
+        drop(ctx);
+        let ctx2 = PliniusContext::open(pool, sim_clock::CostModel::sgx_eml_pm()).unwrap();
+        // Without the key the data cannot be decrypted.
+        let pm2 = PmDataset::open(&ctx2).unwrap();
+        assert!(pm2.sample(&ctx2, 0).is_err());
+        ctx2.provision_key_directly(key);
+        let (img, _) = pm2.sample(&ctx2, 0).unwrap();
+        assert_eq!(img, data.image(0));
+    }
+
+    #[test]
+    fn open_without_dataset_errors() {
+        let ctx = ctx_with_key();
+        assert!(matches!(
+            PmDataset::open(&ctx).unwrap_err(),
+            PliniusError::NoPmDataset
+        ));
+    }
+}

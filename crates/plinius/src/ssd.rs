@@ -1,0 +1,319 @@
+//! The baseline Plinius is compared against in Fig. 7 / Table I: encrypted model
+//! checkpoints on secondary storage (SSD), written through `fwrite`/`fsync` ocalls and
+//! read back with `fread` ocalls — "the state-of-the-art method for fault tolerance".
+
+use crate::{bytes_to_f32s, f32s_to_bytes, PliniusContext, PliniusError};
+use plinius_crypto::SealedBuffer;
+use plinius_darknet::Network;
+use plinius_storage::{CheckpointBlob, CheckpointCodec, SimFileSystem};
+use sim_clock::SimSpan;
+
+/// Report of one SSD checkpoint save (encrypt + write-to-SSD).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdSaveReport {
+    /// Time spent encrypting inside the enclave.
+    pub encrypt: SimSpan,
+    /// Time spent writing to the SSD (ocalls + fwrite + fsync).
+    pub write: SimSpan,
+    /// Plaintext model bytes checkpointed.
+    pub model_bytes: usize,
+}
+
+impl SsdSaveReport {
+    /// Total simulated save latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.encrypt.millis() + self.write.millis()
+    }
+}
+
+/// Report of one SSD checkpoint restore (read-from-SSD + decrypt).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdRestoreReport {
+    /// Time spent reading the checkpoint from the SSD into the enclave.
+    pub read: SimSpan,
+    /// Time spent decrypting inside the enclave.
+    pub decrypt: SimSpan,
+    /// Iteration recovered from the checkpoint.
+    pub iteration: u64,
+    /// Plaintext model bytes restored.
+    pub model_bytes: usize,
+}
+
+impl SsdRestoreReport {
+    /// Total simulated restore latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.read.millis() + self.decrypt.millis()
+    }
+}
+
+/// Encrypted model checkpointing on a (simulated) SSD.
+#[derive(Debug, Clone)]
+pub struct SsdCheckpointer {
+    fs: SimFileSystem,
+    path: String,
+}
+
+impl SsdCheckpointer {
+    /// Creates a checkpointer writing to `path` on the given file system. The file system
+    /// should share the context's clock (see [`SsdCheckpointer::on_shared_clock`]).
+    pub fn new(fs: SimFileSystem, path: impl Into<String>) -> Self {
+        SsdCheckpointer {
+            fs,
+            path: path.into(),
+        }
+    }
+
+    /// Convenience: creates a checkpointer whose simulated SSD charges costs to the same
+    /// clock as `ctx`, which is what the Fig. 7 comparison requires.
+    pub fn on_shared_clock(ctx: &PliniusContext, path: impl Into<String>) -> Self {
+        let fs = SimFileSystem::with_settings(
+            ctx.cost_model().clone(),
+            plinius_storage::StorageProfile::Ssd,
+            ctx.clock(),
+            ctx.stats(),
+        );
+        Self::new(fs, path)
+    }
+
+    /// The underlying simulated file system.
+    pub fn filesystem(&self) -> &SimFileSystem {
+        &self.fs
+    }
+
+    /// Whether a checkpoint file exists.
+    pub fn exists(&self) -> bool {
+        self.fs.exists(&self.path)
+    }
+
+    /// Saves an encrypted checkpoint of `network` to the SSD: encrypt every parameter
+    /// tensor in the enclave, then `fwrite` the blob through ocalls, flush and `fsync`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::KeyNotProvisioned`] without a model key, or storage/SGX
+    /// errors from the write path.
+    pub fn save(&self, ctx: &PliniusContext, network: &Network) -> Result<SsdSaveReport, PliniusError> {
+        let key = ctx.key()?;
+        let clock = ctx.clock();
+        let mut rng = ctx.enclave_rng();
+        let mut model_bytes = 0usize;
+        // Phase 1: in-enclave encryption (identical to the mirror-out encryption phase).
+        let (blob, encrypt) = SimSpan::record(&clock, || -> Result<CheckpointBlob, PliniusError> {
+            let mut layers = Vec::new();
+            for (i, layer) in network.layers().iter().filter(|l| l.is_trainable()).enumerate() {
+                let mut tensors = Vec::new();
+                for (j, param) in layer.params().iter().enumerate() {
+                    let plaintext = f32s_to_bytes(param.data);
+                    model_bytes += plaintext.len();
+                    ctx.enclave().charge_crypto(plaintext.len() as u64);
+                    let aad = format!("layer{i}-tensor{j}");
+                    tensors.push(
+                        SealedBuffer::seal_with_aad(&key, &plaintext, aad.as_bytes(), &mut rng)?
+                            .into_bytes(),
+                    );
+                }
+                layers.push(tensors);
+            }
+            Ok(CheckpointBlob {
+                iteration: network.iteration(),
+                layers,
+            })
+        });
+        let blob = blob?;
+        // Phase 2: serialisation + fwrite ocalls + fsync.
+        let ((), write) = SimSpan::record(&clock, || {
+            let encoded = CheckpointCodec::encode(&blob);
+            self.fs.create(&self.path);
+            // The baseline writes layer by layer, each through an ocall, flushing libc
+            // buffers and issuing an fsync after the writes (as described in §VI).
+            let _ = ctx.enclave().ocall("fwrite_checkpoint", || {
+                for chunk in encoded.chunks(1 << 20) {
+                    self.fs.write(&self.path, chunk);
+                }
+            });
+            let _ = ctx.enclave().ocall("fsync_checkpoint", || {
+                let _ = self.fs.fsync(&self.path);
+            });
+        });
+        Ok(SsdSaveReport {
+            encrypt,
+            write,
+            model_bytes,
+        })
+    }
+
+    /// Restores a checkpoint from the SSD into `network`: `fread` the blob through
+    /// ocalls into the enclave, then decrypt and install the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::NoMirrorModel`] if no checkpoint exists, authentication
+    /// errors if it was tampered with, or a mismatch error if the model differs.
+    pub fn restore(
+        &self,
+        ctx: &PliniusContext,
+        network: &mut Network,
+    ) -> Result<SsdRestoreReport, PliniusError> {
+        if !self.exists() {
+            return Err(PliniusError::NoMirrorModel);
+        }
+        let key = ctx.key()?;
+        let clock = ctx.clock();
+        // Phase 1: read the whole checkpoint from the SSD into enclave memory.
+        let (encoded, read) = SimSpan::record(&clock, || -> Result<Vec<u8>, PliniusError> {
+            let bytes = ctx
+                .enclave()
+                .ocall("fread_checkpoint", || self.fs.read_all(&self.path))??;
+            // Copying the checkpoint into the enclave pays the EPC paging penalty when
+            // the model does not fit in the EPC (same mechanism as PM reads).
+            let penalty = ctx
+                .cost_model()
+                .epc_paging_penalty_ns(bytes.len() as u64, ctx.enclave().working_set());
+            ctx.clock().advance_ns(penalty);
+            Ok(bytes)
+        });
+        let encoded = encoded?;
+        // Phase 2: decrypt and install.
+        let (out, decrypt) = SimSpan::record(&clock, || -> Result<(u64, usize), PliniusError> {
+            let blob = CheckpointCodec::decode(&encoded)?;
+            let mut model_bytes = 0usize;
+            let mut node_idx = 0usize;
+            for layer in network.layers_mut().iter_mut() {
+                if !layer.is_trainable() {
+                    continue;
+                }
+                let Some(tensors_enc) = blob.layers.get(node_idx) else {
+                    return Err(PliniusError::MirrorMismatch(
+                        "checkpoint has fewer layers than the enclave model".into(),
+                    ));
+                };
+                let mut tensors = Vec::with_capacity(tensors_enc.len());
+                for (j, enc) in tensors_enc.iter().enumerate() {
+                    ctx.enclave().charge_crypto(enc.len() as u64);
+                    let aad = format!("layer{node_idx}-tensor{j}");
+                    let plaintext =
+                        SealedBuffer::from_bytes(enc.clone())?.open_with_aad(&key, aad.as_bytes())?;
+                    model_bytes += plaintext.len();
+                    tensors.push(bytes_to_f32s(&plaintext)?);
+                }
+                layer.set_params(&tensors);
+                node_idx += 1;
+            }
+            if node_idx != blob.num_layers() {
+                return Err(PliniusError::MirrorMismatch(
+                    "checkpoint has more layers than the enclave model".into(),
+                ));
+            }
+            Ok((blob.iteration, model_bytes))
+        });
+        let (iteration, model_bytes) = out?;
+        network.set_iteration(iteration);
+        Ok(SsdRestoreReport {
+            read,
+            decrypt,
+            iteration,
+            model_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mirror::MirrorModel;
+    use plinius_crypto::Key;
+    use plinius_darknet::config::{build_network, mnist_cnn_config};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_with_key() -> PliniusContext {
+        let ctx = PliniusContext::small_test(16 * 1024 * 1024);
+        let mut rng = StdRng::seed_from_u64(17);
+        ctx.provision_key_directly(Key::generate_128(&mut rng));
+        ctx
+    }
+
+    fn network(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        build_network(&mnist_cnn_config(2, 4, 4), &mut rng).unwrap()
+    }
+
+    fn weights(net: &Network) -> Vec<f32> {
+        net.layers()
+            .iter()
+            .filter(|l| l.is_trainable())
+            .flat_map(|l| l.params()[0].data.to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        let ctx = ctx_with_key();
+        let ckpt = SsdCheckpointer::on_shared_clock(&ctx, "model.ckpt");
+        let mut net = network(1);
+        net.set_iteration(99);
+        assert!(!ckpt.exists());
+        let save = ckpt.save(&ctx, &net).unwrap();
+        assert!(ckpt.exists());
+        assert!(save.total_ms() > 0.0);
+        let mut restored = network(2);
+        let report = ckpt.restore(&ctx, &mut restored).unwrap();
+        assert_eq!(report.iteration, 99);
+        assert_eq!(weights(&restored), weights(&net));
+        assert_eq!(report.model_bytes, save.model_bytes);
+        // The baseline path really went through ocalls and an fsync.
+        assert!(ctx.stats().value("sgx.ocall.fwrite_checkpoint") >= 1);
+        assert_eq!(ctx.stats().value("fs.fsyncs"), 1);
+    }
+
+    #[test]
+    fn restore_without_checkpoint_errors() {
+        let ctx = ctx_with_key();
+        let ckpt = SsdCheckpointer::on_shared_clock(&ctx, "missing.ckpt");
+        let mut net = network(3);
+        assert!(matches!(
+            ckpt.restore(&ctx, &mut net).unwrap_err(),
+            PliniusError::NoMirrorModel
+        ));
+    }
+
+    #[test]
+    fn ssd_save_is_slower_than_pm_mirror_for_the_same_model() {
+        // The headline result: mirroring to PM beats SSD checkpointing.
+        let ctx = ctx_with_key();
+        let net = network(4);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        let pm_save = mirror.mirror_out(&ctx, &net).unwrap();
+        let ckpt = SsdCheckpointer::on_shared_clock(&ctx, "model.ckpt");
+        let ssd_save = ckpt.save(&ctx, &net).unwrap();
+        assert!(
+            ssd_save.total_ms() > pm_save.total_ms(),
+            "ssd {} ms vs pm {} ms",
+            ssd_save.total_ms(),
+            pm_save.total_ms()
+        );
+        // Restores too.
+        let mut a = network(5);
+        let mut b = network(6);
+        let pm_restore = mirror.mirror_in(&ctx, &mut a).unwrap();
+        let ssd_restore = ckpt.restore(&ctx, &mut b).unwrap();
+        assert!(ssd_restore.total_ms() > pm_restore.total_ms());
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_rejected() {
+        let ctx = ctx_with_key();
+        let ckpt = SsdCheckpointer::on_shared_clock(&ctx, "model.ckpt");
+        let net = network(7);
+        ckpt.save(&ctx, &net).unwrap();
+        // Corrupt a byte in the middle of the stored file (inside some tensor payload).
+        let raw = ckpt.filesystem().read_all("model.ckpt").unwrap();
+        let mut corrupted = raw.clone();
+        let idx = raw.len() / 2;
+        corrupted[idx] ^= 0x01;
+        ckpt.filesystem().create("model.ckpt");
+        ckpt.filesystem().write("model.ckpt", &corrupted);
+        let mut restored = network(8);
+        assert!(ckpt.restore(&ctx, &mut restored).is_err());
+    }
+}

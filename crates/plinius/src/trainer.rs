@@ -1,0 +1,522 @@
+//! The training driver (Algorithm 2): the train-and-mirror loop, crash/resume
+//! orchestration (Fig. 9) and spot-instance-driven training (Fig. 10).
+
+use crate::mirror::MirrorModel;
+use crate::pmdata::PmDataset;
+use crate::ssd::SsdCheckpointer;
+use crate::{PliniusContext, PliniusError};
+use plinius_crypto::Key;
+use plinius_darknet::config::build_network;
+use plinius_darknet::{Dataset, Network};
+use plinius_pmem::CrashMode;
+use plinius_spot::SpotSimulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_clock::CostModel;
+
+/// Where (and whether) the model state is persisted during training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistenceBackend {
+    /// Plinius' mirroring mechanism: encrypted mirror copies on PM.
+    PmMirror,
+    /// The baseline: encrypted checkpoints on the SSD at the given path.
+    SsdCheckpoint(String),
+    /// No persistence (the "non-crash-resilient system" of Fig. 9b / Fig. 10c).
+    None,
+}
+
+/// Configuration of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Batch size per iteration.
+    pub batch: usize,
+    /// Train until the model's iteration counter reaches this value (`MAX_ITER`).
+    pub max_iterations: u64,
+    /// Mirror/checkpoint after every `mirror_frequency` iterations (1 in the paper).
+    pub mirror_frequency: u64,
+    /// Persistence backend.
+    pub backend: PersistenceBackend,
+    /// Whether training data is read encrypted from PM (true, the Plinius path) or used
+    /// unencrypted (the Fig. 8 comparison baseline).
+    pub encrypted_data: bool,
+    /// RNG seed for batch sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            batch: 128,
+            max_iterations: 500,
+            mirror_frequency: 1,
+            backend: PersistenceBackend::PmMirror,
+            encrypted_data: true,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Outcome of a (possibly resumed) training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingReport {
+    /// `(iteration, loss)` for every iteration executed by this run.
+    pub losses: Vec<(u64, f32)>,
+    /// The model's iteration counter at the end of the run.
+    pub final_iteration: u64,
+    /// Simulated nanoseconds consumed by this run.
+    pub simulated_ns: u64,
+}
+
+impl TrainingReport {
+    /// Loss of the last executed iteration, if any.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.losses.last().map(|(_, l)| *l)
+    }
+}
+
+/// The Plinius training driver bound to one context, one enclave model and the PM-resident
+/// training data.
+#[derive(Debug)]
+pub struct PliniusTrainer {
+    ctx: PliniusContext,
+    network: Network,
+    pm_data: PmDataset,
+    plain_data: Option<Dataset>,
+    mirror: Option<MirrorModel>,
+    ssd: Option<SsdCheckpointer>,
+    config: TrainerConfig,
+    rng: StdRng,
+}
+
+impl PliniusTrainer {
+    /// Creates a trainer (lines 2–12 of Algorithm 2): registers the enclave model's
+    /// memory, opens the PM dataset, and either restores the model from the configured
+    /// backend (if a persisted copy exists) or allocates a fresh mirror.
+    ///
+    /// `plain_data` is only needed when `config.encrypted_data` is false (the Fig. 8
+    /// plaintext baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::NoPmDataset`] if no dataset was loaded into PM, or any
+    /// restore/allocation error from the backend.
+    pub fn new(
+        ctx: PliniusContext,
+        mut network: Network,
+        config: TrainerConfig,
+        plain_data: Option<Dataset>,
+    ) -> Result<Self, PliniusError> {
+        let pm_data = PmDataset::open(&ctx)?;
+        // The enclave model and its training buffers occupy trusted memory; this is what
+        // pushes large models past the EPC limit.
+        ctx.enclave()
+            .alloc_trusted((network.model_bytes() * 2) as u64)
+            .map_err(PliniusError::from)?;
+        let mut mirror = None;
+        let mut ssd = None;
+        match &config.backend {
+            PersistenceBackend::PmMirror => {
+                if MirrorModel::exists(&ctx) {
+                    let m = MirrorModel::open(&ctx)?;
+                    m.mirror_in(&ctx, &mut network)?;
+                    mirror = Some(m);
+                } else {
+                    mirror = Some(MirrorModel::allocate(&ctx, &network)?);
+                }
+            }
+            PersistenceBackend::SsdCheckpoint(path) => {
+                let ckpt = SsdCheckpointer::on_shared_clock(&ctx, path.clone());
+                if ckpt.exists() {
+                    ckpt.restore(&ctx, &mut network)?;
+                }
+                ssd = Some(ckpt);
+            }
+            PersistenceBackend::None => {}
+        }
+        let rng = StdRng::seed_from_u64(config.seed ^ network.iteration());
+        Ok(PliniusTrainer {
+            ctx,
+            network,
+            pm_data,
+            plain_data,
+            mirror,
+            ssd,
+            config,
+            rng,
+        })
+    }
+
+    /// The enclave model being trained.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The training context.
+    pub fn context(&self) -> &PliniusContext {
+        &self.ctx
+    }
+
+    /// The model's current iteration counter.
+    pub fn iteration(&self) -> u64 {
+        self.network.iteration()
+    }
+
+    /// Whether the model has reached `max_iterations`.
+    pub fn is_done(&self) -> bool {
+        self.network.iteration() >= self.config.max_iterations
+    }
+
+    /// Executes one training iteration (lines 13–17 of Algorithm 2) and returns its loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-decryption, training and mirroring errors.
+    pub fn step(&mut self) -> Result<f32, PliniusError> {
+        let batch = self.config.batch;
+        // Fetch a batch: decrypt it from PM (Plinius) or read plaintext (baseline).
+        let (images, labels) = if self.config.encrypted_data {
+            self.pm_data.decrypt_batch(&self.ctx, batch, &mut self.rng)?
+        } else {
+            self.pm_data.staging_cost_only(&self.ctx, batch);
+            let data = self
+                .plain_data
+                .as_ref()
+                .ok_or(PliniusError::NoPmDataset)?;
+            Ok::<_, PliniusError>(data.random_batch(batch, &mut self.rng))?
+        };
+        // Train for one iteration inside the enclave, charging the modeled compute cost.
+        let flops = self.network.flops_per_sample() * batch as u64;
+        self.ctx.enclave().charge_compute(flops);
+        let loss = self
+            .ctx
+            .enclave()
+            .ecall("train_iteration", || self.network.train_batch(&images, &labels, batch))??;
+        // Mirror-out / checkpoint according to the configured frequency.
+        if self.network.iteration() % self.config.mirror_frequency == 0 {
+            if let Some(mirror) = &self.mirror {
+                mirror.mirror_out(&self.ctx, &self.network)?;
+            }
+            if let Some(ssd) = &self.ssd {
+                ssd.save(&self.ctx, &self.network)?;
+            }
+        }
+        Ok(loss)
+    }
+
+    /// Runs until `max_iterations` is reached (the full Algorithm 2 loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error of any iteration.
+    pub fn run(&mut self) -> Result<TrainingReport, PliniusError> {
+        self.run_at_most(u64::MAX)
+    }
+
+    /// Runs at most `limit` iterations (used by the crash and spot schedulers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error of any iteration.
+    pub fn run_at_most(&mut self, limit: u64) -> Result<TrainingReport, PliniusError> {
+        let start_ns = self.ctx.clock().now_ns();
+        let mut losses = Vec::new();
+        let mut executed = 0u64;
+        while !self.is_done() && executed < limit {
+            let loss = self.step()?;
+            losses.push((self.network.iteration(), loss));
+            executed += 1;
+        }
+        Ok(TrainingReport {
+            losses,
+            final_iteration: self.network.iteration(),
+            simulated_ns: self.ctx.clock().now_ns() - start_ns,
+        })
+    }
+
+    /// Classification accuracy of the current enclave model over `dataset` (secure
+    /// inference, §VI).
+    pub fn accuracy(&mut self, dataset: &Dataset) -> f32 {
+        self.network.accuracy(dataset)
+    }
+}
+
+/// Shared description of a training deployment, used by the crash/spot drivers, the full
+/// workflow and the benchmark harnesses.
+#[derive(Debug, Clone)]
+pub struct TrainingSetup {
+    /// Hardware cost model (server profile).
+    pub cost: CostModel,
+    /// Size of the PM pool in bytes.
+    pub pm_bytes: usize,
+    /// Darknet configuration text of the model.
+    pub model_config: String,
+    /// The training dataset (loaded into PM once).
+    pub dataset: Dataset,
+    /// Trainer configuration.
+    pub trainer: TrainerConfig,
+    /// Model/weight initialisation seed.
+    pub model_seed: u64,
+}
+
+impl TrainingSetup {
+    /// A very small setup for tests and doc examples (tiny CNN, tiny synthetic dataset).
+    pub fn small_test() -> Self {
+        let mut rng = StdRng::seed_from_u64(7);
+        TrainingSetup {
+            cost: CostModel::sgx_eml_pm(),
+            pm_bytes: 32 * 1024 * 1024,
+            model_config: plinius_darknet::mnist_cnn_config(2, 4, 8),
+            dataset: plinius_darknet::synthetic_mnist(96, &mut rng),
+            trainer: TrainerConfig {
+                batch: 8,
+                max_iterations: 12,
+                mirror_frequency: 1,
+                backend: PersistenceBackend::PmMirror,
+                encrypted_data: true,
+                seed: 1,
+            },
+            model_seed: 3,
+        }
+    }
+
+    /// Builds the enclave model described by this setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration-parsing errors.
+    pub fn build_network(&self) -> Result<Network, PliniusError> {
+        let mut rng = StdRng::seed_from_u64(self.model_seed);
+        build_network(&self.model_config, &mut rng).map_err(PliniusError::from)
+    }
+}
+
+/// Result of a crash-interrupted training run (Figs. 9 and 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashRunReport {
+    /// Loss of every executed iteration, in global execution order (including iterations
+    /// wasted by a non-resilient system after restarts).
+    pub losses: Vec<f32>,
+    /// The model's final iteration counter.
+    pub completed_iteration: u64,
+    /// Total iterations executed across all restarts.
+    pub total_iterations_executed: u64,
+    /// Number of crashes injected.
+    pub crashes: usize,
+}
+
+/// Runs a training job that is killed (crashed) after the given numbers of *executed*
+/// iterations and restarted each time, as in the Fig. 9 experiment.
+///
+/// With `resilient = true` the Plinius mirroring mechanism persists and restores the
+/// model, so training resumes where it left off; with `resilient = false` nothing is
+/// persisted and every restart begins from freshly initialised weights (the paper's
+/// non-crash-resilient comparison).
+///
+/// # Errors
+///
+/// Propagates errors from any phase of any segment.
+pub fn train_with_crash_schedule(
+    setup: &TrainingSetup,
+    crash_after: &[u64],
+    resilient: bool,
+) -> Result<CrashRunReport, PliniusError> {
+    let mut rng = StdRng::seed_from_u64(setup.trainer.seed);
+    let key = Key::generate_128(&mut rng);
+    // Initial deployment: create the pool, provision the key, load the data once.
+    let ctx = PliniusContext::create(setup.cost.clone(), setup.pm_bytes)?;
+    ctx.provision_key_directly(key.clone());
+    PmDataset::load(&ctx, &setup.dataset)?;
+    let pool = ctx.pool().clone();
+    drop(ctx);
+
+    let mut losses = Vec::new();
+    let mut executed = 0u64;
+    let mut crashes = 0usize;
+    let mut crash_points = crash_after.iter().copied().collect::<Vec<u64>>();
+    crash_points.sort_unstable();
+    let mut completed_iteration;
+    loop {
+        // (Re)open the deployment over the surviving PM pool.
+        let ctx = PliniusContext::open(pool.clone(), setup.cost.clone())?;
+        ctx.provision_key_directly(key.clone());
+        let backend = if resilient {
+            PersistenceBackend::PmMirror
+        } else {
+            PersistenceBackend::None
+        };
+        let mut config = setup.trainer.clone();
+        config.backend = backend;
+        config.seed = setup.trainer.seed ^ executed;
+        let network = setup.build_network()?;
+        let mut trainer = PliniusTrainer::new(ctx, network, config, Some(setup.dataset.clone()))?;
+        // Run until the next crash point or completion.
+        let next_crash = crash_points.iter().find(|&&p| p > executed).copied();
+        let limit = match next_crash {
+            Some(p) => p - executed,
+            None => u64::MAX,
+        };
+        let report = trainer.run_at_most(limit)?;
+        executed += report.losses.len() as u64;
+        losses.extend(report.losses.iter().map(|(_, l)| *l));
+        completed_iteration = report.final_iteration;
+        if trainer.is_done() {
+            break;
+        }
+        // Kill the process: volatile state (enclave model, caches) is lost; whatever was
+        // not flushed to PM is dropped.
+        crashes += 1;
+        let mut crash_rng = StdRng::seed_from_u64(executed);
+        pool.crash(&mut crash_rng, CrashMode::DropUnflushed);
+        // Safety valve for the non-resilient run: it can in principle never finish if
+        // crashes are too frequent; cap the total work at 20x the target.
+        if executed > setup.trainer.max_iterations * 20 {
+            break;
+        }
+    }
+    Ok(CrashRunReport {
+        losses,
+        completed_iteration,
+        total_iterations_executed: executed,
+        crashes,
+    })
+}
+
+/// Converts a spot-instance state curve into a crash schedule: training executes
+/// `iterations_per_step` iterations during every 5-minute step in which the instance is
+/// running, and is killed at every running-to-stopped transition (Fig. 10).
+pub fn spot_crash_schedule(sim: &SpotSimulator, iterations_per_step: u64) -> Vec<u64> {
+    let mut schedule = Vec::new();
+    let mut executed = 0u64;
+    let curve = sim.state_curve();
+    for window in curve.windows(2) {
+        if window[0].running {
+            executed += iterations_per_step;
+            if !window[1].running {
+                schedule.push(executed);
+            }
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plinius_spot::SpotTrace;
+
+    fn setup() -> TrainingSetup {
+        TrainingSetup::small_test()
+    }
+
+    fn deploy(setup: &TrainingSetup) -> (PliniusContext, Key) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let key = Key::generate_128(&mut rng);
+        let ctx = PliniusContext::create(setup.cost.clone(), setup.pm_bytes).unwrap();
+        ctx.provision_key_directly(key.clone());
+        PmDataset::load(&ctx, &setup.dataset).unwrap();
+        (ctx, key)
+    }
+
+    #[test]
+    fn training_loop_runs_and_mirrors_every_iteration() {
+        let setup = setup();
+        let (ctx, _key) = deploy(&setup);
+        let network = setup.build_network().unwrap();
+        let mut trainer =
+            PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        let report = trainer.run().unwrap();
+        assert_eq!(report.final_iteration, setup.trainer.max_iterations);
+        assert_eq!(report.losses.len(), setup.trainer.max_iterations as usize);
+        assert!(report.final_loss().unwrap().is_finite());
+        assert!(report.simulated_ns > 0);
+        assert!(trainer.is_done());
+        // The mirror in PM carries the final iteration counter.
+        let mirror = MirrorModel::open(trainer.context()).unwrap();
+        assert_eq!(
+            mirror.iteration(trainer.context()).unwrap(),
+            setup.trainer.max_iterations
+        );
+    }
+
+    #[test]
+    fn resumed_training_continues_from_mirror() {
+        let setup = setup();
+        let (ctx, key) = deploy(&setup);
+        let network = setup.build_network().unwrap();
+        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        trainer.run_at_most(5).unwrap();
+        assert_eq!(trainer.iteration(), 5);
+        let pool = trainer.context().pool().clone();
+        drop(trainer);
+        // Restart: fresh enclave, fresh model object — training must resume at 5.
+        let ctx2 = PliniusContext::open(pool, setup.cost.clone()).unwrap();
+        ctx2.provision_key_directly(key);
+        let network2 = setup.build_network().unwrap();
+        let mut resumed = PliniusTrainer::new(ctx2, network2, setup.trainer.clone(), None).unwrap();
+        assert_eq!(resumed.iteration(), 5);
+        let report = resumed.run().unwrap();
+        assert_eq!(report.final_iteration, setup.trainer.max_iterations);
+        assert_eq!(
+            report.losses.len() as u64,
+            setup.trainer.max_iterations - 5
+        );
+    }
+
+    #[test]
+    fn crash_schedule_resilient_does_not_repeat_iterations() {
+        let mut setup = setup();
+        setup.trainer.max_iterations = 10;
+        let report = train_with_crash_schedule(&setup, &[3, 7], true).unwrap();
+        assert_eq!(report.crashes, 2);
+        assert_eq!(report.completed_iteration, 10);
+        assert_eq!(report.total_iterations_executed, 10);
+        assert_eq!(report.losses.len(), 10);
+    }
+
+    #[test]
+    fn crash_schedule_non_resilient_wastes_iterations() {
+        let mut setup = setup();
+        setup.trainer.max_iterations = 6;
+        let resilient = train_with_crash_schedule(&setup, &[4], true).unwrap();
+        let fragile = train_with_crash_schedule(&setup, &[4], false).unwrap();
+        assert_eq!(resilient.total_iterations_executed, 6);
+        // The non-resilient run restarts from scratch after the crash: 4 wasted + 6.
+        assert_eq!(fragile.total_iterations_executed, 10);
+        assert_eq!(fragile.completed_iteration, 6);
+        assert_eq!(fragile.crashes, 1);
+    }
+
+    #[test]
+    fn ssd_backend_also_resumes() {
+        let mut setup = setup();
+        setup.trainer.backend = PersistenceBackend::SsdCheckpoint("ckpt.bin".into());
+        setup.trainer.max_iterations = 4;
+        let (ctx, _key) = deploy(&setup);
+        let network = setup.build_network().unwrap();
+        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        let report = trainer.run().unwrap();
+        assert_eq!(report.final_iteration, 4);
+    }
+
+    #[test]
+    fn spot_schedule_matches_interruptions() {
+        let trace = SpotTrace::new(vec![0.09, 0.09, 0.2, 0.09, 0.09, 0.3, 0.09]).unwrap();
+        let sim = SpotSimulator::new(trace, 0.0955);
+        let schedule = spot_crash_schedule(&sim, 10);
+        assert_eq!(schedule, vec![20, 40]);
+    }
+
+    #[test]
+    fn plaintext_data_path_requires_dataset_copy() {
+        let setup = setup();
+        let (ctx, _key) = deploy(&setup);
+        let network = setup.build_network().unwrap();
+        let mut cfg = setup.trainer.clone();
+        cfg.encrypted_data = false;
+        cfg.max_iterations = 2;
+        let mut trainer =
+            PliniusTrainer::new(ctx, network, cfg, Some(setup.dataset.clone())).unwrap();
+        let report = trainer.run().unwrap();
+        assert_eq!(report.final_iteration, 2);
+    }
+}

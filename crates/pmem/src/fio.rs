@@ -1,0 +1,321 @@
+//! FIO-style storage characterization (Fig. 2 of the paper).
+//!
+//! The paper characterises its storage devices by running FIO with sequential and
+//! random read/write workloads over SSD (Ext4), PM (Ext4 + DAX) and a Ramdisk (tmpfs),
+//! with 1–8 threads, a 512 MB file per thread and 4 KB blocks, issuing an `fsync` per
+//! written block. This module reproduces that experiment on the simulated devices: a
+//! [`FioJob`] describes one bar of the figure and [`FioJob::run`] returns the modeled
+//! throughput.
+
+use sim_clock::DeviceKind;
+use std::fmt;
+
+/// Access pattern of a FIO job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Blocks are accessed in increasing offset order.
+    Sequential,
+    /// Blocks are accessed in a uniformly random order.
+    Random,
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Sequential => write!(f, "sequential"),
+            Pattern::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// Direction of a FIO job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read the file.
+    Read,
+    /// Write the file, issuing an fsync after every block (as in the paper).
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Per-device parameters of the FIO model.
+///
+/// These numbers characterise the *devices* of the paper's testbed (an Ext4 SSD, an
+/// Ext4+DAX Optane namespace, and a tmpfs Ramdisk); they are intentionally separate from
+/// the enclave-centric [`sim_clock::CostModel`] constants because Fig. 2 measures raw
+/// device throughput outside any enclave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FioDeviceProfile {
+    /// Per-thread sequential read bandwidth, bytes/s.
+    pub read_bw_per_thread: f64,
+    /// Per-thread sequential write bandwidth, bytes/s.
+    pub write_bw_per_thread: f64,
+    /// Multiplier applied to bandwidth for random access (<= 1.0).
+    pub random_factor: f64,
+    /// Fixed software-stack latency per block operation (syscall, page cache, DAX), ns.
+    pub per_op_latency_ns: f64,
+    /// Cost of an fsync following each written block, ns.
+    pub fsync_ns: f64,
+    /// Aggregate device read bandwidth cap across all threads, bytes/s.
+    pub max_read_bw: f64,
+    /// Aggregate device write bandwidth cap across all threads, bytes/s.
+    pub max_write_bw: f64,
+}
+
+impl FioDeviceProfile {
+    /// Device profile for the given [`DeviceKind`], matching the paper's testbed
+    /// (SATA SSD + Ext4, Optane + Ext4/DAX, DRAM tmpfs).
+    pub fn for_device(device: DeviceKind) -> Self {
+        match device {
+            DeviceKind::Ssd => FioDeviceProfile {
+                read_bw_per_thread: 0.45e9,
+                write_bw_per_thread: 0.40e9,
+                random_factor: 0.55,
+                per_op_latency_ns: 9_000.0,
+                fsync_ns: 180_000.0,
+                max_read_bw: 0.55e9,
+                max_write_bw: 0.50e9,
+            },
+            DeviceKind::PersistentMemory => FioDeviceProfile {
+                read_bw_per_thread: 2.6e9,
+                write_bw_per_thread: 1.2e9,
+                random_factor: 0.80,
+                per_op_latency_ns: 1_100.0,
+                fsync_ns: 2_500.0,
+                max_read_bw: 7.0e9,
+                max_write_bw: 2.5e9,
+            },
+            DeviceKind::Dram => FioDeviceProfile {
+                read_bw_per_thread: 4.5e9,
+                write_bw_per_thread: 3.5e9,
+                random_factor: 0.92,
+                per_op_latency_ns: 700.0,
+                fsync_ns: 800.0,
+                max_read_bw: 22.0e9,
+                max_write_bw: 16.0e9,
+            },
+        }
+    }
+}
+
+/// One FIO measurement point: a device, an access pattern, a direction and a
+/// thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FioJob {
+    /// The device under test.
+    pub device: DeviceKind,
+    /// Sequential or random access.
+    pub pattern: Pattern,
+    /// Read or write (writes fsync after each block).
+    pub op: OpKind,
+    /// Number of concurrent FIO threads (the paper uses 1, 2, 4, 8).
+    pub threads: usize,
+    /// File size per thread in bytes (512 MB in the paper).
+    pub file_size_per_thread: u64,
+    /// Block size in bytes (4 KB in the paper).
+    pub block_size: u64,
+}
+
+impl FioJob {
+    /// Creates a job with the paper's defaults (512 MB per thread, 4 KB blocks).
+    pub fn paper_default(device: DeviceKind, pattern: Pattern, op: OpKind, threads: usize) -> Self {
+        FioJob {
+            device,
+            pattern,
+            op,
+            threads,
+            file_size_per_thread: 512 * 1024 * 1024,
+            block_size: 4 * 1024,
+        }
+    }
+
+    /// Runs the job against the modeled device and returns the aggregate result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `block_size` is zero.
+    pub fn run(&self) -> FioResult {
+        assert!(self.threads > 0, "FIO job needs at least one thread");
+        assert!(self.block_size > 0, "FIO block size must be non-zero");
+        let profile = FioDeviceProfile::for_device(self.device);
+        let per_thread_bw = match self.op {
+            OpKind::Read => profile.read_bw_per_thread,
+            OpKind::Write => profile.write_bw_per_thread,
+        };
+        let pattern_factor = match self.pattern {
+            Pattern::Sequential => 1.0,
+            Pattern::Random => profile.random_factor,
+        };
+        let blocks_per_thread = self.file_size_per_thread / self.block_size;
+        // Time for one thread to process its file.
+        let transfer_ns_per_block =
+            self.block_size as f64 / (per_thread_bw * pattern_factor) * 1e9;
+        let fsync_ns = if self.op == OpKind::Write {
+            profile.fsync_ns
+        } else {
+            0.0
+        };
+        let per_block_ns = transfer_ns_per_block + profile.per_op_latency_ns + fsync_ns;
+        let per_thread_seconds = blocks_per_thread as f64 * per_block_ns / 1e9;
+        let total_bytes = self.file_size_per_thread * self.threads as u64;
+        // Uncapped aggregate throughput assumes perfect thread scaling ...
+        let uncapped = total_bytes as f64 / per_thread_seconds;
+        // ... but the device enforces an aggregate bandwidth ceiling.
+        let cap = match self.op {
+            OpKind::Read => profile.max_read_bw,
+            OpKind::Write => profile.max_write_bw,
+        } * pattern_factor;
+        let throughput = uncapped.min(cap);
+        FioResult {
+            job: *self,
+            total_bytes,
+            throughput_bytes_per_s: throughput,
+            elapsed_seconds: total_bytes as f64 / throughput,
+        }
+    }
+}
+
+/// The outcome of a [`FioJob`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FioResult {
+    /// The job that produced this result.
+    pub job: FioJob,
+    /// Total bytes transferred across all threads.
+    pub total_bytes: u64,
+    /// Aggregate throughput in bytes per second.
+    pub throughput_bytes_per_s: f64,
+    /// Modeled wall-clock time of the job in seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl FioResult {
+    /// Throughput in GB/s, the unit used by Fig. 2.
+    pub fn throughput_gbps(&self) -> f64 {
+        self.throughput_bytes_per_s / 1e9
+    }
+}
+
+impl fmt::Display for FioResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} x{}: {:.3} GB/s",
+            self.job.device,
+            self.job.pattern,
+            self.job.op,
+            self.job.threads,
+            self.throughput_gbps()
+        )
+    }
+}
+
+/// Runs the full Fig. 2 sweep: every device, pattern, direction and thread count.
+pub fn figure2_sweep() -> Vec<FioResult> {
+    let mut out = Vec::new();
+    for op in [OpKind::Read, OpKind::Write] {
+        for pattern in [Pattern::Random, Pattern::Sequential] {
+            for device in [DeviceKind::Ssd, DeviceKind::PersistentMemory, DeviceKind::Dram] {
+                for threads in [1usize, 2, 4, 8] {
+                    out.push(FioJob::paper_default(device, pattern, op, threads).run());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(device: DeviceKind, pattern: Pattern, op: OpKind, threads: usize) -> f64 {
+        FioJob::paper_default(device, pattern, op, threads)
+            .run()
+            .throughput_gbps()
+    }
+
+    #[test]
+    fn dax_pm_beats_ssd_and_loses_to_ramdisk_on_reads() {
+        for pattern in [Pattern::Sequential, Pattern::Random] {
+            for threads in [1, 2, 4, 8] {
+                let ssd = tp(DeviceKind::Ssd, pattern, OpKind::Read, threads);
+                let pm = tp(DeviceKind::PersistentMemory, pattern, OpKind::Read, threads);
+                let ram = tp(DeviceKind::Dram, pattern, OpKind::Read, threads);
+                assert!(pm > ssd, "{pattern} x{threads}: PM {pm} vs SSD {ssd}");
+                assert!(ram > pm, "{pattern} x{threads}: RAM {ram} vs PM {pm}");
+            }
+        }
+    }
+
+    #[test]
+    fn fsync_per_block_cripples_ssd_writes() {
+        // The paper's write workloads fsync every 4 KB block, which drops SSD throughput
+        // to the order of 0.01-0.1 GB/s while PM-DAX stays in the GB/s range.
+        let ssd = tp(DeviceKind::Ssd, Pattern::Sequential, OpKind::Write, 1);
+        let pm = tp(
+            DeviceKind::PersistentMemory,
+            Pattern::Sequential,
+            OpKind::Write,
+            1,
+        );
+        assert!(ssd < 0.1, "SSD write throughput {ssd} GB/s");
+        assert!(pm > 0.4, "PM write throughput {pm} GB/s");
+        assert!(pm / ssd > 10.0);
+    }
+
+    #[test]
+    fn random_is_never_faster_than_sequential() {
+        for device in [DeviceKind::Ssd, DeviceKind::PersistentMemory, DeviceKind::Dram] {
+            for op in [OpKind::Read, OpKind::Write] {
+                let seq = tp(device, Pattern::Sequential, op, 4);
+                let rand = tp(device, Pattern::Random, op, 4);
+                assert!(rand <= seq + 1e-9, "{device} {op}: rand {rand} > seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_threads_until_the_cap() {
+        for device in [DeviceKind::Ssd, DeviceKind::PersistentMemory, DeviceKind::Dram] {
+            let mut prev = 0.0;
+            for threads in [1, 2, 4, 8] {
+                let t = tp(device, Pattern::Sequential, OpKind::Read, threads);
+                assert!(t + 1e-12 >= prev, "{device} x{threads}: {t} < {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_figure_bar() {
+        let sweep = figure2_sweep();
+        // 2 ops x 2 patterns x 3 devices x 4 thread counts.
+        assert_eq!(sweep.len(), 48);
+        // Result display mentions the device and thread count.
+        let line = sweep[0].to_string();
+        assert!(line.contains("GB/s"));
+    }
+
+    #[test]
+    fn elapsed_time_consistent_with_throughput() {
+        let r = FioJob::paper_default(DeviceKind::Ssd, Pattern::Sequential, OpKind::Read, 2).run();
+        let recomputed = r.total_bytes as f64 / r.throughput_bytes_per_s;
+        assert!((recomputed - r.elapsed_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let mut job = FioJob::paper_default(DeviceKind::Ssd, Pattern::Sequential, OpKind::Read, 1);
+        job.threads = 0;
+        let _ = job.run();
+    }
+}

@@ -1,0 +1,97 @@
+//! # plinius-sgx
+//!
+//! An **Intel SGX enclave simulator** providing the trusted-execution substrate the
+//! Plinius paper builds on. Real SGX hardware is not available to this reproduction, so
+//! the simulator models the properties of SGX that shape Plinius' design and results:
+//!
+//! * the trusted/untrusted split with explicit [`Enclave::ecall`] / [`Enclave::ocall`]
+//!   crossings, each charged ~13'100 cycles;
+//! * the EPC limit (93.5 MB usable) with paging penalties for in-enclave work once the
+//!   trusted working set exceeds it — the source of the knee in Fig. 7 / Table I;
+//! * `sgx_read_rand`, measurement-bound data sealing, and an attestation + secure key
+//!   provisioning workflow mirroring Fig. 5 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use plinius_sgx::{AttestationService, DataOwner, Enclave};
+//! use plinius_crypto::Key;
+//! use rand::SeedableRng;
+//!
+//! let enclave = Enclave::create(b"plinius-enclave-binary".to_vec());
+//! let service = AttestationService::new(b"platform-secret".to_vec());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let owner = DataOwner::new(Key::generate_128(&mut rng), enclave.measurement());
+//! owner.provision_key(&service, &enclave, "model-key")?;
+//! assert!(enclave.key("model-key").is_some());
+//! # Ok::<(), plinius_sgx::SgxError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub mod attestation;
+pub mod enclave;
+
+pub use attestation::{AttestationService, DataOwner, Quote, Report, ReportData};
+pub use enclave::{Enclave, EnclaveBuilder, DEFAULT_HEAP_SIZE, DEFAULT_STACK_SIZE};
+
+/// Errors produced by the SGX simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// The enclave has been destroyed; no further calls are possible.
+    EnclaveDestroyed,
+    /// A trusted allocation exceeded the configured enclave heap.
+    OutOfEnclaveMemory {
+        /// Size of the failing allocation in bytes.
+        requested: u64,
+        /// Configured heap limit in bytes.
+        heap_size: u64,
+    },
+    /// Remote attestation failed (bad quote or unexpected measurement).
+    AttestationFailed(String),
+    /// A required key is not present in the enclave's key store.
+    MissingKey(String),
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::EnclaveDestroyed => write!(f, "enclave has been destroyed"),
+            SgxError::OutOfEnclaveMemory {
+                requested,
+                heap_size,
+            } => write!(
+                f,
+                "trusted allocation of {requested} bytes exceeds enclave heap of {heap_size} bytes"
+            ),
+            SgxError::AttestationFailed(reason) => write!(f, "remote attestation failed: {reason}"),
+            SgxError::MissingKey(name) => write!(f, "key '{name}' not provisioned in enclave"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_cleanly() {
+        assert_eq!(SgxError::EnclaveDestroyed.to_string(), "enclave has been destroyed");
+        assert!(SgxError::OutOfEnclaveMemory {
+            requested: 10,
+            heap_size: 5
+        }
+        .to_string()
+        .contains("10 bytes"));
+        assert!(SgxError::MissingKey("model".into()).to_string().contains("model"));
+        assert!(SgxError::AttestationFailed("bad quote".into())
+            .to_string()
+            .contains("bad quote"));
+    }
+}

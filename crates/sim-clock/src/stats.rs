@@ -1,0 +1,198 @@
+//! Lightweight named counters used by the substrates to expose event statistics
+//! (enclave transitions, EPC page swaps, cache-line flushes, fsyncs, bytes moved).
+//!
+//! Harness binaries read these counters to report the breakdowns of Table I and to
+//! sanity-check that the simulated code paths actually executed (e.g. that an
+//! SSD checkpoint really issued an `fsync` per write).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Counter::default())
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// A registry of named [`Counter`]s shared across simulation components.
+///
+/// # Example
+///
+/// ```
+/// use sim_clock::StatsRegistry;
+///
+/// let stats = StatsRegistry::new();
+/// stats.counter("ecalls").incr();
+/// stats.counter("ecalls").add(2);
+/// assert_eq!(stats.value("ecalls"), 3);
+/// assert_eq!(stats.value("never-touched"), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+}
+
+/// Shared handle to a [`StatsRegistry`].
+pub type StatsHandle = Arc<StatsRegistry>;
+
+impl StatsRegistry {
+    /// Creates an empty registry wrapped in an [`Arc`].
+    pub fn new() -> StatsHandle {
+        Arc::new(StatsRegistry::default())
+    }
+
+    /// Returns (creating on first use) the counter with the given name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut guard = self.counters.write();
+        Arc::clone(
+            guard
+                .entry(name.to_owned())
+                .or_insert_with(Counter::new),
+        )
+    }
+
+    /// Convenience: current value of a counter, zero if it was never created.
+    pub fn value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Resets every counter in the registry to zero.
+    pub fn reset_all(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+    }
+
+    /// Returns a snapshot of every counter, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+impl fmt::Display for StatsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.snapshot() {
+            writeln!(f, "{name}: {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(c.to_string(), "0");
+    }
+
+    #[test]
+    fn registry_returns_same_counter_for_same_name() {
+        let stats = StatsRegistry::new();
+        let a = stats.counter("flushes");
+        let b = stats.counter("flushes");
+        a.add(5);
+        assert_eq!(b.get(), 5);
+        assert_eq!(stats.value("flushes"), 5);
+    }
+
+    #[test]
+    fn unknown_counter_reads_zero() {
+        let stats = StatsRegistry::new();
+        assert_eq!(stats.value("missing"), 0);
+    }
+
+    #[test]
+    fn reset_all_clears_everything() {
+        let stats = StatsRegistry::new();
+        stats.counter("a").add(1);
+        stats.counter("b").add(2);
+        stats.reset_all();
+        assert_eq!(stats.value("a"), 0);
+        assert_eq!(stats.value("b"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let stats = StatsRegistry::new();
+        stats.counter("zeta").add(1);
+        stats.counter("alpha").add(2);
+        let snap = stats.snapshot();
+        assert_eq!(snap[0].0, "alpha");
+        assert_eq!(snap[1].0, "zeta");
+        assert!(stats.to_string().contains("alpha: 2"));
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let stats = StatsRegistry::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    s.counter("shared").incr();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.value("shared"), 8_000);
+    }
+}

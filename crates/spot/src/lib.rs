@@ -1,0 +1,298 @@
+//! # plinius-spot
+//!
+//! AWS EC2 spot-instance price traces and the bid-driven kill/restart simulator used by
+//! the paper's Fig. 10 experiment ("Plinius on AWS EC2 Spot instances").
+//!
+//! The paper replays real spot-market traces from Wang et al. (TOMPECS'18): every five
+//! minutes the market price is compared against a fixed maximum bid; the training process
+//! runs while `max_bid > market_price` and is killed otherwise. Real traces are not
+//! redistributable here, so this crate provides (a) a CSV parser for traces the user
+//! supplies and (b) a statistically similar synthetic trace generator; both feed the same
+//! [`SpotSimulator`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Interval between consecutive trace points, in minutes (the paper's traces are sampled
+/// every 5 minutes).
+pub const TRACE_STEP_MINUTES: u64 = 5;
+
+/// Errors produced when parsing spot traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpotError {
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The trace contains no data points.
+    EmptyTrace,
+}
+
+impl fmt::Display for SpotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpotError::Parse { line, content } => {
+                write!(f, "cannot parse trace line {line}: '{content}'")
+            }
+            SpotError::EmptyTrace => write!(f, "spot trace contains no data points"),
+        }
+    }
+}
+
+impl Error for SpotError {}
+
+/// A spot-market price trace: one price per [`TRACE_STEP_MINUTES`]-minute step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotTrace {
+    prices: Vec<f64>,
+}
+
+impl SpotTrace {
+    /// Wraps a price series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpotError::EmptyTrace`] if `prices` is empty.
+    pub fn new(prices: Vec<f64>) -> Result<Self, SpotError> {
+        if prices.is_empty() {
+            return Err(SpotError::EmptyTrace);
+        }
+        Ok(SpotTrace { prices })
+    }
+
+    /// Parses a trace from CSV text. Each non-empty line is either `price` or
+    /// `timestamp,price`; lines starting with `#` are comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpotError::Parse`] for malformed lines or [`SpotError::EmptyTrace`].
+    pub fn parse_csv(text: &str) -> Result<Self, SpotError> {
+        let mut prices = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let price_field = line.rsplit(',').next().unwrap_or(line).trim();
+            let price: f64 = price_field.parse().map_err(|_| SpotError::Parse {
+                line: i + 1,
+                content: raw.to_owned(),
+            })?;
+            prices.push(price);
+        }
+        SpotTrace::new(prices)
+    }
+
+    /// Generates a synthetic trace of `steps` points resembling the paper's traces: a
+    /// mean-reverting random walk around `base_price` with occasional demand spikes that
+    /// push the price above typical bids.
+    pub fn synthetic<R: Rng>(steps: usize, base_price: f64, rng: &mut R) -> Self {
+        let mut prices = Vec::with_capacity(steps.max(1));
+        let mut price = base_price;
+        let mut spike_left = 0usize;
+        for _ in 0..steps.max(1) {
+            if spike_left == 0 && rng.gen_bool(0.02) {
+                // A demand spike lasting 15-60 minutes.
+                spike_left = rng.gen_range(3..=12);
+            }
+            let drift = (base_price - price) * 0.2;
+            let noise = rng.gen_range(-0.002..0.002);
+            let spike = if spike_left > 0 {
+                spike_left -= 1;
+                base_price * rng.gen_range(0.15..0.45)
+            } else {
+                0.0
+            };
+            price = (price + drift + noise + spike).max(base_price * 0.5);
+            prices.push(price);
+            if spike_left == 0 {
+                price = price.min(base_price * 1.1);
+            }
+        }
+        SpotTrace { prices }
+    }
+
+    /// Number of trace points.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the trace is empty (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Price at step `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn price(&self, i: usize) -> f64 {
+        self.prices[i]
+    }
+
+    /// The raw price series.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// Total wall-clock time covered by the trace, in minutes.
+    pub fn duration_minutes(&self) -> u64 {
+        self.prices.len() as u64 * TRACE_STEP_MINUTES
+    }
+
+    /// Serialises the trace back to the CSV format accepted by [`SpotTrace::parse_csv`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("# minute,price\n");
+        for (i, p) in self.prices.iter().enumerate() {
+            out.push_str(&format!("{},{p:.6}\n", i as u64 * TRACE_STEP_MINUTES));
+        }
+        out
+    }
+}
+
+/// The state of the training process at one trace step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotStep {
+    /// Minutes since the start of the trace.
+    pub minute: u64,
+    /// Market price at this step.
+    pub price: f64,
+    /// Whether the instance (and hence the training process) is running.
+    pub running: bool,
+}
+
+/// The bid-vs-market simulator of the paper: walks a [`SpotTrace`] and decides at every
+/// 5-minute step whether the training process runs or is killed.
+#[derive(Debug, Clone)]
+pub struct SpotSimulator {
+    trace: SpotTrace,
+    max_bid: f64,
+}
+
+impl SpotSimulator {
+    /// Creates a simulator for the given trace and maximum bid price (the paper uses a
+    /// maximum bid of 0.0955 USD/h).
+    pub fn new(trace: SpotTrace, max_bid: f64) -> Self {
+        SpotSimulator { trace, max_bid }
+    }
+
+    /// The maximum bid.
+    pub fn max_bid(&self) -> f64 {
+        self.max_bid
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &SpotTrace {
+        &self.trace
+    }
+
+    /// The full state curve (Fig. 10b/d): one [`SpotStep`] per trace point.
+    pub fn state_curve(&self) -> Vec<SpotStep> {
+        self.trace
+            .prices()
+            .iter()
+            .enumerate()
+            .map(|(i, &price)| SpotStep {
+                minute: i as u64 * TRACE_STEP_MINUTES,
+                price,
+                running: self.max_bid > price,
+            })
+            .collect()
+    }
+
+    /// Number of interruptions (transitions from running to killed) over the trace.
+    pub fn interruptions(&self) -> usize {
+        let curve = self.state_curve();
+        curve
+            .windows(2)
+            .filter(|w| w[0].running && !w[1].running)
+            .count()
+    }
+
+    /// Fraction of trace steps during which the instance is running.
+    pub fn availability(&self) -> f64 {
+        let curve = self.state_curve();
+        curve.iter().filter(|s| s.running).count() as f64 / curve.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_csv_accepts_both_forms_and_comments() {
+        let trace = SpotTrace::parse_csv("# header\n0,0.09\n5,0.095\n0.11\n\n").unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!((trace.price(2) - 0.11).abs() < 1e-12);
+        assert_eq!(trace.duration_minutes(), 15);
+    }
+
+    #[test]
+    fn parse_csv_rejects_garbage_and_empty() {
+        assert!(matches!(
+            SpotTrace::parse_csv("abc,def").unwrap_err(),
+            SpotError::Parse { line: 1, .. }
+        ));
+        assert_eq!(SpotTrace::parse_csv("# only comments\n").unwrap_err(), SpotError::EmptyTrace);
+        assert_eq!(SpotTrace::new(vec![]).unwrap_err(), SpotError::EmptyTrace);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = SpotTrace::synthetic(50, 0.09, &mut rng);
+        let parsed = SpotTrace::parse_csv(&trace.to_csv()).unwrap();
+        assert_eq!(parsed.len(), trace.len());
+        for (a, b) in parsed.prices().iter().zip(trace.prices()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn synthetic_trace_stays_positive_and_spikes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = SpotTrace::synthetic(2000, 0.09, &mut rng);
+        assert_eq!(trace.len(), 2000);
+        assert!(trace.prices().iter().all(|p| *p > 0.0));
+        let max = trace.prices().iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.1, "synthetic trace never spikes above typical bids: max {max}");
+    }
+
+    #[test]
+    fn simulator_counts_interruptions_like_the_paper() {
+        // A hand-built trace: price crosses the bid twice -> two interruptions.
+        let bid = 0.0955;
+        let prices = vec![0.09, 0.09, 0.12, 0.12, 0.09, 0.09, 0.13, 0.09];
+        let sim = SpotSimulator::new(SpotTrace::new(prices).unwrap(), bid);
+        assert_eq!(sim.interruptions(), 2);
+        let curve = sim.state_curve();
+        assert!(curve[0].running);
+        assert!(!curve[2].running);
+        assert_eq!(curve[2].minute, 10);
+        assert!((sim.availability() - 5.0 / 8.0).abs() < 1e-9);
+        assert!((sim.max_bid() - bid).abs() < 1e-12);
+        assert_eq!(sim.trace().len(), 8);
+    }
+
+    #[test]
+    fn higher_bid_means_fewer_interruptions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = SpotTrace::synthetic(1500, 0.09, &mut rng);
+        let low = SpotSimulator::new(trace.clone(), 0.0955);
+        let high = SpotSimulator::new(trace, 10.0);
+        assert!(low.interruptions() >= high.interruptions());
+        assert_eq!(high.interruptions(), 0);
+        assert!(high.availability() > 0.999);
+    }
+}

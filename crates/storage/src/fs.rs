@@ -1,0 +1,325 @@
+//! An in-memory simulated file system with a storage-device cost model.
+//!
+//! The paper's SSD baseline issues `fwrite` calls through ocalls, flushes the libc
+//! buffers and calls `fsync` after every write to make sure the checkpoint really is on
+//! the device. [`SimFileSystem`] reproduces that interface (create/write/read/fsync) and
+//! charges the corresponding device costs to the shared simulation clock.
+
+use crate::StorageError;
+use parking_lot::Mutex;
+use sim_clock::{ClockHandle, CostModel, SimClock, StatsHandle, StatsRegistry};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which secondary-storage device the simulated file system sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageProfile {
+    /// SATA/NVMe SSD behind Ext4 (the paper's baseline device).
+    #[default]
+    Ssd,
+    /// Spinning disk: an order of magnitude slower writes and much slower fsyncs.
+    Hdd,
+}
+
+impl StorageProfile {
+    /// Multiplier applied to the cost model's SSD bandwidth costs.
+    fn bandwidth_factor(&self) -> f64 {
+        match self {
+            StorageProfile::Ssd => 1.0,
+            StorageProfile::Hdd => 4.0,
+        }
+    }
+
+    /// Multiplier applied to the cost model's fsync latency.
+    fn fsync_factor(&self) -> u64 {
+        match self {
+            StorageProfile::Ssd => 1,
+            StorageProfile::Hdd => 8,
+        }
+    }
+}
+
+/// Per-file-system activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileStats {
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Number of fsync calls.
+    pub fsyncs: u64,
+    /// Number of files deleted.
+    pub deletes: u64,
+}
+
+struct Inner {
+    files: HashMap<String, Vec<u8>>,
+    stats: FileStats,
+}
+
+/// An in-memory file system with modeled device latencies. Cloning yields another handle
+/// to the same file system.
+#[derive(Clone)]
+pub struct SimFileSystem {
+    inner: Arc<Mutex<Inner>>,
+    clock: ClockHandle,
+    stats: StatsHandle,
+    cost: Arc<CostModel>,
+    profile: StorageProfile,
+}
+
+impl std::fmt::Debug for SimFileSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimFileSystem")
+            .field("files", &self.inner.lock().files.len())
+            .field("profile", &self.profile)
+            .finish()
+    }
+}
+
+impl SimFileSystem {
+    /// Creates an empty file system with default settings (SSD profile, fresh clock).
+    pub fn new() -> Self {
+        Self::with_settings(CostModel::default(), StorageProfile::Ssd, SimClock::new(), StatsRegistry::new())
+    }
+
+    /// Creates a file system with an explicit cost model, device profile and shared
+    /// clock/statistics handles.
+    pub fn with_settings(
+        cost: CostModel,
+        profile: StorageProfile,
+        clock: ClockHandle,
+        stats: StatsHandle,
+    ) -> Self {
+        SimFileSystem {
+            inner: Arc::new(Mutex::new(Inner {
+                files: HashMap::new(),
+                stats: FileStats::default(),
+            })),
+            clock,
+            stats,
+            cost: Arc::new(cost),
+            profile,
+        }
+    }
+
+    /// The simulation clock costs are charged to.
+    pub fn clock(&self) -> ClockHandle {
+        Arc::clone(&self.clock)
+    }
+
+    /// The device profile of this file system.
+    pub fn profile(&self) -> StorageProfile {
+        self.profile
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.lock().files.contains_key(path)
+    }
+
+    /// Size of `path` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] if the file does not exist.
+    pub fn file_size(&self, path: &str) -> Result<usize, StorageError> {
+        self.inner
+            .lock()
+            .files
+            .get(path)
+            .map(|f| f.len())
+            .ok_or_else(|| StorageError::NotFound(path.to_owned()))
+    }
+
+    /// Creates (or truncates) `path`.
+    pub fn create(&self, path: &str) {
+        self.inner.lock().files.insert(path.to_owned(), Vec::new());
+    }
+
+    /// Appends `data` to `path`, creating the file if needed (the `fwrite` of the
+    /// baseline). Charges the device's per-byte write cost.
+    pub fn write(&self, path: &str, data: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner
+            .files
+            .entry(path.to_owned())
+            .or_default()
+            .extend_from_slice(data);
+        inner.stats.bytes_written += data.len() as u64;
+        drop(inner);
+        let ns = (self.cost.ssd_write_ns(data.len() as u64) as f64 * self.profile.bandwidth_factor())
+            .round() as u64;
+        self.clock.advance_ns(ns);
+        self.stats.counter("fs.bytes_written").add(data.len() as u64);
+    }
+
+    /// Reads `len` bytes at `offset` from `path` (the `fread` of the baseline). Charges
+    /// the device's per-byte read cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] or [`StorageError::ShortRead`].
+    pub fn read(&self, path: &str, offset: usize, len: usize) -> Result<Vec<u8>, StorageError> {
+        let mut inner = self.inner.lock();
+        let file = inner
+            .files
+            .get(path)
+            .ok_or_else(|| StorageError::NotFound(path.to_owned()))?;
+        if offset + len > file.len() {
+            return Err(StorageError::ShortRead {
+                path: path.to_owned(),
+                offset,
+                len,
+                size: file.len(),
+            });
+        }
+        let data = file[offset..offset + len].to_vec();
+        inner.stats.bytes_read += len as u64;
+        drop(inner);
+        let ns = (self.cost.ssd_read_ns(len as u64, 0) as f64 * self.profile.bandwidth_factor())
+            .round() as u64;
+        self.clock.advance_ns(ns);
+        self.stats.counter("fs.bytes_read").add(len as u64);
+        Ok(data)
+    }
+
+    /// Reads the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] if the file does not exist.
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        let size = self.file_size(path)?;
+        self.read(path, 0, size)
+    }
+
+    /// Issues an fsync on `path`, charging the device's fsync latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] if the file does not exist.
+    pub fn fsync(&self, path: &str) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        if !inner.files.contains_key(path) {
+            return Err(StorageError::NotFound(path.to_owned()));
+        }
+        inner.stats.fsyncs += 1;
+        drop(inner);
+        self.clock
+            .advance_ns(self.cost.ssd_fsync() * self.profile.fsync_factor());
+        self.stats.counter("fs.fsyncs").incr();
+        Ok(())
+    }
+
+    /// Deletes `path` if it exists; returns whether it did.
+    pub fn delete(&self, path: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let removed = inner.files.remove(path).is_some();
+        if removed {
+            inner.stats.deletes += 1;
+        }
+        removed
+    }
+
+    /// Activity counters since creation.
+    pub fn file_stats(&self) -> FileStats {
+        self.inner.lock().stats
+    }
+
+    /// Names of all files, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Default for SimFileSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let fs = SimFileSystem::new();
+        fs.write("model.ckpt", b"hello ");
+        fs.write("model.ckpt", b"world");
+        assert!(fs.exists("model.ckpt"));
+        assert_eq!(fs.file_size("model.ckpt").unwrap(), 11);
+        assert_eq!(fs.read_all("model.ckpt").unwrap(), b"hello world");
+        assert_eq!(fs.read("model.ckpt", 6, 5).unwrap(), b"world");
+    }
+
+    #[test]
+    fn missing_files_and_short_reads_error() {
+        let fs = SimFileSystem::new();
+        assert!(matches!(fs.read_all("nope").unwrap_err(), StorageError::NotFound(_)));
+        assert!(fs.fsync("nope").is_err());
+        fs.write("f", b"abc");
+        assert!(matches!(
+            fs.read("f", 2, 5).unwrap_err(),
+            StorageError::ShortRead { size: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn create_truncates_and_delete_removes() {
+        let fs = SimFileSystem::new();
+        fs.write("f", b"old data");
+        fs.create("f");
+        assert_eq!(fs.file_size("f").unwrap(), 0);
+        assert!(fs.delete("f"));
+        assert!(!fs.delete("f"));
+        assert!(!fs.exists("f"));
+        assert_eq!(fs.file_stats().deletes, 1);
+    }
+
+    #[test]
+    fn costs_are_charged_to_the_clock() {
+        let clock = SimClock::new();
+        let fs = SimFileSystem::with_settings(
+            CostModel::sgx_eml_pm(),
+            StorageProfile::Ssd,
+            Arc::clone(&clock),
+            StatsRegistry::new(),
+        );
+        fs.write("ckpt", &vec![0u8; 1024 * 1024]);
+        let after_write = clock.now_ns();
+        assert!(after_write > 1_000_000, "1 MB SSD write should cost > 1 ms");
+        fs.fsync("ckpt").unwrap();
+        assert!(clock.now_ns() >= after_write + CostModel::sgx_eml_pm().ssd_fsync());
+        assert_eq!(fs.file_stats().fsyncs, 1);
+    }
+
+    #[test]
+    fn hdd_is_slower_than_ssd() {
+        let run = |profile| {
+            let clock = SimClock::new();
+            let fs = SimFileSystem::with_settings(
+                CostModel::sgx_eml_pm(),
+                profile,
+                Arc::clone(&clock),
+                StatsRegistry::new(),
+            );
+            fs.write("f", &vec![0u8; 1 << 20]);
+            fs.fsync("f").unwrap();
+            clock.now_ns()
+        };
+        assert!(run(StorageProfile::Hdd) > 2 * run(StorageProfile::Ssd));
+    }
+
+    #[test]
+    fn list_is_sorted_and_shared_between_clones() {
+        let fs = SimFileSystem::new();
+        let clone = fs.clone();
+        fs.write("b", b"1");
+        clone.write("a", b"2");
+        assert_eq!(fs.list(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,74 @@
+//! # plinius-storage
+//!
+//! The secondary-storage substrate of the reproduction: a simulated file system backed by
+//! an SSD (or HDD) cost model, plus the binary checkpoint format used by the paper's
+//! baseline ("traditional checkpointing on secondary storage"). The Plinius crate builds
+//! the SSD checkpointing baseline of Fig. 7 / Table I on top of this: the enclave
+//! encrypts model buffers, then issues `fwrite`/`fsync` ocalls that land here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub mod checkpoint;
+pub mod fs;
+
+pub use checkpoint::{CheckpointBlob, CheckpointCodec};
+pub use fs::{FileStats, SimFileSystem, StorageProfile};
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested file does not exist.
+    NotFound(String),
+    /// A read went past the end of a file.
+    ShortRead {
+        /// File being read.
+        path: String,
+        /// Offset of the read.
+        offset: usize,
+        /// Bytes requested.
+        len: usize,
+        /// File size.
+        size: usize,
+    },
+    /// A checkpoint blob could not be decoded.
+    MalformedCheckpoint(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(path) => write!(f, "file '{path}' not found"),
+            StorageError::ShortRead {
+                path,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "read of {len} bytes at offset {offset} past end of '{path}' ({size} bytes)"
+            ),
+            StorageError::MalformedCheckpoint(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(StorageError::NotFound("model.ckpt".into())
+            .to_string()
+            .contains("model.ckpt"));
+        assert!(StorageError::MalformedCheckpoint("truncated".into())
+            .to_string()
+            .contains("truncated"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration tests: the full secure training pipeline, crash/resume across
+//! separate contexts, and the PM-vs-SSD comparison exercised end to end.
+
+use plinius::{
+    train_with_crash_schedule, MirrorModel, PersistenceBackend, PliniusContext, PliniusTrainer,
+    PmDataset, TrainerConfig, TrainingSetup,
+};
+use plinius_crypto::Key;
+use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_clock::CostModel;
+
+fn small_setup(max_iterations: u64) -> TrainingSetup {
+    let mut setup = TrainingSetup::small_test();
+    setup.trainer.max_iterations = max_iterations;
+    setup
+}
+
+#[test]
+fn full_workflow_produces_a_trained_model() {
+    let report = plinius::run_full_workflow(&small_setup(20)).unwrap();
+    assert!(report.attestation_ok);
+    assert_eq!(report.final_iteration, 20);
+    assert!(report.final_loss.is_finite());
+}
+
+#[test]
+fn training_survives_repeated_crashes_without_losing_progress() {
+    let setup = small_setup(16);
+    let report = train_with_crash_schedule(&setup, &[2, 5, 9, 13], true).unwrap();
+    assert_eq!(report.completed_iteration, 16);
+    assert_eq!(report.total_iterations_executed, 16, "mirrored training must not redo work");
+    assert_eq!(report.crashes, 4);
+    // The loss curve has no reset: the maximum loss after the first crash should not
+    // return to the initial-loss neighbourhood (which a from-scratch restart would).
+    let initial = report.losses[0];
+    let after_crash_max = report
+        .losses
+        .iter()
+        .skip(6)
+        .cloned()
+        .fold(f32::MIN, f32::max);
+    assert!(after_crash_max <= initial * 1.25 + 0.5);
+}
+
+#[test]
+fn non_resilient_training_repeats_work_after_crashes() {
+    let setup = small_setup(8);
+    let resilient = train_with_crash_schedule(&setup, &[4], true).unwrap();
+    let fragile = train_with_crash_schedule(&setup, &[4], false).unwrap();
+    assert!(fragile.total_iterations_executed > resilient.total_iterations_executed);
+}
+
+#[test]
+fn mirror_and_resume_across_contexts_with_key_reprovisioning() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let key = Key::generate_128(&mut rng);
+    let dataset = synthetic_mnist(64, &mut rng);
+    let cost = CostModel::eml_sgx_pm();
+    let ctx = PliniusContext::create(cost.clone(), 32 * 1024 * 1024).unwrap();
+    ctx.provision_key_directly(key.clone());
+    PmDataset::load(&ctx, &dataset).unwrap();
+    let network = plinius_darknet::build_network(&mnist_cnn_config(2, 4, 8), &mut rng).unwrap();
+    let config = TrainerConfig {
+        batch: 8,
+        max_iterations: 10,
+        mirror_frequency: 1,
+        backend: PersistenceBackend::PmMirror,
+        encrypted_data: true,
+        seed: 5,
+    };
+    let mut trainer = PliniusTrainer::new(ctx, network, config.clone(), None).unwrap();
+    trainer.run_at_most(4).unwrap();
+    let pool = trainer.context().pool().clone();
+    drop(trainer);
+
+    // Simulated power failure between processes.
+    let mut crash_rng = StdRng::seed_from_u64(2);
+    pool.crash(&mut crash_rng, plinius_pmem::CrashMode::ArbitraryEviction);
+
+    let ctx2 = PliniusContext::open(pool, cost).unwrap();
+    ctx2.provision_key_directly(key);
+    assert!(MirrorModel::exists(&ctx2));
+    let network2 = plinius_darknet::build_network(&mnist_cnn_config(2, 4, 8), &mut rng).unwrap();
+    let mut resumed = PliniusTrainer::new(ctx2, network2, config, None).unwrap();
+    assert_eq!(resumed.iteration(), 4);
+    let report = resumed.run().unwrap();
+    assert_eq!(report.final_iteration, 10);
+}
+
+#[test]
+fn pm_mirroring_beats_ssd_checkpointing_end_to_end() {
+    let point = plinius_bench::mirror_point(&CostModel::sgx_eml_pm(), 3).unwrap();
+    assert!(point.ssd_save_ms() / point.pm_save_ms() > 1.5);
+    assert!(point.ssd_restore_ms() / point.pm_restore_ms() > 1.5);
+    let real_pm = plinius_bench::mirror_point(&CostModel::eml_sgx_pm(), 3).unwrap();
+    assert!(real_pm.ssd_save_ms() > real_pm.pm_save_ms());
+}
