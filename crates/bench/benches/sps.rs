@@ -15,13 +15,17 @@ fn bench_sps(c: &mut Criterion) {
     });
     group.bench_function("sgx_romulus", |b| {
         b.iter(|| {
-            let enclave = Enclave::builder(b"sgx".to_vec()).cost_model(cost.clone()).build();
+            let enclave = Enclave::builder(b"sgx".to_vec())
+                .cost_model(cost.clone())
+                .build();
             run_sps(Flavor::Sgx(enclave), &cost, &SpsConfig::small(64)).unwrap()
         })
     });
     group.bench_function("scone_romulus", |b| {
         b.iter(|| {
-            let enclave = Enclave::builder(b"scone".to_vec()).cost_model(cost.clone()).build();
+            let enclave = Enclave::builder(b"scone".to_vec())
+                .cost_model(cost.clone())
+                .build();
             run_sps(Flavor::Scone(enclave), &cost, &SpsConfig::small(64)).unwrap()
         })
     });

@@ -1,7 +1,11 @@
 //! Regenerates Fig. 10: model training driven by an AWS EC2 spot-instance price trace
 //! (loss curve + instance state curve), with and without crash resilience.
 
-use plinius::{spot_crash_schedule, train_with_crash_schedule, PersistenceBackend, TrainerConfig, TrainingSetup};
+use plinius::{
+    spot_crash_schedule, train_with_crash_schedule, PersistenceBackend, TrainerConfig,
+    TrainingSetup,
+};
+use plinius_bench::RunMode;
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use plinius_spot::{SpotSimulator, SpotTrace};
 use rand::rngs::StdRng;
@@ -9,8 +13,11 @@ use rand::SeedableRng;
 use sim_clock::CostModel;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let (iters, conv_layers, batch, samples) = if full { (500, 12, 128, 4096) } else { (100, 4, 16, 512) };
+    let (iters, conv_layers, batch, samples) = match RunMode::from_args() {
+        RunMode::Smoke => (12, 1, 8, 64),
+        RunMode::Full => (500, 12, 128, 4096),
+        _ => (100, 4, 16, 512),
+    };
     let max_bid = 0.0955;
     let mut rng = StdRng::seed_from_u64(38);
     // Spot trace: use a real CSV passed as the first argument, otherwise synthesize one.
@@ -25,7 +32,12 @@ fn main() {
         sim.interruptions(), sim.availability() * 100.0);
     println!("\n  (b/d) instance state curve (minute, price, running):");
     for step in sim.state_curve().iter().step_by(8) {
-        println!("    t={:>5} min  price={:.4}  running={}", step.minute, step.price, u8::from(step.running));
+        println!(
+            "    t={:>5} min  price={:.4}  running={}",
+            step.minute,
+            step.price,
+            u8::from(step.running)
+        );
     }
     let iterations_per_step = 4;
     let schedule = spot_crash_schedule(&sim, iterations_per_step);
@@ -44,7 +56,10 @@ fn main() {
         },
         model_seed: 6,
     };
-    for (label, resilient) in [("(a) crash-resilient spot training", true), ("(c) non-crash-resilient spot training", false)] {
+    for (label, resilient) in [
+        ("(a) crash-resilient spot training", true),
+        ("(c) non-crash-resilient spot training", false),
+    ] {
         match train_with_crash_schedule(&setup, &schedule, resilient) {
             Ok(report) => {
                 println!("\n{label}: completed iteration {}, executed {} iterations, {} interruptions hit",

@@ -5,7 +5,10 @@ use plinius_pmem::figure2_sweep;
 
 fn main() {
     println!("Figure 2 — storage characterization (throughput in GB/s)");
-    println!("{:<10} {:<12} {:<7} {:>8} {:>12}", "device", "pattern", "op", "threads", "GB/s");
+    println!(
+        "{:<10} {:<12} {:<7} {:>8} {:>12}",
+        "device", "pattern", "op", "threads", "GB/s"
+    );
     for r in figure2_sweep() {
         println!(
             "{:<10} {:<12} {:<7} {:>8} {:>12.3}",

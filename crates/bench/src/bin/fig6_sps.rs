@@ -1,14 +1,25 @@
 //! Regenerates Fig. 6: SPS benchmark (swaps/us vs transaction size) comparing native
 //! Romulus, sgx-romulus and scone-romulus for two PWB+fence combinations.
 
+use plinius_bench::RunMode;
 use plinius_romulus::sps::figure6_sweep;
 use sim_clock::CostModel;
 
 fn main() {
-    let transactions = if std::env::args().any(|a| a == "--quick") { 8 } else { 24 };
+    let transactions = match RunMode::from_args() {
+        RunMode::Smoke => 2,
+        RunMode::Quick => 8,
+        _ => 24,
+    };
     let cost = CostModel::sgx_eml_pm();
-    println!("Figure 6 — SPS on {} ({} transactions per point)", cost.profile, transactions);
-    println!("{:<20} {:<16} {:>10} {:>12}", "PWB+fence", "system", "swaps/tx", "swaps/us");
+    println!(
+        "Figure 6 — SPS on {} ({} transactions per point)",
+        cost.profile, transactions
+    );
+    println!(
+        "{:<20} {:<16} {:>10} {:>12}",
+        "PWB+fence", "system", "swaps/tx", "swaps/us"
+    );
     match figure6_sweep(&cost, transactions) {
         Ok(results) => {
             for r in results {

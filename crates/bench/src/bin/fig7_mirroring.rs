@@ -1,12 +1,17 @@
 //! Regenerates Fig. 7: PM mirroring vs SSD checkpointing save/restore latency versus
 //! model size, for both server profiles (sgx-emlPM and emlSGX-PM).
 
-use plinius_bench::{mirroring_sweep, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB};
+use plinius_bench::{
+    mirroring_sweep, RunMode, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
+};
 use sim_clock::CostModel;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] = if quick { &FIG7_SIZES_QUICK_MB } else { &FIG7_SIZES_MB };
+    let sizes: &[usize] = match RunMode::from_args() {
+        RunMode::Smoke => &FIG7_SIZES_SMOKE_MB,
+        RunMode::Quick => &FIG7_SIZES_QUICK_MB,
+        _ => &FIG7_SIZES_MB,
+    };
     for cost in CostModel::both_servers() {
         println!("\nFigure 7 — {} (latencies in ms, simulated)", cost.profile);
         println!(

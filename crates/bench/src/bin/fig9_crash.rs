@@ -6,15 +6,18 @@
 //! paper-scale run.
 
 use plinius::{train_with_crash_schedule, PersistenceBackend, TrainerConfig, TrainingSetup};
+use plinius_bench::RunMode;
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_clock::CostModel;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let (iters, conv_layers, batch, samples, crashes) =
-        if full { (500, 5, 128, 4096, 9) } else { (100, 3, 16, 512, 4) };
+    let (iters, conv_layers, batch, samples, crashes) = match RunMode::from_args() {
+        RunMode::Smoke => (12, 1, 8, 64, 1),
+        RunMode::Full => (500, 5, 128, 4096, 9),
+        _ => (100, 3, 16, 512, 4),
+    };
     let mut rng = StdRng::seed_from_u64(2021);
     let setup = TrainingSetup {
         cost: CostModel::eml_sgx_pm(),
@@ -32,12 +35,20 @@ fn main() {
         model_seed: 5,
     };
     let crash_points: Vec<u64> = (0..crashes).map(|_| rng.gen_range(5..iters - 5)).collect();
-    println!("Figure 9 — crash resilience ({} iterations, crashes at {:?})", iters, crash_points);
-    for (label, resilient) in [("crash-resilient (Plinius)", true), ("non-crash-resilient", false)] {
+    println!(
+        "Figure 9 — crash resilience ({} iterations, crashes at {:?})",
+        iters, crash_points
+    );
+    for (label, resilient) in [
+        ("crash-resilient (Plinius)", true),
+        ("non-crash-resilient", false),
+    ] {
         match train_with_crash_schedule(&setup, &crash_points, resilient) {
             Ok(report) => {
-                println!("\n{label}: completed iteration {}, executed {} iterations total, {} crashes",
-                    report.completed_iteration, report.total_iterations_executed, report.crashes);
+                println!(
+                    "\n{label}: completed iteration {}, executed {} iterations total, {} crashes",
+                    report.completed_iteration, report.total_iterations_executed, report.crashes
+                );
                 println!("  loss curve (every 10th executed iteration):");
                 for (i, loss) in report.losses.iter().enumerate().step_by(10) {
                     println!("    iter {:>5}: {:.4}", i + 1, loss);

@@ -4,14 +4,18 @@
 //! and the scaled-down default model reach a comparable high accuracy.
 
 use plinius::{run_full_workflow, PersistenceBackend, TrainerConfig, TrainingSetup};
+use plinius_bench::RunMode;
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_clock::CostModel;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let (iters, conv_layers, batch, samples) = if full { (500, 12, 128, 12_000) } else { (200, 2, 32, 2400) };
+    let (iters, conv_layers, batch, samples) = match RunMode::from_args() {
+        RunMode::Smoke => (10, 1, 8, 120),
+        RunMode::Full => (500, 12, 128, 12_000),
+        _ => (200, 2, 32, 2400),
+    };
     let mut rng = StdRng::seed_from_u64(52);
     let setup = TrainingSetup {
         cost: CostModel::sgx_eml_pm(),
@@ -30,12 +34,18 @@ fn main() {
     };
     match run_full_workflow(&setup) {
         Ok(report) => {
-            println!("Secure inference experiment ({} iterations, {} conv layers)", iters, conv_layers);
+            println!(
+                "Secure inference experiment ({} iterations, {} conv layers)",
+                iters, conv_layers
+            );
             println!("  attestation ok:     {}", report.attestation_ok);
             println!("  final loss:         {:.4}", report.final_loss);
             println!("  test accuracy:      {:.2}%", report.test_accuracy * 100.0);
             println!("  PM dataset bytes:   {}", report.pm_dataset_bytes);
-            println!("  simulated time:     {:.2} s", report.simulated_ns as f64 / 1e9);
+            println!(
+                "  simulated time:     {:.2} s",
+                report.simulated_ns as f64 / 1e9
+            );
         }
         Err(e) => eprintln!("workflow failed: {e}"),
     }

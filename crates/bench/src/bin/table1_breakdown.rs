@@ -2,27 +2,59 @@
 //! checkpointing, below and beyond the EPC limit, for both server profiles. Also prints
 //! the PM encryption-metadata accounting of §VI (140 B per layer).
 
-use plinius_bench::{mirroring_sweep, table1, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB};
+use plinius_bench::{
+    mirroring_sweep, table1, RunMode, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
+};
 use sim_clock::CostModel;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] = if quick { &FIG7_SIZES_QUICK_MB } else { &FIG7_SIZES_MB };
+    let mode = RunMode::from_args();
+    let sizes: &[usize] = match mode {
+        RunMode::Smoke => &FIG7_SIZES_SMOKE_MB,
+        RunMode::Quick => &FIG7_SIZES_QUICK_MB,
+        _ => &FIG7_SIZES_MB,
+    };
     for cost in CostModel::both_servers() {
         match mirroring_sweep(&cost, sizes) {
             Ok(points) => {
                 let t = table1(&points);
-                println!("\nTable I — {} (quick={})", cost.profile, quick);
+                println!("\nTable I — {} ({mode} sweep)", cost.profile);
                 println!("  (a) Breakdown of mirroring steps (%)        below EPC   beyond EPC");
-                println!("      Save:    Encrypt                        {:>8.1}    {:>8.1}", t.save_encrypt_pct_below, t.save_encrypt_pct_beyond);
-                println!("               Write                          {:>8.1}    {:>8.1}", 100.0 - t.save_encrypt_pct_below, 100.0 - t.save_encrypt_pct_beyond);
-                println!("      Restore: Read                           {:>8.1}    {:>8.1}", t.restore_read_pct_below, t.restore_read_pct_beyond);
-                println!("               Decrypt                        {:>8.1}    {:>8.1}", 100.0 - t.restore_read_pct_below, 100.0 - t.restore_read_pct_beyond);
+                println!(
+                    "      Save:    Encrypt                        {:>8.1}    {:>8.1}",
+                    t.save_encrypt_pct_below, t.save_encrypt_pct_beyond
+                );
+                println!(
+                    "               Write                          {:>8.1}    {:>8.1}",
+                    100.0 - t.save_encrypt_pct_below,
+                    100.0 - t.save_encrypt_pct_beyond
+                );
+                println!(
+                    "      Restore: Read                           {:>8.1}    {:>8.1}",
+                    t.restore_read_pct_below, t.restore_read_pct_beyond
+                );
+                println!(
+                    "               Decrypt                        {:>8.1}    {:>8.1}",
+                    100.0 - t.restore_read_pct_below,
+                    100.0 - t.restore_read_pct_beyond
+                );
                 println!("  (b) Plinius speed-ups vs SSD                below EPC   beyond EPC");
-                println!("      Save:    Write                          {:>7.1}x    {:>7.1}x", t.write_speedup.0, t.write_speedup.1);
-                println!("               Total                          {:>7.1}x    {:>7.1}x", t.save_speedup.0, t.save_speedup.1);
-                println!("      Restore: Read                           {:>7.1}x    {:>7.1}x", t.read_speedup.0, t.read_speedup.1);
-                println!("               Total                          {:>7.1}x    {:>7.1}x", t.restore_speedup.0, t.restore_speedup.1);
+                println!(
+                    "      Save:    Write                          {:>7.1}x    {:>7.1}x",
+                    t.write_speedup.0, t.write_speedup.1
+                );
+                println!(
+                    "               Total                          {:>7.1}x    {:>7.1}x",
+                    t.save_speedup.0, t.save_speedup.1
+                );
+                println!(
+                    "      Restore: Read                           {:>7.1}x    {:>7.1}x",
+                    t.read_speedup.0, t.read_speedup.1
+                );
+                println!(
+                    "               Total                          {:>7.1}x    {:>7.1}x",
+                    t.restore_speedup.0, t.restore_speedup.1
+                );
             }
             Err(e) => eprintln!("sweep failed: {e}"),
         }

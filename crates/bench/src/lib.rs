@@ -98,12 +98,63 @@ pub const FIG7_SIZES_MB: [usize; 9] = [10, 22, 33, 44, 56, 67, 78, 89, 100];
 /// A reduced sweep used by `--quick` runs and the test suite.
 pub const FIG7_SIZES_QUICK_MB: [usize; 4] = [10, 44, 78, 100];
 
+/// A minimal sweep used by `--smoke` runs (bitrot guard for the bin harnesses).
+pub const FIG7_SIZES_SMOKE_MB: [usize; 2] = [1, 2];
+
+/// Scale of a figure-reproduction run, shared by every `src/bin/*` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Tiny bitrot-guard configuration (`--smoke`, used by the smoke tests).
+    Smoke,
+    /// Reduced sweep for interactive runs (`--quick`).
+    Quick,
+    /// The binary's default scale.
+    Default,
+    /// Paper-scale run (`--full`).
+    Full,
+}
+
+impl RunMode {
+    /// Parses the run mode from the process arguments.
+    ///
+    /// `--smoke` wins over `--quick`, which wins over `--full`; with none of
+    /// the flags present the binary runs at its default scale.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let has = |flag: &str| args.iter().any(|a| a == flag);
+        if has("--smoke") {
+            RunMode::Smoke
+        } else if has("--quick") {
+            RunMode::Quick
+        } else if has("--full") {
+            RunMode::Full
+        } else {
+            RunMode::Default
+        }
+    }
+}
+
+impl std::fmt::Display for RunMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RunMode::Smoke => "smoke",
+            RunMode::Quick => "quick",
+            RunMode::Default => "default",
+            RunMode::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Runs the Fig. 7 sweep for one server profile.
 ///
 /// # Errors
 ///
 /// Propagates the first failing point.
-pub fn mirroring_sweep(cost: &CostModel, sizes_mb: &[usize]) -> Result<Vec<MirrorPoint>, PliniusError> {
+pub fn mirroring_sweep(
+    cost: &CostModel,
+    sizes_mb: &[usize],
+) -> Result<Vec<MirrorPoint>, PliniusError> {
     sizes_mb.iter().map(|mb| mirror_point(cost, *mb)).collect()
 }
 
@@ -140,8 +191,16 @@ pub fn table1(points: &[MirrorPoint]) -> Table1 {
         points.iter().copied().partition(|p| !p.beyond_epc);
     // If one side is empty (e.g. a quick sweep below the EPC only), fall back to the
     // other so the ratios remain defined.
-    let below = if below.is_empty() { points.to_vec() } else { below };
-    let beyond = if beyond.is_empty() { below.clone() } else { beyond };
+    let below = if below.is_empty() {
+        points.to_vec()
+    } else {
+        below
+    };
+    let beyond = if beyond.is_empty() {
+        below.clone()
+    } else {
+        beyond
+    };
     let mean = |xs: &[MirrorPoint], f: &dyn Fn(&MirrorPoint) -> f64| -> f64 {
         xs.iter().map(f).sum::<f64>() / xs.len() as f64
     };
@@ -217,7 +276,8 @@ pub fn iteration_sweep(
     let network = build_network(&mnist_cnn_config(5, 16, 1), &mut rng)?;
     let flops_per_sample = network.flops_per_sample();
     let dataset = synthetic_mnist(pm_samples, &mut rng);
-    let pool_bytes = dataset.len() * (dataset.inputs() + dataset.classes() + 16) * 4 * 3 + (8 << 20);
+    let pool_bytes =
+        dataset.len() * (dataset.inputs() + dataset.classes() + 16) * 4 * 3 + (8 << 20);
     let ctx = PliniusContext::create(cost.clone(), pool_bytes)?;
     ctx.provision_key_directly(Key::generate_128(&mut rng));
     let pm = PmDataset::load(&ctx, &dataset)?;
@@ -227,12 +287,14 @@ pub fn iteration_sweep(
         // Encrypted path: decrypt the batch from PM, then the training compute.
         clock.reset();
         pm.decrypt_batch(&ctx, batch, &mut rng)?;
-        ctx.enclave().charge_compute(flops_per_sample * batch as u64);
+        ctx.enclave()
+            .charge_compute(flops_per_sample * batch as u64);
         let encrypted_s = clock.now_ns() as f64 / 1e9;
         // Plaintext path: stage the batch without decryption, then the same compute.
         clock.reset();
         pm.staging_cost_only(&ctx, batch);
-        ctx.enclave().charge_compute(flops_per_sample * batch as u64);
+        ctx.enclave()
+            .charge_compute(flops_per_sample * batch as u64);
         let plaintext_s = clock.now_ns() as f64 / 1e9;
         out.push(IterationPoint {
             batch,
@@ -269,34 +331,72 @@ impl TcbReport {
     }
 }
 
+/// Non-empty Rust lines under a crate's `src/` directory.
+fn crate_loc(crate_dir: &std::path::Path) -> usize {
+    let mut loc = 0usize;
+    let mut stack = vec![crate_dir.join("src")];
+    while let Some(dir) = stack.pop() {
+        let Ok(files) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for f in files.flatten() {
+            let p = f.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                if let Ok(text) = std::fs::read_to_string(&p) {
+                    loc += text.lines().filter(|l| !l.trim().is_empty()).count();
+                }
+            }
+        }
+    }
+    loc
+}
+
 /// Builds the TCB report by counting non-empty lines of every crate under `crates_dir`.
 pub fn tcb_report(crates_dir: &std::path::Path) -> TcbReport {
     // Classification mirrors Fig. 4: the crypto engine, the ML framework, Romulus and the
     // Plinius core run inside the enclave; PM mapping helpers, secondary storage, the
-    // spot simulator and the harnesses are untrusted-runtime components.
-    let trusted_crates = ["crypto", "darknet", "romulus", "plinius", "sgx"];
+    // spot simulator and the harnesses are untrusted-runtime components. Of the offline
+    // dependency shims, `rand` and `parking_lot` are linked into the enclave-side crates
+    // and therefore count toward the TCB; `bytes` serves the untrusted SSD baseline and
+    // `proptest`/`criterion` are test/bench-only.
+    let trusted_crates = [
+        "crypto",
+        "darknet",
+        "romulus",
+        "plinius",
+        "sgx",
+        "shims/rand",
+        "shims/parking_lot",
+    ];
     let mut report = TcbReport::default();
     let Ok(entries) = std::fs::read_dir(crates_dir) else {
         return report;
     };
+    let mut components: Vec<(String, std::path::PathBuf)> = Vec::new();
     for entry in entries.flatten() {
         let name = entry.file_name().to_string_lossy().to_string();
-        let mut loc = 0usize;
-        let src = entry.path().join("src");
-        let mut stack = vec![src];
-        while let Some(dir) = stack.pop() {
-            let Ok(files) = std::fs::read_dir(&dir) else { continue };
-            for f in files.flatten() {
-                let p = f.path();
-                if p.is_dir() {
-                    stack.push(p);
-                } else if p.extension().is_some_and(|e| e == "rs") {
-                    if let Ok(text) = std::fs::read_to_string(&p) {
-                        loc += text.lines().filter(|l| !l.trim().is_empty()).count();
-                    }
+        if name == "shims" {
+            // The shim crates live one level deeper; report each individually.
+            let Ok(shims) = std::fs::read_dir(entry.path()) else {
+                continue;
+            };
+            for shim in shims.flatten() {
+                let shim_name = shim.file_name().to_string_lossy().to_string();
+                // proptest/criterion are dev-dependencies only — never linked
+                // into the deployed system, so they belong in neither column.
+                if shim_name == "proptest" || shim_name == "criterion" {
+                    continue;
                 }
+                components.push((format!("shims/{shim_name}"), shim.path()));
             }
+        } else if entry.path().join("src").is_dir() {
+            components.push((name, entry.path()));
         }
+    }
+    for (name, path) in components {
+        let loc = crate_loc(&path);
         if trusted_crates.contains(&name.as_str()) {
             report.trusted.push((name, loc));
         } else {

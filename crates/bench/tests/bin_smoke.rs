@@ -1,0 +1,45 @@
+//! Bitrot guard for the figure-reproduction harness: every `src/bin/*` binary must run
+//! end-to-end on a tiny (`--smoke`) configuration without panicking and with output on
+//! stdout. Cargo builds the binaries alongside this test and exposes their paths via the
+//! `CARGO_BIN_EXE_<name>` environment variables.
+
+use std::process::Command;
+
+fn run_smoke(exe: &str, args: &[&str]) {
+    let output = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} {args:?} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "{exe} {args:?} produced no output"
+    );
+}
+
+macro_rules! smoke_test {
+    ($($name:ident => $exe:literal),+ $(,)?) => {$(
+        #[test]
+        fn $name() {
+            run_smoke(env!(concat!("CARGO_BIN_EXE_", $exe)), &["--smoke"]);
+        }
+    )+};
+}
+
+smoke_test! {
+    fig2_fio_runs => "fig2_fio",
+    fig6_sps_runs => "fig6_sps",
+    fig7_mirroring_runs => "fig7_mirroring",
+    fig8_batch_runs => "fig8_batch",
+    fig9_crash_runs => "fig9_crash",
+    fig10_spot_runs => "fig10_spot",
+    inference_accuracy_runs => "inference_accuracy",
+    table1_breakdown_runs => "table1_breakdown",
+    tcb_report_runs => "tcb_report",
+}

@@ -235,8 +235,10 @@ mod tests {
         let (ct, tag) = gcm.encrypt(&iv, &[], &pt).unwrap();
         assert_eq!(
             ct,
-            hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
-                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985")
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+            )
         );
         assert_eq!(tag.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
     }
@@ -255,8 +257,10 @@ mod tests {
         let (ct, tag) = gcm.encrypt(&iv, &aad, &pt).unwrap();
         assert_eq!(
             ct,
-            hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
-                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091")
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            )
         );
         assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
     }

@@ -62,14 +62,20 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::InvalidKeyLength(n) => {
-                write!(f, "invalid AES key length: {n} bytes (expected 16, 24 or 32)")
+                write!(
+                    f,
+                    "invalid AES key length: {n} bytes (expected 16, 24 or 32)"
+                )
             }
             CryptoError::InvalidIvLength(n) => write!(f, "invalid GCM IV length: {n} bytes"),
             CryptoError::AuthenticationFailed => {
                 write!(f, "authentication tag verification failed")
             }
             CryptoError::TruncatedSealedBuffer(n) => {
-                write!(f, "sealed buffer of {n} bytes is shorter than the 28-byte trailer")
+                write!(
+                    f,
+                    "sealed buffer of {n} bytes is shorter than the 28-byte trailer"
+                )
             }
         }
     }
@@ -86,7 +92,9 @@ pub struct Key {
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never print key bytes.
-        f.debug_struct("Key").field("bits", &(self.bytes.len() * 8)).finish()
+        f.debug_struct("Key")
+            .field("bits", &(self.bytes.len() * 8))
+            .finish()
     }
 }
 
@@ -149,11 +157,7 @@ impl SealedBuffer {
     /// # Errors
     ///
     /// Propagates [`CryptoError`] from the underlying GCM operation.
-    pub fn seal<R: RngCore>(
-        key: &Key,
-        plaintext: &[u8],
-        rng: &mut R,
-    ) -> Result<Self, CryptoError> {
+    pub fn seal<R: RngCore>(key: &Key, plaintext: &[u8], rng: &mut R) -> Result<Self, CryptoError> {
         Self::seal_with_aad(key, plaintext, &[], rng)
     }
 
@@ -359,6 +363,8 @@ mod tests {
             CryptoError::AuthenticationFailed.to_string(),
             "authentication tag verification failed"
         );
-        assert!(CryptoError::InvalidKeyLength(7).to_string().contains("7 bytes"));
+        assert!(CryptoError::InvalidKeyLength(7)
+            .to_string()
+            .contains("7 bytes"));
     }
 }

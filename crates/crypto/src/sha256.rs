@@ -207,7 +207,10 @@ mod tests {
     #[test]
     fn hmac_long_key_is_hashed_first() {
         let key = vec![0xaa; 131];
-        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             mac.to_vec(),
             hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")

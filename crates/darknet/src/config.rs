@@ -30,10 +30,12 @@ impl Section {
     fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, DarknetError> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw.trim().parse::<T>().map_err(|_| DarknetError::Config(format!(
-                "invalid value '{raw}' for '{key}' in section [{}]",
-                self.name
-            ))),
+            Some(raw) => raw.trim().parse::<T>().map_err(|_| {
+                DarknetError::Config(format!(
+                    "invalid value '{raw}' for '{key}' in section [{}]",
+                    self.name
+                ))
+            }),
         }
     }
 }
@@ -58,7 +60,10 @@ pub fn parse_config(text: &str) -> Result<Vec<Section>, DarknetError> {
             });
         } else if let Some((key, value)) = line.split_once('=') {
             let section = sections.last_mut().ok_or_else(|| {
-                DarknetError::Config(format!("option on line {} appears before any section", lineno + 1))
+                DarknetError::Config(format!(
+                    "option on line {} appears before any section",
+                    lineno + 1
+                ))
             })?;
             section
                 .options
@@ -118,7 +123,8 @@ pub fn build_network<R: Rng>(text: &str, rng: &mut R) -> Result<Network, Darknet
                     .unwrap_or("leaky")
                     .parse()
                     .map_err(|e| DarknetError::Config(format!("{e}")))?;
-                let layer = ConvLayer::new(h, w, c, filters, size, stride, pad, activation, batch, rng);
+                let layer =
+                    ConvLayer::new(h, w, c, filters, size, stride, pad, activation, batch, rng);
                 let (oc, oh, ow) = layer.out_shape();
                 layers.push(Layer::Convolutional(layer));
                 c = oc;
@@ -157,7 +163,9 @@ pub fn build_network<R: Rng>(text: &str, rng: &mut R) -> Result<Network, Darknet
                 layers.push(Layer::Softmax(SoftmaxLayer::new(c * h * w, batch)));
             }
             other => {
-                return Err(DarknetError::Config(format!("unsupported layer type [{other}]")));
+                return Err(DarknetError::Config(format!(
+                    "unsupported layer type [{other}]"
+                )));
             }
         }
     }
@@ -168,8 +176,23 @@ pub fn build_network<R: Rng>(text: &str, rng: &mut R) -> Result<Network, Darknet
 /// LReLU-convolutional layers (the model family used in Figs. 8–10 and the inference
 /// experiment of the paper).
 pub fn mnist_cnn_config(conv_layers: usize, filters: usize, batch: usize) -> String {
-    let mut cfg = String::from(
-        "[net]\nheight=28\nwidth=28\nchannels=1\nlearning_rate=0.1\nmomentum=0.9\ndecay=0.0001\n",
+    mnist_cnn_config_with_momentum(conv_layers, filters, batch, 0.9)
+}
+
+/// Like [`mnist_cnn_config`] but with an explicit SGD momentum.
+///
+/// Momentum 0 trades convergence speed for stability: the tiny demo models can
+/// overshoot after converging under the default `momentum=0.9`, and with zero
+/// momentum the whole training state lives in the persisted weight tensors,
+/// which makes mirror-based crash/resume bit-for-bit deterministic.
+pub fn mnist_cnn_config_with_momentum(
+    conv_layers: usize,
+    filters: usize,
+    batch: usize,
+    momentum: f32,
+) -> String {
+    let mut cfg = format!(
+        "[net]\nheight=28\nwidth=28\nchannels=1\nlearning_rate=0.1\nmomentum={momentum}\ndecay=0.0001\n",
     );
     cfg.push_str(&format!("batch={batch}\nmax_iterations=500\n\n"));
     for i in 0..conv_layers {

@@ -151,7 +151,11 @@ impl Dataset {
     ///
     /// Panics if `train > len()`.
     pub fn split(&self, train: usize) -> (Dataset, Dataset) {
-        assert!(train <= self.samples, "cannot take {train} of {} samples", self.samples);
+        assert!(
+            train <= self.samples,
+            "cannot take {train} of {} samples",
+            self.samples
+        );
         let train_ds = Dataset {
             samples: train,
             inputs: self.inputs,
@@ -240,8 +244,8 @@ pub fn synthetic_images<R: Rng>(
         let sq_col = ((class * 7) % width.saturating_sub(6).max(1)).min(width.saturating_sub(6));
         for y in 0..height {
             for x in 0..width {
-                let stripes = 0.35
-                    + 0.25 * ((x as f32) * fx * 0.45).sin() * ((y as f32) * fy * 0.45).cos();
+                let stripes =
+                    0.35 + 0.25 * ((x as f32) * fx * 0.45).sin() * ((y as f32) * fy * 0.45).cos();
                 let square = if y >= sq_row && y < sq_row + 6 && x >= sq_col && x < sq_col + 6 {
                     0.45
                 } else {
@@ -269,7 +273,9 @@ pub fn synthetic_images<R: Rng>(
 /// Returns [`DarknetError::IdxFormat`] if the magic number or lengths are wrong.
 pub fn parse_idx_images(bytes: &[u8]) -> Result<(usize, usize, usize, Vec<f32>), DarknetError> {
     if bytes.len() < 16 {
-        return Err(DarknetError::IdxFormat("image file shorter than header".into()));
+        return Err(DarknetError::IdxFormat(
+            "image file shorter than header".into(),
+        ));
     }
     let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes"));
     if magic != 0x0000_0803 {
@@ -301,7 +307,9 @@ pub fn parse_idx_images(bytes: &[u8]) -> Result<(usize, usize, usize, Vec<f32>),
 /// Returns [`DarknetError::IdxFormat`] if the magic number or lengths are wrong.
 pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<u8>, DarknetError> {
     if bytes.len() < 8 {
-        return Err(DarknetError::IdxFormat("label file shorter than header".into()));
+        return Err(DarknetError::IdxFormat(
+            "label file shorter than header".into(),
+        ));
     }
     let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("4 bytes"));
     if magic != 0x0000_0801 {

@@ -35,7 +35,10 @@ impl ConnectedLayer {
         batch: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(inputs > 0 && outputs > 0, "connected layer needs non-zero dimensions");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "connected layer needs non-zero dimensions"
+        );
         let scale = (2.0 / inputs as f32).sqrt();
         let weights = (0..inputs * outputs)
             .map(|_| rng.gen_range(-1.0f32..1.0) * scale)
@@ -85,7 +88,10 @@ impl ConnectedLayer {
     ///
     /// Panics if `input` is shorter than `batch * inputs()`.
     pub fn forward(&mut self, input: &[f32], batch: usize) {
-        assert!(input.len() >= batch * self.inputs, "connected input too small");
+        assert!(
+            input.len() >= batch * self.inputs,
+            "connected input too small"
+        );
         self.ensure_batch(batch);
         let out = &mut self.output[..batch * self.outputs];
         out.iter_mut().for_each(|o| *o = 0.0);
@@ -120,7 +126,10 @@ impl ConnectedLayer {
     ///
     /// Panics if the buffers are inconsistent with `batch`.
     pub fn backward(&mut self, input: &[f32], prev_delta: Option<&mut [f32]>, batch: usize) {
-        assert!(input.len() >= batch * self.inputs, "connected input too small");
+        assert!(
+            input.len() >= batch * self.inputs,
+            "connected input too small"
+        );
         let out = &self.output[..batch * self.outputs];
         let delta = &mut self.delta[..batch * self.outputs];
         self.activation.gradient_slice(out, delta);
@@ -169,10 +178,18 @@ impl ConnectedLayer {
     /// Applies accumulated gradients (SGD + momentum + decay, Darknet convention).
     pub fn update(&mut self, args: &UpdateArgs) {
         let batch = args.batch.max(1) as f32;
-        axpy(args.learning_rate / batch, &self.bias_updates, &mut self.biases);
+        axpy(
+            args.learning_rate / batch,
+            &self.bias_updates,
+            &mut self.biases,
+        );
         scal(args.momentum, &mut self.bias_updates);
-        axpy(-args.decay * batch, &self.weights.clone(), &mut self.weight_updates);
-        axpy(args.learning_rate / batch, &self.weight_updates, &mut self.weights);
+        axpy(-args.decay * batch, &self.weights, &mut self.weight_updates);
+        axpy(
+            args.learning_rate / batch,
+            &self.weight_updates,
+            &mut self.weights,
+        );
         scal(args.momentum, &mut self.weight_updates);
     }
 
@@ -194,11 +211,26 @@ impl ConnectedLayer {
     /// The five named parameter tensors of this layer.
     pub fn params(&self) -> Vec<ParamView<'_>> {
         vec![
-            ParamView { name: PARAM_TENSOR_NAMES[0], data: &self.weights },
-            ParamView { name: PARAM_TENSOR_NAMES[1], data: &self.biases },
-            ParamView { name: PARAM_TENSOR_NAMES[2], data: &self.scales },
-            ParamView { name: PARAM_TENSOR_NAMES[3], data: &self.rolling_mean },
-            ParamView { name: PARAM_TENSOR_NAMES[4], data: &self.rolling_variance },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[0],
+                data: &self.weights,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[1],
+                data: &self.biases,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[2],
+                data: &self.scales,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[3],
+                data: &self.rolling_mean,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[4],
+                data: &self.rolling_variance,
+            },
         ]
     }
 
@@ -217,7 +249,11 @@ impl ConnectedLayer {
             &mut self.rolling_variance,
         ];
         for (target, source) in targets.into_iter().zip(tensors.iter()) {
-            assert_eq!(target.len(), source.len(), "parameter tensor length mismatch");
+            assert_eq!(
+                target.len(),
+                source.len(),
+                "parameter tensor length mismatch"
+            );
             target.copy_from_slice(source);
         }
     }
@@ -271,7 +307,11 @@ mod tests {
             minus.forward(&input, 1);
             let lm: f32 = minus.output().iter().sum();
             let numeric = (lp - lm) / (2.0 * eps);
-            assert!((numeric - analytic_w[wi]).abs() < 1e-2, "w{wi}: {numeric} vs {}", analytic_w[wi]);
+            assert!(
+                (numeric - analytic_w[wi]).abs() < 1e-2,
+                "w{wi}: {numeric} vs {}",
+                analytic_w[wi]
+            );
         }
         for xi in 0..5 {
             let mut plus = input.clone();
@@ -283,7 +323,11 @@ mod tests {
             layer.forward(&minus, 1);
             let lm: f32 = layer.output().iter().sum();
             let numeric = (lp - lm) / (2.0 * eps);
-            assert!((numeric - prev_delta[xi]).abs() < 1e-2, "x{xi}: {numeric} vs {}", prev_delta[xi]);
+            assert!(
+                (numeric - prev_delta[xi]).abs() < 1e-2,
+                "x{xi}: {numeric} vs {}",
+                prev_delta[xi]
+            );
         }
     }
 

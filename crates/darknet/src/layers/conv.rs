@@ -57,7 +57,10 @@ impl ConvLayer {
         batch: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(filters > 0 && ksize > 0 && stride > 0, "bad convolution geometry");
+        assert!(
+            filters > 0 && ksize > 0 && stride > 0,
+            "bad convolution geometry"
+        );
         let out_h = conv_out_dim(in_h, ksize, stride, pad);
         let out_w = conv_out_dim(in_w, ksize, stride, pad);
         assert!(out_h > 0 && out_w > 0, "convolution output is empty");
@@ -136,7 +139,10 @@ impl ConvLayer {
     ///
     /// Panics if `input` is shorter than `batch * inputs()`.
     pub fn forward(&mut self, input: &[f32], batch: usize) {
-        assert!(input.len() >= batch * self.inputs(), "convolution input too small");
+        assert!(
+            input.len() >= batch * self.inputs(),
+            "convolution input too small"
+        );
         self.ensure_batch(batch);
         let m = self.filters;
         let k = self.in_c * self.ksize * self.ksize;
@@ -187,7 +193,10 @@ impl ConvLayer {
     ///
     /// Panics if the buffers are inconsistent with `batch`.
     pub fn backward(&mut self, input: &[f32], mut prev_delta: Option<&mut [f32]>, batch: usize) {
-        assert!(input.len() >= batch * self.inputs(), "convolution input too small");
+        assert!(
+            input.len() >= batch * self.inputs(),
+            "convolution input too small"
+        );
         let m = self.filters;
         let k = self.in_c * self.ksize * self.ksize;
         let n = self.out_h * self.out_w;
@@ -264,10 +273,18 @@ impl ConvLayer {
     /// update rule; `delta` holds the negative gradient so updates are additive).
     pub fn update(&mut self, args: &UpdateArgs) {
         let batch = args.batch.max(1) as f32;
-        axpy(args.learning_rate / batch, &self.bias_updates, &mut self.biases);
+        axpy(
+            args.learning_rate / batch,
+            &self.bias_updates,
+            &mut self.biases,
+        );
         scal(args.momentum, &mut self.bias_updates);
-        axpy(-args.decay * batch, &self.weights.clone(), &mut self.weight_updates);
-        axpy(args.learning_rate / batch, &self.weight_updates, &mut self.weights);
+        axpy(-args.decay * batch, &self.weights, &mut self.weight_updates);
+        axpy(
+            args.learning_rate / batch,
+            &self.weight_updates,
+            &mut self.weights,
+        );
         scal(args.momentum, &mut self.weight_updates);
     }
 
@@ -289,11 +306,26 @@ impl ConvLayer {
     /// The five named parameter tensors of this layer.
     pub fn params(&self) -> Vec<ParamView<'_>> {
         vec![
-            ParamView { name: PARAM_TENSOR_NAMES[0], data: &self.weights },
-            ParamView { name: PARAM_TENSOR_NAMES[1], data: &self.biases },
-            ParamView { name: PARAM_TENSOR_NAMES[2], data: &self.scales },
-            ParamView { name: PARAM_TENSOR_NAMES[3], data: &self.rolling_mean },
-            ParamView { name: PARAM_TENSOR_NAMES[4], data: &self.rolling_variance },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[0],
+                data: &self.weights,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[1],
+                data: &self.biases,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[2],
+                data: &self.scales,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[3],
+                data: &self.rolling_mean,
+            },
+            ParamView {
+                name: PARAM_TENSOR_NAMES[4],
+                data: &self.rolling_variance,
+            },
         ]
     }
 
@@ -312,7 +344,11 @@ impl ConvLayer {
             &mut self.rolling_variance,
         ];
         for (target, source) in targets.into_iter().zip(tensors.iter()) {
-            assert_eq!(target.len(), source.len(), "parameter tensor length mismatch");
+            assert_eq!(
+                target.len(),
+                source.len(),
+                "parameter tensor length mismatch"
+            );
             target.copy_from_slice(source);
         }
     }
@@ -344,7 +380,10 @@ mod tests {
         assert_eq!(l.filters(), 2);
         assert_eq!(l.ksize(), 3);
         assert_eq!(l.activation(), Activation::Leaky);
-        assert_eq!(l.params().iter().map(|p| p.data.len()).sum::<usize>(), 2 * 9 + 2 + 2 + 2 + 2);
+        assert_eq!(
+            l.params().iter().map(|p| p.data.len()).sum::<usize>(),
+            2 * 9 + 2 + 2 + 2 + 2
+        );
     }
 
     #[test]
@@ -463,8 +502,8 @@ mod tests {
     fn flops_are_positive_and_scale_with_filters() {
         let small = small_layer(1).flops_per_sample();
         let mut rng = StdRng::seed_from_u64(7);
-        let big = ConvLayer::new(5, 5, 1, 8, 3, 1, 1, Activation::Leaky, 1, &mut rng)
-            .flops_per_sample();
+        let big =
+            ConvLayer::new(5, 5, 1, 8, 3, 1, 1, Activation::Leaky, 1, &mut rng).flops_per_sample();
         assert!(small > 0);
         assert_eq!(big, small * 4);
     }

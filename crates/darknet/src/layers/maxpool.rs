@@ -25,9 +25,19 @@ impl MaxPoolLayer {
     /// # Panics
     ///
     /// Panics if the pooling window is larger than the input.
-    pub fn new(in_h: usize, in_w: usize, in_c: usize, size: usize, stride: usize, batch: usize) -> Self {
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        in_c: usize,
+        size: usize,
+        stride: usize,
+        batch: usize,
+    ) -> Self {
         assert!(size > 0 && stride > 0, "bad pooling geometry");
-        assert!(size <= in_h && size <= in_w, "pooling window larger than input");
+        assert!(
+            size <= in_h && size <= in_w,
+            "pooling window larger than input"
+        );
         let out_h = conv_out_dim(in_h, size, stride, 0);
         let out_w = conv_out_dim(in_w, size, stride, 0);
         let outputs = in_c * out_h * out_w;
@@ -75,7 +85,10 @@ impl MaxPoolLayer {
     ///
     /// Panics if `input` is shorter than `batch * inputs()`.
     pub fn forward(&mut self, input: &[f32], batch: usize) {
-        assert!(input.len() >= batch * self.inputs(), "maxpool input too small");
+        assert!(
+            input.len() >= batch * self.inputs(),
+            "maxpool input too small"
+        );
         self.ensure_batch(batch);
         for b in 0..batch {
             let sample = &input[b * self.inputs()..(b + 1) * self.inputs()];
@@ -97,8 +110,7 @@ impl MaxPoolLayer {
                                 }
                             }
                         }
-                        let out_idx =
-                            b * self.outputs() + (c * self.out_h + oh) * self.out_w + ow;
+                        let out_idx = b * self.outputs() + (c * self.out_h + oh) * self.out_w + ow;
                         self.output[out_idx] = best;
                         self.indexes[out_idx] = best_idx;
                     }

@@ -69,8 +69,13 @@ impl fmt::Display for LayerKind {
 pub const PARAM_TENSORS_PER_LAYER: usize = 5;
 
 /// The canonical names of the per-layer parameter tensors.
-pub const PARAM_TENSOR_NAMES: [&str; PARAM_TENSORS_PER_LAYER] =
-    ["weights", "biases", "scales", "rolling_mean", "rolling_variance"];
+pub const PARAM_TENSOR_NAMES: [&str; PARAM_TENSORS_PER_LAYER] = [
+    "weights",
+    "biases",
+    "scales",
+    "rolling_mean",
+    "rolling_variance",
+];
 
 /// A read-only view of one named parameter tensor of a layer.
 #[derive(Debug, Clone, Copy)]
@@ -211,7 +216,10 @@ impl Layer {
             Layer::Convolutional(l) => l.set_params(tensors),
             Layer::Connected(l) => l.set_params(tensors),
             Layer::MaxPool(_) | Layer::Softmax(_) => {
-                assert!(tensors.is_empty(), "non-trainable layer received parameters");
+                assert!(
+                    tensors.is_empty(),
+                    "non-trainable layer received parameters"
+                );
             }
         }
     }
@@ -259,7 +267,16 @@ mod tests {
     fn trainable_layers_expose_five_param_tensors() {
         let mut rng = StdRng::seed_from_u64(1);
         let conv = Layer::Convolutional(ConvLayer::new(
-            8, 8, 1, 4, 3, 1, 1, Activation::Leaky, 2, &mut rng,
+            8,
+            8,
+            1,
+            4,
+            3,
+            1,
+            1,
+            Activation::Leaky,
+            2,
+            &mut rng,
         ));
         let fc = Layer::Connected(ConnectedLayer::new(16, 10, Activation::Linear, 2, &mut rng));
         for layer in [&conv, &fc] {

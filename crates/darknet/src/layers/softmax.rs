@@ -45,7 +45,10 @@ impl SoftmaxLayer {
     ///
     /// Panics if `input` is shorter than `batch * outputs()`.
     pub fn forward(&mut self, input: &[f32], batch: usize) {
-        assert!(input.len() >= batch * self.inputs, "softmax input too small");
+        assert!(
+            input.len() >= batch * self.inputs,
+            "softmax input too small"
+        );
         self.ensure_batch(batch);
         for b in 0..batch {
             let row = &input[b * self.inputs..(b + 1) * self.inputs];

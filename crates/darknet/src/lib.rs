@@ -45,7 +45,10 @@ pub mod matrix;
 pub mod network;
 
 pub use activation::Activation;
-pub use config::{build_network, mnist_cnn_config, parse_config, sized_model_config};
+pub use config::{
+    build_network, mnist_cnn_config, mnist_cnn_config_with_momentum, parse_config,
+    sized_model_config,
+};
 pub use data::{synthetic_images, synthetic_mnist, Dataset};
 pub use layers::{Layer, LayerKind, ParamView, UpdateArgs, PARAM_TENSORS_PER_LAYER};
 pub use matrix::Matrix;
@@ -137,14 +140,21 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert_eq!(DarknetError::EmptyNetwork.to_string(), "network has no layers");
+        assert_eq!(
+            DarknetError::EmptyNetwork.to_string(),
+            "network has no layers"
+        );
         let shape = DarknetError::ShapeMismatch {
             layer: 2,
             expected: 100,
             actual: 50,
         };
         assert!(shape.to_string().contains("layer 2"));
-        assert!(DarknetError::Config("x".into()).to_string().contains("configuration"));
-        assert!(DarknetError::IdxFormat("bad magic".into()).to_string().contains("bad magic"));
+        assert!(DarknetError::Config("x".into())
+            .to_string()
+            .contains("configuration"));
+        assert!(DarknetError::IdxFormat("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 }

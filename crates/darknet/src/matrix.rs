@@ -193,7 +193,10 @@ pub fn gemm(
     c: &mut [f32],
     ldc: usize,
 ) {
-    assert!(c.len() >= (m.saturating_sub(1)) * ldc + n, "C buffer too small");
+    assert!(
+        c.len() >= (m.saturating_sub(1)) * ldc + n,
+        "C buffer too small"
+    );
     if beta != 1.0 {
         for i in 0..m {
             for j in 0..n {
@@ -246,7 +249,10 @@ pub fn im2col(
     let out_h = conv_out_dim(height, ksize, stride, pad);
     let out_w = conv_out_dim(width, ksize, stride, pad);
     let channels_col = channels * ksize * ksize;
-    assert!(output.len() >= channels_col * out_h * out_w, "im2col output too small");
+    assert!(
+        output.len() >= channels_col * out_h * out_w,
+        "im2col output too small"
+    );
     for c in 0..channels_col {
         let w_offset = c % ksize;
         let h_offset = (c / ksize) % ksize;
@@ -286,7 +292,10 @@ pub fn col2im(
     let out_h = conv_out_dim(height, ksize, stride, pad);
     let out_w = conv_out_dim(width, ksize, stride, pad);
     let channels_col = channels * ksize * ksize;
-    assert!(output.len() >= channels * height * width, "col2im output too small");
+    assert!(
+        output.len() >= channels * height * width,
+        "col2im output too small"
+    );
     for c in 0..channels_col {
         let w_offset = c % ksize;
         let h_offset = (c / ksize) % ksize;
@@ -383,7 +392,21 @@ mod tests {
         let b = Matrix::random(k, n, 1.0, &mut rng);
         // Reference: C = A * B.
         let mut c_ref = vec![0.0; m * n];
-        gemm(false, false, m, n, k, 1.0, a.data(), k, b.data(), n, 0.0, &mut c_ref, n);
+        gemm(
+            false,
+            false,
+            m,
+            n,
+            k,
+            1.0,
+            a.data(),
+            k,
+            b.data(),
+            n,
+            0.0,
+            &mut c_ref,
+            n,
+        );
         // A^T stored transposed (k x m) then used with ta=true.
         let mut a_t = vec![0.0; k * m];
         for i in 0..m {
@@ -392,7 +415,21 @@ mod tests {
             }
         }
         let mut c_ta = vec![0.0; m * n];
-        gemm(true, false, m, n, k, 1.0, &a_t, m, b.data(), n, 0.0, &mut c_ta, n);
+        gemm(
+            true,
+            false,
+            m,
+            n,
+            k,
+            1.0,
+            &a_t,
+            m,
+            b.data(),
+            n,
+            0.0,
+            &mut c_ta,
+            n,
+        );
         for (x, y) in c_ref.iter().zip(c_ta.iter()) {
             assert!((x - y).abs() < 1e-5);
         }
@@ -404,7 +441,21 @@ mod tests {
             }
         }
         let mut c_tb = vec![0.0; m * n];
-        gemm(false, true, m, n, k, 1.0, a.data(), k, &b_t, k, 0.0, &mut c_tb, n);
+        gemm(
+            false,
+            true,
+            m,
+            n,
+            k,
+            1.0,
+            a.data(),
+            k,
+            &b_t,
+            k,
+            0.0,
+            &mut c_tb,
+            n,
+        );
         for (x, y) in c_ref.iter().zip(c_tb.iter()) {
             assert!((x - y).abs() < 1e-5);
         }

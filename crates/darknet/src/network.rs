@@ -188,7 +188,12 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`DarknetError::BatchMismatch`] if the buffers do not match the batch.
-    pub fn train_batch(&mut self, images: &[f32], labels: &[f32], batch: usize) -> Result<f32, DarknetError> {
+    pub fn train_batch(
+        &mut self,
+        images: &[f32],
+        labels: &[f32],
+        batch: usize,
+    ) -> Result<f32, DarknetError> {
         let inputs = self.config.inputs();
         let outputs = self.outputs();
         if images.len() < batch * inputs || labels.len() < batch * outputs {
@@ -267,7 +272,11 @@ impl Network {
     ///
     /// Panics if the dataset shapes do not match the network.
     pub fn accuracy(&mut self, dataset: &Dataset) -> f32 {
-        assert_eq!(dataset.inputs(), self.config.inputs(), "dataset input size mismatch");
+        assert_eq!(
+            dataset.inputs(),
+            self.config.inputs(),
+            "dataset input size mismatch"
+        );
         let n = dataset.len();
         if n == 0 {
             return 0.0;
@@ -295,7 +304,15 @@ impl fmt::Display for Network {
         )?;
         for (i, layer) in self.layers.iter().enumerate() {
             let (c, h, w) = layer.out_shape();
-            writeln!(f, "  {:>2}: {:<14} -> {}x{}x{}", i, layer.kind().to_string(), c, h, w)?;
+            writeln!(
+                f,
+                "  {:>2}: {:<14} -> {}x{}x{}",
+                i,
+                layer.kind().to_string(),
+                c,
+                h,
+                w
+            )?;
         }
         Ok(())
     }
@@ -323,8 +340,20 @@ mod tests {
             max_iterations: 100,
         };
         let layers = vec![
-            Layer::Connected(ConnectedLayer::new(inputs, 16, Activation::Leaky, batch, &mut rng)),
-            Layer::Connected(ConnectedLayer::new(16, classes, Activation::Linear, batch, &mut rng)),
+            Layer::Connected(ConnectedLayer::new(
+                inputs,
+                16,
+                Activation::Leaky,
+                batch,
+                &mut rng,
+            )),
+            Layer::Connected(ConnectedLayer::new(
+                16,
+                classes,
+                Activation::Linear,
+                batch,
+                &mut rng,
+            )),
             Layer::Softmax(SoftmaxLayer::new(classes, batch)),
         ];
         Network::new(config, layers).unwrap()
@@ -381,7 +410,11 @@ mod tests {
         ))];
         assert!(matches!(
             Network::new(config, layers).unwrap_err(),
-            DarknetError::ShapeMismatch { layer: 0, expected: 7, actual: 10 }
+            DarknetError::ShapeMismatch {
+                layer: 0,
+                expected: 7,
+                actual: 10
+            }
         ));
     }
 
@@ -416,7 +449,10 @@ mod tests {
         for _ in 0..60 {
             last = net.train_batch(&images, &labels, 8).unwrap();
         }
-        assert!(last < first * 0.5, "loss did not decrease: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "loss did not decrease: {first} -> {last}"
+        );
         assert_eq!(net.iteration(), 61);
         assert!(net.last_loss().is_finite());
     }

@@ -92,6 +92,8 @@ pub enum PliniusError {
     NoPmDataset,
     /// The persisted mirror is structurally incompatible with the enclave model.
     MirrorMismatch(String),
+    /// A trainer/workflow configuration value is out of its valid range.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for PliniusError {
@@ -106,11 +108,14 @@ impl fmt::Display for PliniusError {
             PliniusError::KeyNotProvisioned => {
                 write!(f, "model key has not been provisioned to the enclave")
             }
-            PliniusError::NoMirrorModel => write!(f, "no mirror model present in persistent memory"),
+            PliniusError::NoMirrorModel => {
+                write!(f, "no mirror model present in persistent memory")
+            }
             PliniusError::NoPmDataset => {
                 write!(f, "no training dataset present in persistent memory")
             }
             PliniusError::MirrorMismatch(msg) => write!(f, "mirror model mismatch: {msg}"),
+            PliniusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -311,7 +316,7 @@ pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
 ///
 /// Returns [`PliniusError::MirrorMismatch`] if the byte length is not a multiple of 4.
 pub fn bytes_to_f32s(bytes: &[u8]) -> Result<Vec<f32>, PliniusError> {
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(PliniusError::MirrorMismatch(format!(
             "tensor byte length {} is not a multiple of 4",
             bytes.len()
@@ -330,7 +335,10 @@ mod tests {
     #[test]
     fn context_creation_and_key_provisioning() {
         let ctx = PliniusContext::small_test(256 * 1024);
-        assert!(matches!(ctx.key().unwrap_err(), PliniusError::KeyNotProvisioned));
+        assert!(matches!(
+            ctx.key().unwrap_err(),
+            PliniusError::KeyNotProvisioned
+        ));
         let mut rng = StdRng::seed_from_u64(1);
         let key = Key::generate_128(&mut rng);
         ctx.provision_key_directly(key.clone());
@@ -344,10 +352,13 @@ mod tests {
         let service = AttestationService::new(b"platform".to_vec());
         let mut rng = StdRng::seed_from_u64(2);
         let good_owner = DataOwner::new(Key::generate_128(&mut rng), ctx.enclave().measurement());
-        ctx.provision_key_via_attestation(&good_owner, &service).unwrap();
+        ctx.provision_key_via_attestation(&good_owner, &service)
+            .unwrap();
         assert!(ctx.key().is_ok());
         let bad_owner = DataOwner::new(Key::generate_128(&mut rng), [0u8; 32]);
-        assert!(ctx.provision_key_via_attestation(&bad_owner, &service).is_err());
+        assert!(ctx
+            .provision_key_via_attestation(&bad_owner, &service)
+            .is_err());
     }
 
     #[test]

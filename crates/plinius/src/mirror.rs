@@ -25,6 +25,9 @@ pub const ROOT_MODEL: usize = 0;
 /// Number of encrypted parameter buffers per mirrored layer.
 const TENSORS_PER_LAYER: usize = plinius_darknet::PARAM_TENSORS_PER_LAYER;
 
+/// The sealed model image: `[layer][tensor]` encrypted parameter blobs.
+type SealedModel = Vec<Vec<Vec<u8>>>;
+
 /// Byte size of the persistent model header: `[iteration][num_layers][first_layer_ptr]`.
 const HEADER_BYTES: usize = 24;
 
@@ -99,7 +102,12 @@ impl MirrorModel {
             .layers()
             .iter()
             .filter(|l| l.is_trainable())
-            .map(|l| l.params().iter().map(|p| p.data.len() * 4 + SEAL_OVERHEAD).collect())
+            .map(|l| {
+                l.params()
+                    .iter()
+                    .map(|p| p.data.len() * 4 + SEAL_OVERHEAD)
+                    .collect()
+            })
             .collect();
         let num_layers = layer_tensor_lens.len() as u64;
         let mut header = PmPtr::NULL;
@@ -183,7 +191,10 @@ impl MirrorModel {
     /// Bytes of per-layer encryption metadata stored on PM (28 B per tensor, 140 B per
     /// layer with five tensors), as accounted in §VI of the paper.
     pub fn metadata_bytes(&self) -> usize {
-        self.sealed_lens.iter().map(|l| l.len() * SEAL_OVERHEAD).sum()
+        self.sealed_lens
+            .iter()
+            .map(|l| l.len() * SEAL_OVERHEAD)
+            .sum()
     }
 
     /// The iteration counter currently stored in the mirror header.
@@ -211,7 +222,11 @@ impl MirrorModel {
         let key = ctx.key()?;
         let clock = ctx.clock();
         let mut rng = ctx.enclave_rng();
-        let trainable: Vec<_> = network.layers().iter().filter(|l| l.is_trainable()).collect();
+        let trainable: Vec<_> = network
+            .layers()
+            .iter()
+            .filter(|l| l.is_trainable())
+            .collect();
         if trainable.len() != self.layer_nodes.len() {
             return Err(PliniusError::MirrorMismatch(format!(
                 "enclave model has {} trainable layers, mirror has {}",
@@ -221,7 +236,7 @@ impl MirrorModel {
         }
         let mut model_bytes = 0usize;
         // Phase 1: in-enclave encryption of every parameter tensor.
-        let (sealed, encrypt) = SimSpan::record(&clock, || -> Result<Vec<Vec<Vec<u8>>>, PliniusError> {
+        let (sealed, encrypt) = SimSpan::record(&clock, || -> Result<SealedModel, PliniusError> {
             let mut all = Vec::with_capacity(trainable.len());
             for (i, layer) in trainable.iter().enumerate() {
                 let mut layer_blobs = Vec::with_capacity(TENSORS_PER_LAYER);
@@ -288,59 +303,62 @@ impl MirrorModel {
         let clock = ctx.clock();
         let rom = ctx.romulus();
         // Phase 1: read encrypted buffers from PM into enclave memory.
-        let (read_out, read) = SimSpan::record(&clock, || -> Result<(u64, Vec<Vec<Vec<u8>>>), PliniusError> {
-            let iteration = rom.read_u64(self.header)?;
-            let mut all = Vec::with_capacity(self.layer_nodes.len());
-            for (node_idx, node) in self.layer_nodes.iter().enumerate() {
-                let mut layer_blobs = Vec::with_capacity(TENSORS_PER_LAYER);
-                for (j, sealed_len) in self.sealed_lens[node_idx].iter().enumerate() {
-                    let ptr = PmPtr::from_offset(rom.read_u64(node.add(16 + (j as u64) * 16))?);
-                    layer_blobs.push(rom.read_bytes(ptr, *sealed_len)?);
+        let (read_out, read) =
+            SimSpan::record(&clock, || -> Result<(u64, SealedModel), PliniusError> {
+                let iteration = rom.read_u64(self.header)?;
+                let mut all = Vec::with_capacity(self.layer_nodes.len());
+                for (node_idx, node) in self.layer_nodes.iter().enumerate() {
+                    let mut layer_blobs = Vec::with_capacity(TENSORS_PER_LAYER);
+                    for (j, sealed_len) in self.sealed_lens[node_idx].iter().enumerate() {
+                        let ptr = PmPtr::from_offset(rom.read_u64(node.add(16 + (j as u64) * 16))?);
+                        layer_blobs.push(rom.read_bytes(ptr, *sealed_len)?);
+                    }
+                    all.push(layer_blobs);
                 }
-                all.push(layer_blobs);
-            }
-            Ok((iteration, all))
-        });
+                Ok((iteration, all))
+            });
         let (iteration, blobs) = read_out?;
         // Phase 2: in-enclave decryption and installation into the enclave model.
-        let (decrypt_result, decrypt) = SimSpan::record(&clock, || -> Result<usize, PliniusError> {
-            let mut model_bytes = 0usize;
-            let mut node_idx = 0usize;
-            for layer in network.layers_mut().iter_mut() {
-                if !layer.is_trainable() {
-                    continue;
-                }
-                if node_idx >= blobs.len() {
-                    return Err(PliniusError::MirrorMismatch(
-                        "enclave model has more trainable layers than the mirror".into(),
-                    ));
-                }
-                let mut tensors = Vec::with_capacity(TENSORS_PER_LAYER);
-                for (j, blob) in blobs[node_idx].iter().enumerate() {
-                    ctx.enclave().charge_crypto(blob.len() as u64);
-                    let aad = format!("layer{node_idx}-tensor{j}");
-                    let sealed = SealedBuffer::from_bytes(blob.clone())?;
-                    let plaintext = sealed.open_with_aad(&key, aad.as_bytes())?;
-                    model_bytes += plaintext.len();
-                    tensors.push(bytes_to_f32s(&plaintext)?);
-                }
-                let expected: Vec<usize> = layer.params().iter().map(|p| p.data.len()).collect();
-                let got: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
-                if expected != got {
-                    return Err(PliniusError::MirrorMismatch(format!(
+        let (decrypt_result, decrypt) =
+            SimSpan::record(&clock, || -> Result<usize, PliniusError> {
+                let mut model_bytes = 0usize;
+                let mut node_idx = 0usize;
+                for layer in network.layers_mut().iter_mut() {
+                    if !layer.is_trainable() {
+                        continue;
+                    }
+                    if node_idx >= blobs.len() {
+                        return Err(PliniusError::MirrorMismatch(
+                            "enclave model has more trainable layers than the mirror".into(),
+                        ));
+                    }
+                    let mut tensors = Vec::with_capacity(TENSORS_PER_LAYER);
+                    for (j, blob) in blobs[node_idx].iter().enumerate() {
+                        ctx.enclave().charge_crypto(blob.len() as u64);
+                        let aad = format!("layer{node_idx}-tensor{j}");
+                        let sealed = SealedBuffer::from_bytes(blob.clone())?;
+                        let plaintext = sealed.open_with_aad(&key, aad.as_bytes())?;
+                        model_bytes += plaintext.len();
+                        tensors.push(bytes_to_f32s(&plaintext)?);
+                    }
+                    let expected: Vec<usize> =
+                        layer.params().iter().map(|p| p.data.len()).collect();
+                    let got: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
+                    if expected != got {
+                        return Err(PliniusError::MirrorMismatch(format!(
                         "layer {node_idx}: expected tensor sizes {expected:?}, mirror holds {got:?}"
                     )));
+                    }
+                    layer.set_params(&tensors);
+                    node_idx += 1;
                 }
-                layer.set_params(&tensors);
-                node_idx += 1;
-            }
-            if node_idx != blobs.len() {
-                return Err(PliniusError::MirrorMismatch(
-                    "mirror holds more layers than the enclave model".into(),
-                ));
-            }
-            Ok(model_bytes)
-        });
+                if node_idx != blobs.len() {
+                    return Err(PliniusError::MirrorMismatch(
+                        "mirror holds more layers than the enclave model".into(),
+                    ));
+                }
+                Ok(model_bytes)
+            });
         let model_bytes = decrypt_result?;
         network.set_iteration(iteration);
         Ok(MirrorInReport {
@@ -376,7 +394,12 @@ mod tests {
         net.layers()
             .iter()
             .filter(|l| l.is_trainable())
-            .flat_map(|l| l.params().iter().map(|p| p.data.to_vec()).collect::<Vec<_>>())
+            .flat_map(|l| {
+                l.params()
+                    .iter()
+                    .map(|p| p.data.to_vec())
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 

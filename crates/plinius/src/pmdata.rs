@@ -89,7 +89,8 @@ impl PmDataset {
             index = end;
         }
         // Publish the dataset root only after all samples are durable.
-        ctx.romulus().transaction(|tx| tx.set_root(ROOT_DATASET, header))?;
+        ctx.romulus()
+            .transaction(|tx| tx.set_root(ROOT_DATASET, header))?;
         Ok(PmDataset {
             header,
             block,
@@ -157,7 +158,11 @@ impl PmDataset {
     ///
     /// Returns an authentication error if the PM copy was tampered with, or
     /// [`PliniusError::MirrorMismatch`] for an index out of range.
-    pub fn sample(&self, ctx: &PliniusContext, index: usize) -> Result<(Vec<f32>, Vec<f32>), PliniusError> {
+    pub fn sample(
+        &self,
+        ctx: &PliniusContext,
+        index: usize,
+    ) -> Result<(Vec<f32>, Vec<f32>), PliniusError> {
         if index >= self.samples {
             return Err(PliniusError::MirrorMismatch(format!(
                 "sample index {index} out of range ({} samples)",
@@ -165,14 +170,16 @@ impl PmDataset {
             )));
         }
         let key = ctx.key()?;
-        let blob = ctx
-            .romulus()
-            .read_bytes(self.block.add((index * self.sealed_len) as u64), self.sealed_len)?;
+        let blob = ctx.romulus().read_bytes(
+            self.block.add((index * self.sealed_len) as u64),
+            self.sealed_len,
+        )?;
         ctx.enclave().charge_crypto(blob.len() as u64);
         let aad = format!("sample{index}");
         let plaintext = SealedBuffer::from_bytes(blob)?.open_with_aad(&key, aad.as_bytes())?;
         ctx.enclave().charge_data_staging(plaintext.len() as u64);
-        Dataset::sample_from_bytes(self.inputs, self.classes, &plaintext).map_err(PliniusError::from)
+        Dataset::sample_from_bytes(self.inputs, self.classes, &plaintext)
+            .map_err(PliniusError::from)
     }
 
     /// Decrypts a batch of `batch` random samples into contiguous `(images, labels)`
@@ -207,7 +214,8 @@ impl PmDataset {
     /// caller).
     pub fn staging_cost_only(&self, ctx: &PliniusContext, batch: usize) {
         let plain_len = (self.inputs + self.classes) * 4;
-        ctx.enclave().charge_data_staging((batch * plain_len) as u64);
+        ctx.enclave()
+            .charge_data_staging((batch * plain_len) as u64);
         ctx.enclave().charge_pm_read((batch * plain_len) as u64);
     }
 }

@@ -92,33 +92,48 @@ impl SsdCheckpointer {
     ///
     /// Returns [`PliniusError::KeyNotProvisioned`] without a model key, or storage/SGX
     /// errors from the write path.
-    pub fn save(&self, ctx: &PliniusContext, network: &Network) -> Result<SsdSaveReport, PliniusError> {
+    pub fn save(
+        &self,
+        ctx: &PliniusContext,
+        network: &Network,
+    ) -> Result<SsdSaveReport, PliniusError> {
         let key = ctx.key()?;
         let clock = ctx.clock();
         let mut rng = ctx.enclave_rng();
         let mut model_bytes = 0usize;
         // Phase 1: in-enclave encryption (identical to the mirror-out encryption phase).
-        let (blob, encrypt) = SimSpan::record(&clock, || -> Result<CheckpointBlob, PliniusError> {
-            let mut layers = Vec::new();
-            for (i, layer) in network.layers().iter().filter(|l| l.is_trainable()).enumerate() {
-                let mut tensors = Vec::new();
-                for (j, param) in layer.params().iter().enumerate() {
-                    let plaintext = f32s_to_bytes(param.data);
-                    model_bytes += plaintext.len();
-                    ctx.enclave().charge_crypto(plaintext.len() as u64);
-                    let aad = format!("layer{i}-tensor{j}");
-                    tensors.push(
-                        SealedBuffer::seal_with_aad(&key, &plaintext, aad.as_bytes(), &mut rng)?
+        let (blob, encrypt) =
+            SimSpan::record(&clock, || -> Result<CheckpointBlob, PliniusError> {
+                let mut layers = Vec::new();
+                for (i, layer) in network
+                    .layers()
+                    .iter()
+                    .filter(|l| l.is_trainable())
+                    .enumerate()
+                {
+                    let mut tensors = Vec::new();
+                    for (j, param) in layer.params().iter().enumerate() {
+                        let plaintext = f32s_to_bytes(param.data);
+                        model_bytes += plaintext.len();
+                        ctx.enclave().charge_crypto(plaintext.len() as u64);
+                        let aad = format!("layer{i}-tensor{j}");
+                        tensors.push(
+                            SealedBuffer::seal_with_aad(
+                                &key,
+                                &plaintext,
+                                aad.as_bytes(),
+                                &mut rng,
+                            )?
                             .into_bytes(),
-                    );
+                        );
+                    }
+                    layers.push(tensors);
                 }
-                layers.push(tensors);
-            }
-            Ok(CheckpointBlob {
-                iteration: network.iteration(),
-                layers,
-            })
-        });
+                Ok(CheckpointBlob {
+                    iteration: network.iteration(),
+                    layers,
+                })
+            });
         let blob = blob?;
         // Phase 2: serialisation + fwrite ocalls + fsync.
         let ((), write) = SimSpan::record(&clock, || {
@@ -191,8 +206,8 @@ impl SsdCheckpointer {
                 for (j, enc) in tensors_enc.iter().enumerate() {
                     ctx.enclave().charge_crypto(enc.len() as u64);
                     let aad = format!("layer{node_idx}-tensor{j}");
-                    let plaintext =
-                        SealedBuffer::from_bytes(enc.clone())?.open_with_aad(&key, aad.as_bytes())?;
+                    let plaintext = SealedBuffer::from_bytes(enc.clone())?
+                        .open_with_aad(&key, aad.as_bytes())?;
                     model_bytes += plaintext.len();
                     tensors.push(bytes_to_f32s(&plaintext)?);
                 }

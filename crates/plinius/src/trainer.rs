@@ -85,7 +85,6 @@ pub struct PliniusTrainer {
     mirror: Option<MirrorModel>,
     ssd: Option<SsdCheckpointer>,
     config: TrainerConfig,
-    rng: StdRng,
 }
 
 impl PliniusTrainer {
@@ -98,7 +97,8 @@ impl PliniusTrainer {
     ///
     /// # Errors
     ///
-    /// Returns [`PliniusError::NoPmDataset`] if no dataset was loaded into PM, or any
+    /// Returns [`PliniusError::InvalidConfig`] if `config.mirror_frequency` is zero,
+    /// [`PliniusError::NoPmDataset`] if no dataset was loaded into PM, or any
     /// restore/allocation error from the backend.
     pub fn new(
         ctx: PliniusContext,
@@ -106,6 +106,13 @@ impl PliniusTrainer {
         config: TrainerConfig,
         plain_data: Option<Dataset>,
     ) -> Result<Self, PliniusError> {
+        // A zero frequency would silently never mirror (`is_multiple_of(0)` is
+        // false for every iteration) — reject it loudly instead.
+        if config.mirror_frequency == 0 {
+            return Err(PliniusError::InvalidConfig(
+                "mirror_frequency must be at least 1".to_owned(),
+            ));
+        }
         let pm_data = PmDataset::open(&ctx)?;
         // The enclave model and its training buffers occupy trusted memory; this is what
         // pushes large models past the EPC limit.
@@ -133,7 +140,6 @@ impl PliniusTrainer {
             }
             PersistenceBackend::None => {}
         }
-        let rng = StdRng::seed_from_u64(config.seed ^ network.iteration());
         Ok(PliniusTrainer {
             ctx,
             network,
@@ -142,7 +148,6 @@ impl PliniusTrainer {
             mirror,
             ssd,
             config,
-            rng,
         })
     }
 
@@ -173,26 +178,33 @@ impl PliniusTrainer {
     /// Propagates data-decryption, training and mirroring errors.
     pub fn step(&mut self) -> Result<f32, PliniusError> {
         let batch = self.config.batch;
+        // Batch sampling is a pure function of (seed, iteration counter), so a run
+        // resumed from the PM mirror at iteration k draws exactly the batches an
+        // uninterrupted run would have drawn from k onwards — crash/resume is
+        // bit-for-bit deterministic. The avalanche mix keeps consecutive
+        // iterations' seeds unrelated (a plain `seed + i * gamma` stride would
+        // collide with SplitMix64's own increment and give overlapping states).
+        let mut rng = StdRng::seed_from_u64(batch_seed(self.config.seed, self.network.iteration()));
         // Fetch a batch: decrypt it from PM (Plinius) or read plaintext (baseline).
         let (images, labels) = if self.config.encrypted_data {
-            self.pm_data.decrypt_batch(&self.ctx, batch, &mut self.rng)?
+            self.pm_data.decrypt_batch(&self.ctx, batch, &mut rng)?
         } else {
             self.pm_data.staging_cost_only(&self.ctx, batch);
-            let data = self
-                .plain_data
-                .as_ref()
-                .ok_or(PliniusError::NoPmDataset)?;
-            Ok::<_, PliniusError>(data.random_batch(batch, &mut self.rng))?
+            let data = self.plain_data.as_ref().ok_or(PliniusError::NoPmDataset)?;
+            Ok::<_, PliniusError>(data.random_batch(batch, &mut rng))?
         };
         // Train for one iteration inside the enclave, charging the modeled compute cost.
         let flops = self.network.flops_per_sample() * batch as u64;
         self.ctx.enclave().charge_compute(flops);
-        let loss = self
-            .ctx
-            .enclave()
-            .ecall("train_iteration", || self.network.train_batch(&images, &labels, batch))??;
+        let loss = self.ctx.enclave().ecall("train_iteration", || {
+            self.network.train_batch(&images, &labels, batch)
+        })??;
         // Mirror-out / checkpoint according to the configured frequency.
-        if self.network.iteration() % self.config.mirror_frequency == 0 {
+        if self
+            .network
+            .iteration()
+            .is_multiple_of(self.config.mirror_frequency)
+        {
             if let Some(mirror) = &self.mirror {
                 mirror.mirror_out(&self.ctx, &self.network)?;
             }
@@ -290,6 +302,14 @@ impl TrainingSetup {
     }
 }
 
+/// Mixes the run seed and the iteration counter into an iteration-local RNG
+/// seed (SplitMix64-style finalizer for full avalanche).
+fn batch_seed(seed: u64, iteration: u64) -> u64 {
+    let mut z = seed ^ iteration.wrapping_mul(0xa076_1d64_78bd_642f);
+    z = (z ^ (z >> 32)).wrapping_mul(0xe703_7ed1_a0b4_28db);
+    z ^ (z >> 29)
+}
+
 /// Result of a crash-interrupted training run (Figs. 9 and 10).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrashRunReport {
@@ -332,7 +352,7 @@ pub fn train_with_crash_schedule(
     let mut losses = Vec::new();
     let mut executed = 0u64;
     let mut crashes = 0usize;
-    let mut crash_points = crash_after.iter().copied().collect::<Vec<u64>>();
+    let mut crash_points = crash_after.to_vec();
     crash_points.sort_unstable();
     let mut completed_iteration;
     loop {
@@ -346,7 +366,6 @@ pub fn train_with_crash_schedule(
         };
         let mut config = setup.trainer.clone();
         config.backend = backend;
-        config.seed = setup.trainer.seed ^ executed;
         let network = setup.build_network()?;
         let mut trainer = PliniusTrainer::new(ctx, network, config, Some(setup.dataset.clone()))?;
         // Run until the next crash point or completion.
@@ -422,8 +441,7 @@ mod tests {
         let setup = setup();
         let (ctx, _key) = deploy(&setup);
         let network = setup.build_network().unwrap();
-        let mut trainer =
-            PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
         let report = trainer.run().unwrap();
         assert_eq!(report.final_iteration, setup.trainer.max_iterations);
         assert_eq!(report.losses.len(), setup.trainer.max_iterations as usize);
@@ -456,10 +474,7 @@ mod tests {
         assert_eq!(resumed.iteration(), 5);
         let report = resumed.run().unwrap();
         assert_eq!(report.final_iteration, setup.trainer.max_iterations);
-        assert_eq!(
-            report.losses.len() as u64,
-            setup.trainer.max_iterations - 5
-        );
+        assert_eq!(report.losses.len() as u64, setup.trainer.max_iterations - 5);
     }
 
     #[test]
@@ -471,6 +486,85 @@ mod tests {
         assert_eq!(report.completed_iteration, 10);
         assert_eq!(report.total_iterations_executed, 10);
         assert_eq!(report.losses.len(), 10);
+    }
+
+    #[test]
+    fn zero_mirror_frequency_is_rejected() {
+        let setup = setup();
+        let (ctx, _key) = deploy(&setup);
+        let network = setup.build_network().unwrap();
+        let mut config = setup.trainer.clone();
+        config.mirror_frequency = 0;
+        match PliniusTrainer::new(ctx, network, config, None) {
+            Err(PliniusError::InvalidConfig(msg)) => assert!(msg.contains("mirror_frequency")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_resilient_run_matches_uninterrupted_run_exactly() {
+        // With momentum 0 the entire training state lives in the five mirrored
+        // tensors per layer (the Darknet weight format carries no momentum
+        // buffers), so mirror-based resume must be bit-for-bit deterministic.
+        let mut setup = setup();
+        setup.model_config = plinius_darknet::mnist_cnn_config_with_momentum(2, 4, 8, 0.0);
+        setup.trainer.max_iterations = 12;
+        let uninterrupted = train_with_crash_schedule(&setup, &[], true).unwrap();
+        let crashed = train_with_crash_schedule(&setup, &[3, 8], true).unwrap();
+        assert_eq!(uninterrupted.crashes, 0);
+        assert_eq!(crashed.crashes, 2);
+        // Resumes at the correct iteration: no iteration is redone or skipped.
+        assert_eq!(crashed.completed_iteration, 12);
+        assert_eq!(crashed.total_iterations_executed, 12);
+        // The whole loss curve — including the final loss — is identical.
+        assert_eq!(crashed.losses, uninterrupted.losses);
+    }
+
+    #[test]
+    fn crashed_resilient_run_converges_like_uninterrupted_run() {
+        // With the default momentum the post-crash updates differ slightly (the
+        // momentum buffers are volatile, exactly as in Darknet's weight files),
+        // but the crashed run must still land at the uninterrupted final loss,
+        // not anywhere near a from-scratch restart.
+        let mut setup = setup();
+        setup.trainer.max_iterations = 60;
+        let uninterrupted = train_with_crash_schedule(&setup, &[], true).unwrap();
+        let crashed = train_with_crash_schedule(&setup, &[20, 40], true).unwrap();
+        assert_eq!(crashed.total_iterations_executed, 60);
+        let initial = uninterrupted.losses[0];
+        let final_a = *uninterrupted.losses.last().unwrap();
+        let final_b = *crashed.losses.last().unwrap();
+        let progress = initial - final_a;
+        assert!(
+            progress > 0.3,
+            "run too short to measure convergence ({progress})"
+        );
+        // Same final loss within 20% of the achieved progress.
+        assert!(
+            (final_a - final_b).abs() < 0.2 * progress,
+            "crashed run diverged: {final_b} vs {final_a} (initial {initial})"
+        );
+    }
+
+    #[test]
+    fn resume_restores_the_exact_mirror_iteration() {
+        let setup = setup();
+        let (ctx, key) = deploy(&setup);
+        let network = setup.build_network().unwrap();
+        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        trainer.run_at_most(7).unwrap();
+        let pool = trainer.context().pool().clone();
+        drop(trainer);
+        // Power failure with arbitrary cache eviction: only flushed state survives.
+        let mut crash_rng = StdRng::seed_from_u64(99);
+        pool.crash(&mut crash_rng, CrashMode::ArbitraryEviction);
+        let ctx2 = PliniusContext::open(pool, setup.cost.clone()).unwrap();
+        ctx2.provision_key_directly(key);
+        let mirror = MirrorModel::open(&ctx2).unwrap();
+        assert_eq!(mirror.iteration(&ctx2).unwrap(), 7);
+        let network2 = setup.build_network().unwrap();
+        let resumed = PliniusTrainer::new(ctx2, network2, setup.trainer.clone(), None).unwrap();
+        assert_eq!(resumed.iteration(), 7);
     }
 
     #[test]

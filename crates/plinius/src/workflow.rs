@@ -104,17 +104,25 @@ mod tests {
 
     #[test]
     fn longer_training_improves_the_loss() {
-        let mut short = TrainingSetup::small_test();
-        short.trainer.max_iterations = 2;
-        let mut long = TrainingSetup::small_test();
-        long.trainer.max_iterations = 40;
-        let short_report = run_full_workflow(&short).unwrap();
-        let long_report = run_full_workflow(&long).unwrap();
+        // Momentum 0 makes this tiny setup converge smoothly and monotonically
+        // (with the default momentum=0.9 + lr=0.1 it sits on a stability edge
+        // and can overshoot after converging, which made this assertion flaky
+        // against any change in the batch stream). A couple of iterations stay
+        // at the ~ln(10) random-guess plateau; 150 reach near-zero loss.
+        let stable = |iters: u64| {
+            let mut s = TrainingSetup::small_test();
+            s.model_config = plinius_darknet::mnist_cnn_config_with_momentum(2, 4, 8, 0.0);
+            s.trainer.max_iterations = iters;
+            s
+        };
+        let short_report = run_full_workflow(&stable(2)).unwrap();
+        let long_report = run_full_workflow(&stable(150)).unwrap();
         assert!(
-            long_report.final_loss < short_report.final_loss,
-            "loss did not improve: {} -> {}",
+            long_report.final_loss < short_report.final_loss - 1.0,
+            "loss did not improve decisively: {} -> {}",
             short_report.final_loss,
             long_report.final_loss
         );
+        assert!(long_report.test_accuracy > 0.9);
     }
 }

@@ -156,8 +156,7 @@ impl FioJob {
         };
         let blocks_per_thread = self.file_size_per_thread / self.block_size;
         // Time for one thread to process its file.
-        let transfer_ns_per_block =
-            self.block_size as f64 / (per_thread_bw * pattern_factor) * 1e9;
+        let transfer_ns_per_block = self.block_size as f64 / (per_thread_bw * pattern_factor) * 1e9;
         let fsync_ns = if self.op == OpKind::Write {
             profile.fsync_ns
         } else {
@@ -222,7 +221,11 @@ pub fn figure2_sweep() -> Vec<FioResult> {
     let mut out = Vec::new();
     for op in [OpKind::Read, OpKind::Write] {
         for pattern in [Pattern::Random, Pattern::Sequential] {
-            for device in [DeviceKind::Ssd, DeviceKind::PersistentMemory, DeviceKind::Dram] {
+            for device in [
+                DeviceKind::Ssd,
+                DeviceKind::PersistentMemory,
+                DeviceKind::Dram,
+            ] {
                 for threads in [1usize, 2, 4, 8] {
                     out.push(FioJob::paper_default(device, pattern, op, threads).run());
                 }
@@ -273,7 +276,11 @@ mod tests {
 
     #[test]
     fn random_is_never_faster_than_sequential() {
-        for device in [DeviceKind::Ssd, DeviceKind::PersistentMemory, DeviceKind::Dram] {
+        for device in [
+            DeviceKind::Ssd,
+            DeviceKind::PersistentMemory,
+            DeviceKind::Dram,
+        ] {
             for op in [OpKind::Read, OpKind::Write] {
                 let seq = tp(device, Pattern::Sequential, op, 4);
                 let rand = tp(device, Pattern::Random, op, 4);
@@ -284,7 +291,11 @@ mod tests {
 
     #[test]
     fn throughput_is_monotone_in_threads_until_the_cap() {
-        for device in [DeviceKind::Ssd, DeviceKind::PersistentMemory, DeviceKind::Dram] {
+        for device in [
+            DeviceKind::Ssd,
+            DeviceKind::PersistentMemory,
+            DeviceKind::Dram,
+        ] {
             let mut prev = 0.0;
             for threads in [1, 2, 4, 8] {
                 let t = tp(device, Pattern::Sequential, OpKind::Read, threads);

@@ -61,7 +61,9 @@ pub enum PmemError {
 impl fmt::Display for PmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PmemError::ZeroCapacity => write!(f, "persistent memory pool capacity must be non-zero"),
+            PmemError::ZeroCapacity => {
+                write!(f, "persistent memory pool capacity must be non-zero")
+            }
             PmemError::OutOfBounds {
                 offset,
                 len,

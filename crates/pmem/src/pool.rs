@@ -16,7 +16,7 @@
 use crate::{PmemError, PwbKind};
 use parking_lot::Mutex;
 use rand::Rng;
-use sim_clock::{ClockHandle, CostModel, SimClock, StatsHandle, StatsRegistry};
+use sim_clock::{ClockHandle, CostModel, StatsHandle};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -163,8 +163,8 @@ impl PmemPoolBuilder {
                 stats: PoolStats::default(),
                 backing: self.backing,
             })),
-            clock: self.clock.unwrap_or_else(SimClock::new),
-            stats: self.stats.unwrap_or_else(StatsRegistry::new),
+            clock: self.clock.unwrap_or_default(),
+            stats: self.stats.unwrap_or_default(),
             cost: Arc::new(self.cost),
             pwb: self.pwb,
         })
@@ -238,13 +238,13 @@ impl PmemPool {
                 buf[..end - line_start].copy_from_slice(&inner.media[line_start..end]);
                 inner.cache.insert(line, buf);
             }
-            inner
-                .cache
-                .get_mut(&line)
-                .expect("line inserted above")[addr - line_start] = *byte;
+            inner.cache.get_mut(&line).expect("line inserted above")[addr - line_start] = *byte;
         }
-        self.clock.advance_ns(self.cost.pm_write_ns(data.len() as u64));
-        self.stats.counter("pm.bytes_written").add(data.len() as u64);
+        self.clock
+            .advance_ns(self.cost.pm_write_ns(data.len() as u64));
+        self.stats
+            .counter("pm.bytes_written")
+            .add(data.len() as u64);
         Ok(())
     }
 
@@ -395,8 +395,9 @@ impl PmemPool {
     pub fn sync_backing_file(&self) -> Result<(), PmemError> {
         let inner = self.inner.lock();
         match &inner.backing {
-            Some(path) => std::fs::write(path, &inner.media)
-                .map_err(|e| PmemError::Io(e.to_string())),
+            Some(path) => {
+                std::fs::write(path, &inner.media).map_err(|e| PmemError::Io(e.to_string()))
+            }
             None => Err(PmemError::NoBackingFile),
         }
     }
@@ -435,6 +436,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sim_clock::SimClock;
 
     #[test]
     fn zero_capacity_rejected() {
@@ -587,7 +589,10 @@ mod tests {
     #[test]
     fn sync_without_backing_file_errors() {
         let pool = PmemPool::new(64).unwrap();
-        assert_eq!(pool.sync_backing_file().unwrap_err(), PmemError::NoBackingFile);
+        assert_eq!(
+            pool.sync_backing_file().unwrap_err(),
+            PmemError::NoBackingFile
+        );
     }
 
     #[test]

@@ -81,9 +81,8 @@ proptest! {
                 let first = op.offset / CACHE_LINE;
                 let last = (op.offset + op.data.len() - 1) / CACHE_LINE;
                 for line in first..=last {
-                    for i in line * CACHE_LINE..((line + 1) * CACHE_LINE).min(POOL_SIZE) {
-                        durable[i] = None;
-                    }
+                    let end = ((line + 1) * CACHE_LINE).min(POOL_SIZE);
+                    durable[line * CACHE_LINE..end].fill(None);
                 }
             }
         }

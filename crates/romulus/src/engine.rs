@@ -181,7 +181,11 @@ impl Romulus {
     /// Returns [`RomulusError::PoolTooSmall`] if the pool cannot hold the header plus two
     /// regions of the requested size, or a [`RomulusError::Pmem`]/[`RomulusError::Corrupted`]
     /// error if the header is unreadable.
-    pub fn create(pool: PmemPool, region_size: usize, flavor: Flavor) -> Result<Self, RomulusError> {
+    pub fn create(
+        pool: PmemPool,
+        region_size: usize,
+        flavor: Flavor,
+    ) -> Result<Self, RomulusError> {
         let needed = HEADER_SIZE + 2 * region_size;
         if pool.len() < needed {
             return Err(RomulusError::PoolTooSmall {
@@ -462,8 +466,10 @@ impl Romulus {
     /// Writes to main with an interposed persistent write-back, without logging
     /// (used during formatting only).
     fn write_main_u64_raw(&self, offset: u64, value: u64) -> Result<(), RomulusError> {
-        self.pool
-            .persist(self.layout.main_start + offset as usize, &value.to_le_bytes())?;
+        self.pool.persist(
+            self.layout.main_start + offset as usize,
+            &value.to_le_bytes(),
+        )?;
         Ok(())
     }
 
@@ -512,7 +518,8 @@ impl<'a> Tx<'a> {
         if end > self.engine.layout.region_size as u64 {
             return Err(RomulusError::OutOfPersistentMemory {
                 requested: size,
-                available: self.engine.layout.region_size as u64 - aligned.min(self.engine.layout.region_size as u64),
+                available: self.engine.layout.region_size as u64
+                    - aligned.min(self.engine.layout.region_size as u64),
             });
         }
         self.write_u64(PmPtr::from_offset(ALLOC_META_OFFSET as u64), end)?;
@@ -760,7 +767,8 @@ mod tests {
         });
         assert_eq!(err.unwrap_err(), RomulusError::InjectedCrash);
         let mut rng = StdRng::seed_from_u64(3);
-        rom.pool().crash(&mut rng, plinius_pmem::CrashMode::DropUnflushed);
+        rom.pool()
+            .crash(&mut rng, plinius_pmem::CrashMode::DropUnflushed);
         rom.recover().unwrap();
         assert_eq!(rom.read_u64(rom.root(0).unwrap()).unwrap(), 1);
     }
@@ -789,7 +797,8 @@ mod tests {
         });
         assert_eq!(err.unwrap_err(), RomulusError::InjectedCrash);
         let mut rng = StdRng::seed_from_u64(4);
-        rom.pool().crash(&mut rng, plinius_pmem::CrashMode::ArbitraryEviction);
+        rom.pool()
+            .crash(&mut rng, plinius_pmem::CrashMode::ArbitraryEviction);
         rom.recover().unwrap();
         for (i, p) in ptrs.iter().enumerate() {
             assert_eq!(rom.read_u64(*p).unwrap(), i as u64, "ptr {i}");
@@ -813,7 +822,8 @@ mod tests {
         let err = rom.transaction(|tx| tx.write_u64(p, 8));
         assert_eq!(err.unwrap_err(), RomulusError::InjectedCrash);
         let mut rng = StdRng::seed_from_u64(5);
-        rom.pool().crash(&mut rng, plinius_pmem::CrashMode::DropUnflushed);
+        rom.pool()
+            .crash(&mut rng, plinius_pmem::CrashMode::DropUnflushed);
         rom.recover().unwrap();
         assert_eq!(rom.read_u64(p).unwrap(), 8);
     }

@@ -178,7 +178,10 @@ fn per_swap_overhead(rom: &Romulus, cost: &CostModel) -> u64 {
 /// # Errors
 ///
 /// Propagates [`RomulusError`] from any measurement point.
-pub fn figure6_sweep(cost: &CostModel, transactions: usize) -> Result<Vec<SpsResult>, RomulusError> {
+pub fn figure6_sweep(
+    cost: &CostModel,
+    transactions: usize,
+) -> Result<Vec<SpsResult>, RomulusError> {
     let mut out = Vec::new();
     let sizes = [2usize, 8, 32, 64, 128, 256, 512, 1024, 2048];
     for pwb in [PwbKind::ClflushNop, PwbKind::ClflushOptSfence] {
@@ -190,12 +193,16 @@ pub fn figure6_sweep(cost: &CostModel, transactions: usize) -> Result<Vec<SpsRes
                 cfg.array_bytes = 1024 * 1024;
                 let flavor = match flavor_id {
                     0 => Flavor::Native,
-                    1 => Flavor::Sgx(plinius_sgx::Enclave::builder(b"sgx-romulus".to_vec())
-                        .cost_model(cost.clone())
-                        .build()),
-                    _ => Flavor::Scone(plinius_sgx::Enclave::builder(b"scone-romulus".to_vec())
-                        .cost_model(cost.clone())
-                        .build()),
+                    1 => Flavor::Sgx(
+                        plinius_sgx::Enclave::builder(b"sgx-romulus".to_vec())
+                            .cost_model(cost.clone())
+                            .build(),
+                    ),
+                    _ => Flavor::Scone(
+                        plinius_sgx::Enclave::builder(b"scone-romulus".to_vec())
+                            .cost_model(cost.clone())
+                            .build(),
+                    ),
                 };
                 out.push(run_sps(flavor, cost, &cfg)?);
             }

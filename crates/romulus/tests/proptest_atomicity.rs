@@ -34,6 +34,8 @@ fn read_all(rom: &Romulus, ptrs: &[PmPtr]) -> Vec<u64> {
     ptrs.iter().map(|p| rom.read_u64(*p).unwrap()).collect()
 }
 
+// Variant names deliberately mirror the `FailPoint::After*` constructors.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy)]
 enum InjectedPoint {
     AfterMutating,

@@ -187,7 +187,9 @@ mod tests {
         let enclave = Enclave::create(b"plinius-enclave".to_vec());
         let service = AttestationService::new(b"platform".to_vec());
         let owner = owner_for(&enclave);
-        owner.provision_key(&service, &enclave, "model-key").unwrap();
+        owner
+            .provision_key(&service, &enclave, "model-key")
+            .unwrap();
         let provisioned = enclave.key("model-key").unwrap();
         assert_eq!(provisioned.as_bytes(), owner.model_key().as_bytes());
         // The transfer went through an ecall.
@@ -200,7 +202,9 @@ mod tests {
         let rogue = Enclave::create(b"rogue-binary".to_vec());
         let service = AttestationService::new(b"platform".to_vec());
         let owner = owner_for(&trusted);
-        let err = owner.provision_key(&service, &rogue, "model-key").unwrap_err();
+        let err = owner
+            .provision_key(&service, &rogue, "model-key")
+            .unwrap_err();
         assert!(matches!(err, SgxError::AttestationFailed(_)));
         assert!(rogue.key("model-key").is_none());
     }

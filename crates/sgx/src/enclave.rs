@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use plinius_crypto::{CryptoError, Key, SealedBuffer, Sha256};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use sim_clock::{ClockHandle, CostModel, SimClock, StatsHandle, StatsRegistry};
+use sim_clock::{ClockHandle, CostModel, StatsHandle};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -101,8 +101,8 @@ impl EnclaveBuilder {
             inner: Arc::new(EnclaveInner {
                 measurement,
                 cost: self.cost,
-                clock: self.clock.unwrap_or_else(SimClock::new),
-                stats: self.stats.unwrap_or_else(StatsRegistry::new),
+                clock: self.clock.unwrap_or_default(),
+                stats: self.stats.unwrap_or_default(),
                 heap_size: self.heap_size,
                 stack_size: self.stack_size,
                 heap_used: AtomicU64::new(0),
@@ -207,7 +207,10 @@ impl Enclave {
             return Err(SgxError::EnclaveDestroyed);
         }
         self.inner.stats.counter("sgx.ecalls").incr();
-        self.inner.stats.counter(&format!("sgx.ecall.{name}")).incr();
+        self.inner
+            .stats
+            .counter(&format!("sgx.ecall.{name}"))
+            .incr();
         self.inner
             .clock
             .advance_ns(self.inner.cost.enclave_transition_ns());
@@ -228,7 +231,10 @@ impl Enclave {
             return Err(SgxError::EnclaveDestroyed);
         }
         self.inner.stats.counter("sgx.ocalls").incr();
-        self.inner.stats.counter(&format!("sgx.ocall.{name}")).incr();
+        self.inner
+            .stats
+            .counter(&format!("sgx.ocall.{name}"))
+            .incr();
         self.inner
             .clock
             .advance_ns(self.inner.cost.enclave_transition_ns());
@@ -415,7 +421,10 @@ impl Enclave {
         // The platform sealing secret is fixed for the simulated machine; binding it to
         // the measurement reproduces the property that only the same enclave binary can
         // unseal the data.
-        let derived = plinius_crypto::hmac_sha256(b"plinius-simulated-platform-fuse-key", &self.inner.measurement);
+        let derived = plinius_crypto::hmac_sha256(
+            b"plinius-simulated-platform-fuse-key",
+            &self.inner.measurement,
+        );
         Key::new(&derived[..16]).expect("16-byte key is always valid")
     }
 
@@ -428,7 +437,12 @@ impl Enclave {
     pub fn seal(&self, data: &[u8]) -> Result<SealedBuffer, CryptoError> {
         self.charge_crypto(data.len() as u64);
         let mut rng = self.inner.rng.lock();
-        SealedBuffer::seal_with_aad(&self.sealing_key(), data, &self.inner.measurement, &mut *rng)
+        SealedBuffer::seal_with_aad(
+            &self.sealing_key(),
+            data,
+            &self.inner.measurement,
+            &mut *rng,
+        )
     }
 
     /// Unseals data previously sealed by an enclave with the same measurement.
@@ -446,6 +460,7 @@ impl Enclave {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_clock::SimClock;
 
     #[test]
     fn measurement_is_binary_hash() {
@@ -530,7 +545,9 @@ mod tests {
         let bytes = 10 * 1024 * 1024;
         enclave.charge_crypto(bytes);
         let below = clock.now_ns();
-        enclave.alloc_trusted(enclave.epc_usable_bytes() + 1).unwrap();
+        enclave
+            .alloc_trusted(enclave.epc_usable_bytes() + 1)
+            .unwrap();
         clock.reset();
         enclave.charge_crypto(bytes);
         let beyond = clock.now_ns();
@@ -548,7 +565,9 @@ mod tests {
         let bytes = 10 * 1024 * 1024;
         enclave.charge_crypto(bytes);
         let below = clock.now_ns();
-        enclave.alloc_trusted(enclave.epc_usable_bytes() + 1).unwrap();
+        enclave
+            .alloc_trusted(enclave.epc_usable_bytes() + 1)
+            .unwrap();
         clock.reset();
         enclave.charge_crypto(bytes);
         assert_eq!(clock.now_ns(), below);
@@ -599,6 +618,9 @@ mod tests {
         let enclave = Enclave::create(b"bin".to_vec());
         assert_eq!(enclave.heap_size(), 8 * 1024 * 1024 * 1024);
         assert_eq!(enclave.stack_size(), 8 * 1024 * 1024);
-        assert_eq!(enclave.epc_usable_bytes(), (93.5f64 * 1024.0 * 1024.0) as u64);
+        assert_eq!(
+            enclave.epc_usable_bytes(),
+            (93.5f64 * 1024.0 * 1024.0) as u64
+        );
     }
 }

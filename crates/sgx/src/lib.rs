@@ -82,14 +82,19 @@ mod tests {
 
     #[test]
     fn errors_display_cleanly() {
-        assert_eq!(SgxError::EnclaveDestroyed.to_string(), "enclave has been destroyed");
+        assert_eq!(
+            SgxError::EnclaveDestroyed.to_string(),
+            "enclave has been destroyed"
+        );
         assert!(SgxError::OutOfEnclaveMemory {
             requested: 10,
             heap_size: 5
         }
         .to_string()
         .contains("10 bytes"));
-        assert!(SgxError::MissingKey("model".into()).to_string().contains("model"));
+        assert!(SgxError::MissingKey("model".into())
+            .to_string()
+            .contains("model"));
         assert!(SgxError::AttestationFailed("bad quote".into())
             .to_string()
             .contains("bad quote"));

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `bytes` crate: [`Buf`], [`BufMut`] and
+//! [`BytesMut`] with little-endian accessors, enough for the checkpoint codec.
+
+#![warn(missing_docs)]
+
+/// An immutable byte cursor, implemented for `&[u8]` (reads advance the slice).
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+    /// Copies `len` bytes out of the buffer, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `len` bytes remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.copy_to_bytes(4);
+        u32::from_le_bytes(b.as_ref().try_into().expect("4 bytes"))
+    }
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.copy_to_bytes(8);
+        u64::from_le_bytes(b.as_ref().try_into().expect("8 bytes"))
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "copy_to_bytes past end of buffer");
+        let (head, tail) = self.split_at(len);
+        let out = Bytes(head.to_vec());
+        *self = tail;
+        out
+    }
+}
+
+/// An owned immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// A growable, owned byte buffer (a thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+    /// Creates an empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn round_trip_little_endian() {
+        let mut out = BytesMut::with_capacity(16);
+        out.put_u32_le(0xdead_beef);
+        out.put_u64_le(42);
+        out.put_slice(b"xy");
+        out.put_u8(7);
+        let v = out.to_vec();
+        let mut cursor: &[u8] = &v;
+        assert_eq!(cursor.remaining(), 15);
+        assert_eq!(cursor.get_u32_le(), 0xdead_beef);
+        assert_eq!(cursor.get_u64_le(), 42);
+        assert_eq!(cursor.copy_to_bytes(2).to_vec(), b"xy");
+        let byte = cursor.copy_to_bytes(1);
+        assert_eq!(byte.as_ref(), &[7]);
+        assert!(!byte.is_empty());
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

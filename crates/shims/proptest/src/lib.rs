@@ -1,0 +1,214 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property suites
+//! use: the [`Strategy`] trait with `prop_map`/`boxed`, [`strategy::any`] for primitive
+//! types, integer/float range strategies, tuple strategies, sized vector
+//! strategies ([`collection::vec`]), [`Just`], `prop_oneof!`, the `proptest!`
+//! macro with `#![proptest_config(..)]`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed number of
+//! deterministically seeded cases (seeded from the test-function name and case
+//! index), so failures reproduce exactly across runs — which is what the
+//! repository's "fixed seeds, bounded runtime" testing policy asks for.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Any, BoxedStrategy, Just, Map, Strategy, Union};
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// Why a generated case did not run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it is skipped, not failed.
+    Reject,
+    /// The case failed an assertion (carried message is already formatted).
+    Fail(String),
+}
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated before the runner
+    /// gives up (mirrors proptest's `max_global_rejects`).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Derives the deterministic RNG for one test case.
+///
+/// The seed mixes a FNV-1a hash of the property name with the case index, so
+/// every property sees a distinct but fully reproducible input stream.
+pub fn case_rng(test_name: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports the standard form: an optional `#![proptest_config(expr)]` inner
+/// attribute followed by `#[test] fn name(pat in strategy, ...) { body }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rejects: u32 = 0;
+            let mut case: u64 = 0;
+            let mut ran: u32 = 0;
+            while ran < config.cases {
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{}': too many prop_assume! rejections ({rejects})",
+                        stringify!($name),
+                    );
+                }
+                let mut __rng = $crate::case_rng(stringify!($name), case);
+                case += 1;
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::TestCaseError::Reject) => rejects += 1,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest '{}' failed at case {}: {msg}", stringify!($name), case - 1)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Like `assert!`, failing the current case with the generated input's seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, failing the current case on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}\n note: {}",
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, failing the current case on equality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: {l:?}"
+            )));
+        }
+    }};
+}
+
+/// Chooses uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}

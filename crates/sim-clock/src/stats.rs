@@ -83,20 +83,12 @@ impl StatsRegistry {
             return Arc::clone(c);
         }
         let mut guard = self.counters.write();
-        Arc::clone(
-            guard
-                .entry(name.to_owned())
-                .or_insert_with(Counter::new),
-        )
+        Arc::clone(guard.entry(name.to_owned()).or_default())
     }
 
     /// Convenience: current value of a counter, zero if it was never created.
     pub fn value(&self, name: &str) -> u64 {
-        self.counters
-            .read()
-            .get(name)
-            .map(|c| c.get())
-            .unwrap_or(0)
+        self.counters.read().get(name).map(|c| c.get()).unwrap_or(0)
     }
 
     /// Resets every counter in the registry to zero.

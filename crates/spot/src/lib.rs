@@ -103,10 +103,10 @@ impl SpotTrace {
                 spike_left = rng.gen_range(3..=12);
             }
             let drift = (base_price - price) * 0.2;
-            let noise = rng.gen_range(-0.002..0.002);
+            let noise = rng.gen_range(-0.002f64..0.002);
             let spike = if spike_left > 0 {
                 spike_left -= 1;
-                base_price * rng.gen_range(0.15..0.45)
+                base_price * rng.gen_range(0.15f64..0.45)
             } else {
                 0.0
             };
@@ -244,7 +244,10 @@ mod tests {
             SpotTrace::parse_csv("abc,def").unwrap_err(),
             SpotError::Parse { line: 1, .. }
         ));
-        assert_eq!(SpotTrace::parse_csv("# only comments\n").unwrap_err(), SpotError::EmptyTrace);
+        assert_eq!(
+            SpotTrace::parse_csv("# only comments\n").unwrap_err(),
+            SpotError::EmptyTrace
+        );
         assert_eq!(SpotTrace::new(vec![]).unwrap_err(), SpotError::EmptyTrace);
     }
 
@@ -266,7 +269,10 @@ mod tests {
         assert_eq!(trace.len(), 2000);
         assert!(trace.prices().iter().all(|p| *p > 0.0));
         let max = trace.prices().iter().cloned().fold(0.0, f64::max);
-        assert!(max > 0.1, "synthetic trace never spikes above typical bids: max {max}");
+        assert!(
+            max > 0.1,
+            "synthetic trace never spikes above typical bids: max {max}"
+        );
     }
 
     #[test]

@@ -112,8 +112,20 @@ mod tests {
         CheckpointBlob {
             iteration: 321,
             layers: vec![
-                vec![vec![1u8; 40], vec![2u8; 8], vec![3u8; 8], vec![4u8; 8], vec![5u8; 8]],
-                vec![vec![9u8; 100], vec![8u8; 12], vec![7u8; 12], vec![6u8; 12], vec![5u8; 12]],
+                vec![
+                    vec![1u8; 40],
+                    vec![2u8; 8],
+                    vec![3u8; 8],
+                    vec![4u8; 8],
+                    vec![5u8; 8],
+                ],
+                vec![
+                    vec![9u8; 100],
+                    vec![8u8; 12],
+                    vec![7u8; 12],
+                    vec![6u8; 12],
+                    vec![5u8; 12],
+                ],
             ],
         }
     }

@@ -80,7 +80,12 @@ impl std::fmt::Debug for SimFileSystem {
 impl SimFileSystem {
     /// Creates an empty file system with default settings (SSD profile, fresh clock).
     pub fn new() -> Self {
-        Self::with_settings(CostModel::default(), StorageProfile::Ssd, SimClock::new(), StatsRegistry::new())
+        Self::with_settings(
+            CostModel::default(),
+            StorageProfile::Ssd,
+            SimClock::new(),
+            StatsRegistry::new(),
+        )
     }
 
     /// Creates a file system with an explicit cost model, device profile and shared
@@ -148,10 +153,13 @@ impl SimFileSystem {
             .extend_from_slice(data);
         inner.stats.bytes_written += data.len() as u64;
         drop(inner);
-        let ns = (self.cost.ssd_write_ns(data.len() as u64) as f64 * self.profile.bandwidth_factor())
-            .round() as u64;
+        let ns = (self.cost.ssd_write_ns(data.len() as u64) as f64
+            * self.profile.bandwidth_factor())
+        .round() as u64;
         self.clock.advance_ns(ns);
-        self.stats.counter("fs.bytes_written").add(data.len() as u64);
+        self.stats
+            .counter("fs.bytes_written")
+            .add(data.len() as u64);
     }
 
     /// Reads `len` bytes at `offset` from `path` (the `fread` of the baseline). Charges
@@ -259,7 +267,10 @@ mod tests {
     #[test]
     fn missing_files_and_short_reads_error() {
         let fs = SimFileSystem::new();
-        assert!(matches!(fs.read_all("nope").unwrap_err(), StorageError::NotFound(_)));
+        assert!(matches!(
+            fs.read_all("nope").unwrap_err(),
+            StorageError::NotFound(_)
+        ));
         assert!(fs.fsync("nope").is_err());
         fs.write("f", b"abc");
         assert!(matches!(

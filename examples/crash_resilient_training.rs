@@ -31,10 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Killing the training process after {crashes:?} executed iterations...");
     let resilient = train_with_crash_schedule(&setup, &crashes, true)?;
     let fragile = train_with_crash_schedule(&setup, &crashes, false)?;
-    println!("  crash-resilient (Plinius): {} iterations executed to reach iteration {}",
-        resilient.total_iterations_executed, resilient.completed_iteration);
-    println!("  non-crash-resilient:       {} iterations executed to reach iteration {}",
-        fragile.total_iterations_executed, fragile.completed_iteration);
+    println!(
+        "  crash-resilient (Plinius): {} iterations executed to reach iteration {}",
+        resilient.total_iterations_executed, resilient.completed_iteration
+    );
+    println!(
+        "  non-crash-resilient:       {} iterations executed to reach iteration {}",
+        fragile.total_iterations_executed, fragile.completed_iteration
+    );
     println!(
         "  wasted work without mirroring: {} extra iterations",
         fragile.total_iterations_executed - resilient.total_iterations_executed

@@ -27,13 +27,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         model_seed: 3,
     };
-    println!("Running the full Plinius workflow (attest -> provision -> load -> train -> infer)...");
+    println!(
+        "Running the full Plinius workflow (attest -> provision -> load -> train -> infer)..."
+    );
     let report = run_full_workflow(&setup)?;
     println!("  attestation ok:   {}", report.attestation_ok);
     println!("  final iteration:  {}", report.final_iteration);
     println!("  final loss:       {:.4}", report.final_loss);
     println!("  test accuracy:    {:.1}%", report.test_accuracy * 100.0);
-    println!("  encrypted data in PM: {} KiB", report.pm_dataset_bytes / 1024);
-    println!("  simulated time:   {:.3} s", report.simulated_ns as f64 / 1e9);
+    println!(
+        "  encrypted data in PM: {} KiB",
+        report.pm_dataset_bytes / 1024
+    );
+    println!(
+        "  simulated time:   {:.3} s",
+        report.simulated_ns as f64 / 1e9
+    );
     Ok(())
 }

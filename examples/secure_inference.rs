@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example secure_inference`
 
-use plinius::{PliniusContext, PliniusTrainer, PmDataset, PersistenceBackend, TrainerConfig};
+use plinius::{PersistenceBackend, PliniusContext, PliniusTrainer, PmDataset, TrainerConfig};
 use plinius_crypto::Key;
 use plinius_darknet::config::build_network;
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
@@ -29,9 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut trainer = PliniusTrainer::new(ctx, network, config, None)?;
     let report = trainer.run()?;
-    println!("Trained for {} iterations, final loss {:.4}",
-        report.final_iteration, report.final_loss().unwrap_or(f32::NAN));
+    println!(
+        "Trained for {} iterations, final loss {:.4}",
+        report.final_iteration,
+        report.final_loss().unwrap_or(f32::NAN)
+    );
     let accuracy = trainer.accuracy(&test);
-    println!("Secure inference accuracy on {} held-out samples: {:.1}%", test.len(), accuracy * 100.0);
+    println!(
+        "Secure inference accuracy on {} held-out samples: {:.1}%",
+        test.len(),
+        accuracy * 100.0
+    );
     Ok(())
 }

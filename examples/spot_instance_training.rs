@@ -4,8 +4,11 @@
 //!
 //! Run with: `cargo run --example spot_instance_training [trace.csv]`
 
-use plinius::{spot_crash_schedule, train_with_crash_schedule, PersistenceBackend, TrainerConfig, TrainingSetup};
-use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
+use plinius::{
+    spot_crash_schedule, train_with_crash_schedule, PersistenceBackend, TrainerConfig,
+    TrainingSetup,
+};
+use plinius_darknet::{mnist_cnn_config_with_momentum, synthetic_mnist};
 use plinius_spot::{SpotSimulator, SpotTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,17 +23,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = SpotSimulator::new(trace, 0.0955);
     println!(
         "Spot trace: {} points, {} interruptions at max bid {}, availability {:.1}%",
-        sim.trace().len(), sim.interruptions(), sim.max_bid(), sim.availability() * 100.0
+        sim.trace().len(),
+        sim.interruptions(),
+        sim.max_bid(),
+        sim.availability() * 100.0
     );
     let schedule = spot_crash_schedule(&sim, 3);
     let setup = TrainingSetup {
         cost: CostModel::eml_sgx_pm(),
         pm_bytes: 64 * 1024 * 1024,
-        model_config: mnist_cnn_config(3, 8, 16),
+        // Momentum 0 keeps this small model stable over the long interrupted
+        // run (with momentum it can overshoot after converging).
+        model_config: mnist_cnn_config_with_momentum(3, 8, 16, 0.0),
         dataset: synthetic_mnist(400, &mut rng),
         trainer: TrainerConfig {
             batch: 16,
-            max_iterations: 50,
+            // Far enough to hit the first interruptions of the synthetic trace
+            // (the schedule above kills training around iterations 78 and 111).
+            max_iterations: 120,
             mirror_frequency: 1,
             backend: PersistenceBackend::PmMirror,
             encrypted_data: true,

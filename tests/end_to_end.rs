@@ -30,7 +30,10 @@ fn training_survives_repeated_crashes_without_losing_progress() {
     let setup = small_setup(16);
     let report = train_with_crash_schedule(&setup, &[2, 5, 9, 13], true).unwrap();
     assert_eq!(report.completed_iteration, 16);
-    assert_eq!(report.total_iterations_executed, 16, "mirrored training must not redo work");
+    assert_eq!(
+        report.total_iterations_executed, 16,
+        "mirrored training must not redo work"
+    );
     assert_eq!(report.crashes, 4);
     // The loss curve has no reset: the maximum loss after the first crash should not
     // return to the initial-loss neighbourhood (which a from-scratch restart would).

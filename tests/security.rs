@@ -58,7 +58,8 @@ fn tampering_with_the_pm_mirror_is_detected_on_restore() {
         *b ^= 0xA5;
     }
     ctx.pool().persist(target, &corrupted).unwrap();
-    let mut restored = plinius_darknet::build_network(&mnist_cnn_config(2, 4, 4), &mut rng).unwrap();
+    let mut restored =
+        plinius_darknet::build_network(&mnist_cnn_config(2, 4, 4), &mut rng).unwrap();
     match mirror.mirror_in(&ctx, &mut restored) {
         Err(PliniusError::Crypto(CryptoError::AuthenticationFailed)) => {}
         Err(other) => panic!("unexpected error kind: {other}"),
@@ -75,12 +76,18 @@ fn pm_training_data_is_encrypted_and_integrity_protected() {
     let data = synthetic_mnist(16, &mut rng);
     let pm = PmDataset::load(&ctx, &data).unwrap();
     // Plaintext pixels must not appear on the PM media.
-    let needle: Vec<u8> = data.image(0)[..16].iter().flat_map(|v| v.to_le_bytes()).collect();
+    let needle: Vec<u8> = data.image(0)[..16]
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
     let media = ctx.pool().media_snapshot();
     assert!(!media.windows(needle.len()).any(|w| w == needle.as_slice()));
     // Without the key (e.g. a rebooted enclave before re-attestation) nothing decrypts.
     ctx.enclave().remove_key(plinius::MODEL_KEY_NAME);
-    assert!(matches!(pm.sample(&ctx, 0).unwrap_err(), PliniusError::KeyNotProvisioned));
+    assert!(matches!(
+        pm.sample(&ctx, 0).unwrap_err(),
+        PliniusError::KeyNotProvisioned
+    ));
 }
 
 #[test]
@@ -95,6 +102,8 @@ fn owner_never_provisions_a_key_to_an_unexpected_enclave() {
         .provision_key(&service, &rogue_enclave, plinius::MODEL_KEY_NAME)
         .is_err());
     // The trusted one is accepted.
-    trusted.provision_key_via_attestation(&owner, &service).unwrap();
+    trusted
+        .provision_key_via_attestation(&owner, &service)
+        .unwrap();
     assert!(trusted.key().is_ok());
 }
