@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bin_smoke-3284d0fb66c9629a.d: crates/bench/tests/bin_smoke.rs
+
+/root/repo/target/debug/deps/bin_smoke-3284d0fb66c9629a: crates/bench/tests/bin_smoke.rs
+
+crates/bench/tests/bin_smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_fig10_spot=/root/repo/target/debug/fig10_spot
+# env-dep:CARGO_BIN_EXE_fig2_fio=/root/repo/target/debug/fig2_fio
+# env-dep:CARGO_BIN_EXE_fig6_sps=/root/repo/target/debug/fig6_sps
+# env-dep:CARGO_BIN_EXE_fig7_mirroring=/root/repo/target/debug/fig7_mirroring
+# env-dep:CARGO_BIN_EXE_fig8_batch=/root/repo/target/debug/fig8_batch
+# env-dep:CARGO_BIN_EXE_fig9_crash=/root/repo/target/debug/fig9_crash
+# env-dep:CARGO_BIN_EXE_inference_accuracy=/root/repo/target/debug/inference_accuracy
+# env-dep:CARGO_BIN_EXE_table1_breakdown=/root/repo/target/debug/table1_breakdown
+# env-dep:CARGO_BIN_EXE_tcb_report=/root/repo/target/debug/tcb_report

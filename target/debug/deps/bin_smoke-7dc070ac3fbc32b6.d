@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bin_smoke-7dc070ac3fbc32b6.d: crates/bench/tests/bin_smoke.rs
+
+/root/repo/target/debug/deps/libbin_smoke-7dc070ac3fbc32b6.rmeta: crates/bench/tests/bin_smoke.rs
+
+crates/bench/tests/bin_smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_fig10_spot=placeholder:fig10_spot
+# env-dep:CARGO_BIN_EXE_fig2_fio=placeholder:fig2_fio
+# env-dep:CARGO_BIN_EXE_fig6_sps=placeholder:fig6_sps
+# env-dep:CARGO_BIN_EXE_fig7_mirroring=placeholder:fig7_mirroring
+# env-dep:CARGO_BIN_EXE_fig8_batch=placeholder:fig8_batch
+# env-dep:CARGO_BIN_EXE_fig9_crash=placeholder:fig9_crash
+# env-dep:CARGO_BIN_EXE_inference_accuracy=placeholder:inference_accuracy
+# env-dep:CARGO_BIN_EXE_table1_breakdown=placeholder:table1_breakdown
+# env-dep:CARGO_BIN_EXE_tcb_report=placeholder:tcb_report

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-294ae5795f5fe1d8.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-294ae5795f5fe1d8.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-34ff7c619eaaadbf.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-34ff7c619eaaadbf.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-34ff7c619eaaadbf.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

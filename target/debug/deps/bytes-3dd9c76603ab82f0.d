@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-3dd9c76603ab82f0.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-3dd9c76603ab82f0: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

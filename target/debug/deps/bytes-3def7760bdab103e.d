@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-3def7760bdab103e.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-3def7760bdab103e.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-6d4094b72f48da4c.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-6d4094b72f48da4c.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

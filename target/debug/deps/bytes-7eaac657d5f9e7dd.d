@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-7eaac657d5f9e7dd.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-7eaac657d5f9e7dd.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-27ff9e71a61af297.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-27ff9e71a61af297.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-4b2285e2963d8e4d.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4b2285e2963d8e4d.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4b2285e2963d8e4d.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

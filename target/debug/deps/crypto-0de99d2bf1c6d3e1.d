@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto-0de99d2bf1c6d3e1.d: crates/bench/benches/crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto-0de99d2bf1c6d3e1.rmeta: crates/bench/benches/crypto.rs Cargo.toml
+
+crates/bench/benches/crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

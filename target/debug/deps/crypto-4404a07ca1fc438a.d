@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crypto-4404a07ca1fc438a.d: crates/bench/benches/crypto.rs
+
+/root/repo/target/debug/deps/libcrypto-4404a07ca1fc438a.rmeta: crates/bench/benches/crypto.rs
+
+crates/bench/benches/crypto.rs:

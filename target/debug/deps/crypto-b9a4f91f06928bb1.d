@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crypto-b9a4f91f06928bb1.d: crates/bench/benches/crypto.rs
+
+/root/repo/target/debug/deps/libcrypto-b9a4f91f06928bb1.rmeta: crates/bench/benches/crypto.rs
+
+crates/bench/benches/crypto.rs:

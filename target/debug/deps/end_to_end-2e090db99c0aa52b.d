@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2e090db99c0aa52b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2e090db99c0aa52b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4c40761039811d3c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-4c40761039811d3c.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

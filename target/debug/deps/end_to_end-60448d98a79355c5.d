@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-60448d98a79355c5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-60448d98a79355c5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-3ec4735e2b307aaa.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/libfig10_spot-3ec4735e2b307aaa.rmeta: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

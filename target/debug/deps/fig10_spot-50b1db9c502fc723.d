@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-50b1db9c502fc723.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/fig10_spot-50b1db9c502fc723: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-6b10eb00daada127.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/fig10_spot-6b10eb00daada127: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

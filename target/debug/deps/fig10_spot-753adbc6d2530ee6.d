@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_spot-753adbc6d2530ee6.d: crates/bench/src/bin/fig10_spot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_spot-753adbc6d2530ee6.rmeta: crates/bench/src/bin/fig10_spot.rs Cargo.toml
+
+crates/bench/src/bin/fig10_spot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

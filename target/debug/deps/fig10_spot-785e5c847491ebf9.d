@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-785e5c847491ebf9.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/fig10_spot-785e5c847491ebf9: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

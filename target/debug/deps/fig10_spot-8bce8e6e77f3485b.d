@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_spot-8bce8e6e77f3485b.d: crates/bench/src/bin/fig10_spot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_spot-8bce8e6e77f3485b.rmeta: crates/bench/src/bin/fig10_spot.rs Cargo.toml
+
+crates/bench/src/bin/fig10_spot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-93ca5217d4a934bb.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/libfig10_spot-93ca5217d4a934bb.rmeta: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-9df8b8fc28259ad1.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/libfig10_spot-9df8b8fc28259ad1.rmeta: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-bdc71c72ef07d353.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/fig10_spot-bdc71c72ef07d353: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_spot-ec61fd892f855291.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/debug/deps/libfig10_spot-ec61fd892f855291.rmeta: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fio-1f097e034e36c629.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/debug/deps/fig2_fio-1f097e034e36c629: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_fio-24111cd7f31133bf.d: crates/bench/src/bin/fig2_fio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_fio-24111cd7f31133bf.rmeta: crates/bench/src/bin/fig2_fio.rs Cargo.toml
+
+crates/bench/src/bin/fig2_fio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fio-3f900e65e96c3a4f.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/debug/deps/libfig2_fio-3f900e65e96c3a4f.rmeta: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fio-416a4b49222fa704.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/debug/deps/libfig2_fio-416a4b49222fa704.rmeta: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

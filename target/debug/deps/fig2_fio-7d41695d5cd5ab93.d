@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fio-7d41695d5cd5ab93.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/debug/deps/fig2_fio-7d41695d5cd5ab93: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fio-892976d63561eae8.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/debug/deps/fig2_fio-892976d63561eae8: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fio-c0899b1d9ac8fe15.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/debug/deps/fig2_fio-c0899b1d9ac8fe15: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-0b75caaef69ea29a.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/libfig6_sps-0b75caaef69ea29a.rmeta: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-2afad372df1ac96c.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/fig6_sps-2afad372df1ac96c: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-38a16ced685ba869.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/fig6_sps-38a16ced685ba869: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-8fb866130061b3b7.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/fig6_sps-8fb866130061b3b7: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-999a2af3b3e50890.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/fig6_sps-999a2af3b3e50890: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-9d00d387451bc7aa.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/libfig6_sps-9d00d387451bc7aa.rmeta: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

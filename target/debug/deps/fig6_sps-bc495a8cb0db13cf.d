@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-bc495a8cb0db13cf.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/libfig6_sps-bc495a8cb0db13cf.rmeta: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_sps-c33eef22ad4e322e.d: crates/bench/src/bin/fig6_sps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_sps-c33eef22ad4e322e.rmeta: crates/bench/src/bin/fig6_sps.rs Cargo.toml
+
+crates/bench/src/bin/fig6_sps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_sps-feb24c1944479c82.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/debug/deps/libfig6_sps-feb24c1944479c82.rmeta: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mirroring-0d50285a400bc97e.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/debug/deps/libfig7_mirroring-0d50285a400bc97e.rmeta: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mirroring-69682deed3f2db4d.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/debug/deps/libfig7_mirroring-69682deed3f2db4d.rmeta: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

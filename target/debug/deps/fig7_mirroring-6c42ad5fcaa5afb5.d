@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mirroring-6c42ad5fcaa5afb5.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/debug/deps/libfig7_mirroring-6c42ad5fcaa5afb5.rmeta: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mirroring-8caf8a6b92dcbc3e.d: crates/bench/src/bin/fig7_mirroring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mirroring-8caf8a6b92dcbc3e.rmeta: crates/bench/src/bin/fig7_mirroring.rs Cargo.toml
+
+crates/bench/src/bin/fig7_mirroring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mirroring-92d2f7722dbbd9f8.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/debug/deps/fig7_mirroring-92d2f7722dbbd9f8: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

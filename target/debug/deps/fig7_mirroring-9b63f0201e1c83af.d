@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mirroring-9b63f0201e1c83af.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/debug/deps/libfig7_mirroring-9b63f0201e1c83af.rmeta: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

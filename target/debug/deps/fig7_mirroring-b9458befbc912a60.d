@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mirroring-b9458befbc912a60.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/debug/deps/fig7_mirroring-b9458befbc912a60: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mirroring-dc0162b5c599bfb6.d: crates/bench/src/bin/fig7_mirroring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mirroring-dc0162b5c599bfb6.rmeta: crates/bench/src/bin/fig7_mirroring.rs Cargo.toml
+
+crates/bench/src/bin/fig7_mirroring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mirroring-f5611c12ca7ec648.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/debug/deps/fig7_mirroring-f5611c12ca7ec648: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

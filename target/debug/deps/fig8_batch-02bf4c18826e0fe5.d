@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-02bf4c18826e0fe5.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/fig8_batch-02bf4c18826e0fe5: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

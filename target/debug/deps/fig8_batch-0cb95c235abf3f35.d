@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-0cb95c235abf3f35.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/libfig8_batch-0cb95c235abf3f35.rmeta: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

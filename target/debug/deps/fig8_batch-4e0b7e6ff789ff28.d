@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-4e0b7e6ff789ff28.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/libfig8_batch-4e0b7e6ff789ff28.rmeta: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_batch-90b146a2848fb09a.d: crates/bench/src/bin/fig8_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_batch-90b146a2848fb09a.rmeta: crates/bench/src/bin/fig8_batch.rs Cargo.toml
+
+crates/bench/src/bin/fig8_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-a0df0c79ce2f3ec7.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/fig8_batch-a0df0c79ce2f3ec7: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-a42de7e6f9b7b5f7.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/fig8_batch-a42de7e6f9b7b5f7: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-a6ac522ec254a0eb.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/libfig8_batch-a6ac522ec254a0eb.rmeta: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

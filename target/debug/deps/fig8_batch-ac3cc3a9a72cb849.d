@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-ac3cc3a9a72cb849.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/libfig8_batch-ac3cc3a9a72cb849.rmeta: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

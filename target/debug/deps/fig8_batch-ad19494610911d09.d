@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_batch-ad19494610911d09.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/debug/deps/fig8_batch-ad19494610911d09: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

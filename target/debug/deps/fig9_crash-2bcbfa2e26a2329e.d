@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_crash-2bcbfa2e26a2329e.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/debug/deps/libfig9_crash-2bcbfa2e26a2329e.rmeta: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_crash-2f663876e32cb008.d: crates/bench/src/bin/fig9_crash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_crash-2f663876e32cb008.rmeta: crates/bench/src/bin/fig9_crash.rs Cargo.toml
+
+crates/bench/src/bin/fig9_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

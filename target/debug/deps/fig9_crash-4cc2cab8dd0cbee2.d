@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_crash-4cc2cab8dd0cbee2.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/debug/deps/libfig9_crash-4cc2cab8dd0cbee2.rmeta: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

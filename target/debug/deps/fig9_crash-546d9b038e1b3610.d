@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_crash-546d9b038e1b3610.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/debug/deps/libfig9_crash-546d9b038e1b3610.rmeta: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_crash-6f65f1c8b54c234f.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/debug/deps/fig9_crash-6f65f1c8b54c234f: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

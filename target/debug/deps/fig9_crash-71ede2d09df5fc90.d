@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_crash-71ede2d09df5fc90.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/debug/deps/fig9_crash-71ede2d09df5fc90: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

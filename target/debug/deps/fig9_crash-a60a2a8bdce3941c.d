@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_crash-a60a2a8bdce3941c.d: crates/bench/src/bin/fig9_crash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_crash-a60a2a8bdce3941c.rmeta: crates/bench/src/bin/fig9_crash.rs Cargo.toml
+
+crates/bench/src/bin/fig9_crash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

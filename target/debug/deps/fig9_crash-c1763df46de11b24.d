@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_crash-c1763df46de11b24.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/debug/deps/fig9_crash-c1763df46de11b24: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_crash-c3b4c04afbd3caee.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/debug/deps/fig9_crash-c3b4c04afbd3caee: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fio-23b66230fbd3ea61.d: crates/bench/benches/fio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfio-23b66230fbd3ea61.rmeta: crates/bench/benches/fio.rs Cargo.toml
+
+crates/bench/benches/fio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

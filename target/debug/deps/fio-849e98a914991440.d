@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fio-849e98a914991440.d: crates/bench/benches/fio.rs
+
+/root/repo/target/debug/deps/libfio-849e98a914991440.rmeta: crates/bench/benches/fio.rs
+
+crates/bench/benches/fio.rs:

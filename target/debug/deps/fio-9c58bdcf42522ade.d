@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fio-9c58bdcf42522ade.d: crates/bench/benches/fio.rs
+
+/root/repo/target/debug/deps/libfio-9c58bdcf42522ade.rmeta: crates/bench/benches/fio.rs
+
+crates/bench/benches/fio.rs:

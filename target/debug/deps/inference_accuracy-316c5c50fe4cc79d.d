@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-316c5c50fe4cc79d.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/inference_accuracy-316c5c50fe4cc79d: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-421694afc36dd050.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/libinference_accuracy-421694afc36dd050.rmeta: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

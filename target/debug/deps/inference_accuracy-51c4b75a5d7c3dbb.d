@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-51c4b75a5d7c3dbb.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/libinference_accuracy-51c4b75a5d7c3dbb.rmeta: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

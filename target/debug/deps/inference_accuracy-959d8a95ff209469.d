@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference_accuracy-959d8a95ff209469.d: crates/bench/src/bin/inference_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference_accuracy-959d8a95ff209469.rmeta: crates/bench/src/bin/inference_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/inference_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

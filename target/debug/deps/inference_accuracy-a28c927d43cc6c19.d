@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-a28c927d43cc6c19.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/inference_accuracy-a28c927d43cc6c19: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference_accuracy-a85da6611cfb94de.d: crates/bench/src/bin/inference_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference_accuracy-a85da6611cfb94de.rmeta: crates/bench/src/bin/inference_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/inference_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

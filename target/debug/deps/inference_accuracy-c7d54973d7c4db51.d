@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-c7d54973d7c4db51.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/libinference_accuracy-c7d54973d7c4db51.rmeta: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-e0c09bf65ce8546f.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/inference_accuracy-e0c09bf65ce8546f: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

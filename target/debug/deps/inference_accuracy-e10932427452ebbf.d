@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-e10932427452ebbf.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/inference_accuracy-e10932427452ebbf: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference_accuracy-ea00c5ff873fdc25.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/debug/deps/libinference_accuracy-ea00c5ff873fdc25.rmeta: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iteration-7e7d8711caa32e69.d: crates/bench/benches/iteration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiteration-7e7d8711caa32e69.rmeta: crates/bench/benches/iteration.rs Cargo.toml
+
+crates/bench/benches/iteration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

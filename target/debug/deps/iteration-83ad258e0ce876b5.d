@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iteration-83ad258e0ce876b5.d: crates/bench/benches/iteration.rs
+
+/root/repo/target/debug/deps/libiteration-83ad258e0ce876b5.rmeta: crates/bench/benches/iteration.rs
+
+crates/bench/benches/iteration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iteration-b731ee9d07e60891.d: crates/bench/benches/iteration.rs
+
+/root/repo/target/debug/deps/libiteration-b731ee9d07e60891.rmeta: crates/bench/benches/iteration.rs
+
+crates/bench/benches/iteration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mirroring-867976f4b33616ad.d: crates/bench/benches/mirroring.rs
+
+/root/repo/target/debug/deps/libmirroring-867976f4b33616ad.rmeta: crates/bench/benches/mirroring.rs
+
+crates/bench/benches/mirroring.rs:

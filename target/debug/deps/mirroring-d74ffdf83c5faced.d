@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mirroring-d74ffdf83c5faced.d: crates/bench/benches/mirroring.rs
+
+/root/repo/target/debug/deps/libmirroring-d74ffdf83c5faced.rmeta: crates/bench/benches/mirroring.rs
+
+crates/bench/benches/mirroring.rs:

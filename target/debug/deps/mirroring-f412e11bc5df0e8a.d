@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mirroring-f412e11bc5df0e8a.d: crates/bench/benches/mirroring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmirroring-f412e11bc5df0e8a.rmeta: crates/bench/benches/mirroring.rs Cargo.toml
+
+crates/bench/benches/mirroring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

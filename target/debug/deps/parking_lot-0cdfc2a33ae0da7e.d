@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-0cdfc2a33ae0da7e.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0cdfc2a33ae0da7e.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

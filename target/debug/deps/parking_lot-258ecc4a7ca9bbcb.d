@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-258ecc4a7ca9bbcb.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-258ecc4a7ca9bbcb: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-88c6d57e1685f495.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-88c6d57e1685f495.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-88c6d57e1685f495.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

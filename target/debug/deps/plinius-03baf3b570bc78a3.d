@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/plinius-03baf3b570bc78a3.d: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius-03baf3b570bc78a3.rmeta: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs Cargo.toml
+
+crates/plinius/src/lib.rs:
+crates/plinius/src/mirror.rs:
+crates/plinius/src/pmdata.rs:
+crates/plinius/src/ssd.rs:
+crates/plinius/src/trainer.rs:
+crates/plinius/src/workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plinius-7fce4b7fc54ee470.d: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+/root/repo/target/debug/deps/libplinius-7fce4b7fc54ee470.rmeta: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+crates/plinius/src/lib.rs:
+crates/plinius/src/mirror.rs:
+crates/plinius/src/pmdata.rs:
+crates/plinius/src/ssd.rs:
+crates/plinius/src/trainer.rs:
+crates/plinius/src/workflow.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plinius-cc09398ae50a12d7.d: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+/root/repo/target/debug/deps/libplinius-cc09398ae50a12d7.rlib: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+/root/repo/target/debug/deps/libplinius-cc09398ae50a12d7.rmeta: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+crates/plinius/src/lib.rs:
+crates/plinius/src/mirror.rs:
+crates/plinius/src/pmdata.rs:
+crates/plinius/src/ssd.rs:
+crates/plinius/src/trainer.rs:
+crates/plinius/src/workflow.rs:

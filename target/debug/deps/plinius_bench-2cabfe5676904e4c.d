@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_bench-2cabfe5676904e4c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-2cabfe5676904e4c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

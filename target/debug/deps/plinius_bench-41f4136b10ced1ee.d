@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_bench-41f4136b10ced1ee.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/plinius_bench-41f4136b10ced1ee: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

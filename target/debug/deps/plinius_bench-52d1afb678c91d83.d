@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_bench-52d1afb678c91d83.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/plinius_bench-52d1afb678c91d83: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_bench-5a11d5df269df3e2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-5a11d5df269df3e2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_bench-76d511f25b6b5145.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-76d511f25b6b5145.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-76d511f25b6b5145.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_bench-93da70f92b4f144b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-93da70f92b4f144b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

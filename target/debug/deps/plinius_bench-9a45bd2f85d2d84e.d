@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_bench-9a45bd2f85d2d84e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-9a45bd2f85d2d84e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-9a45bd2f85d2d84e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_bench-a2349d9bbf9d7689.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_bench-a2349d9bbf9d7689.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_bench-f51667d67ab26f5f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_bench-f51667d67ab26f5f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plinius_bench-fc4351cef667940a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_bench-fc4351cef667940a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/plinius_crypto-12972926342cdc9a.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_crypto-12972926342cdc9a.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

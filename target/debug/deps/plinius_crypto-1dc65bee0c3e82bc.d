@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plinius_crypto-1dc65bee0c3e82bc.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/plinius_crypto-1dc65bee0c3e82bc: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plinius_crypto-3336e595abec912f.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libplinius_crypto-3336e595abec912f.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plinius_crypto-3e168a861f0fe740.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libplinius_crypto-3e168a861f0fe740.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libplinius_crypto-3e168a861f0fe740.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/sha256.rs:

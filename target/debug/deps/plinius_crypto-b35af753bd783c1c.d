@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/plinius_crypto-b35af753bd783c1c.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libplinius_crypto-b35af753bd783c1c.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/sha256.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/plinius_darknet-323afbc1ea67977e.d: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_darknet-323afbc1ea67977e.rmeta: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs Cargo.toml
+
+crates/darknet/src/lib.rs:
+crates/darknet/src/activation.rs:
+crates/darknet/src/config.rs:
+crates/darknet/src/data.rs:
+crates/darknet/src/layers/mod.rs:
+crates/darknet/src/layers/connected.rs:
+crates/darknet/src/layers/conv.rs:
+crates/darknet/src/layers/maxpool.rs:
+crates/darknet/src/layers/softmax.rs:
+crates/darknet/src/matrix.rs:
+crates/darknet/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/plinius_darknet-4aaa35a38522da88.d: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs
+
+/root/repo/target/debug/deps/plinius_darknet-4aaa35a38522da88: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs
+
+crates/darknet/src/lib.rs:
+crates/darknet/src/activation.rs:
+crates/darknet/src/config.rs:
+crates/darknet/src/data.rs:
+crates/darknet/src/layers/mod.rs:
+crates/darknet/src/layers/connected.rs:
+crates/darknet/src/layers/conv.rs:
+crates/darknet/src/layers/maxpool.rs:
+crates/darknet/src/layers/softmax.rs:
+crates/darknet/src/matrix.rs:
+crates/darknet/src/network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_pmem-0b20fb48d98b8e49.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libplinius_pmem-0b20fb48d98b8e49.rlib: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libplinius_pmem-0b20fb48d98b8e49.rmeta: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_pmem-1a136e8ce5505e06.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libplinius_pmem-1a136e8ce5505e06.rmeta: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

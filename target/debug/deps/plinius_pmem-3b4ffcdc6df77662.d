@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plinius_pmem-3b4ffcdc6df77662.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_pmem-3b4ffcdc6df77662.rmeta: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs Cargo.toml
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

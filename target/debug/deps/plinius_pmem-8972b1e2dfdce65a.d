@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_pmem-8972b1e2dfdce65a.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/plinius_pmem-8972b1e2dfdce65a: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_pmem-8ecc54336cf525ee.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libplinius_pmem-8ecc54336cf525ee.rmeta: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_pmem-ca8d8341b609aec0.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libplinius_pmem-ca8d8341b609aec0.rlib: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libplinius_pmem-ca8d8341b609aec0.rmeta: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_pmem-dfa0e5e8990330fd.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/debug/deps/libplinius_pmem-dfa0e5e8990330fd.rmeta: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

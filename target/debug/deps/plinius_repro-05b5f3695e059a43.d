@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_repro-05b5f3695e059a43.d: src/lib.rs
+
+/root/repo/target/debug/deps/plinius_repro-05b5f3695e059a43: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_repro-38638c32784663f9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-38638c32784663f9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_repro-3b43146e34c382b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-3b43146e34c382b9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_repro-482cd4b65cc5fcc2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-482cd4b65cc5fcc2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_repro-4b607b9a6cc78659.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-4b607b9a6cc78659.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-4b607b9a6cc78659.rmeta: src/lib.rs
+
+src/lib.rs:

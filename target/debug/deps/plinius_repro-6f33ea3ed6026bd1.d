@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_repro-6f33ea3ed6026bd1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-6f33ea3ed6026bd1.rmeta: src/lib.rs
+
+src/lib.rs:

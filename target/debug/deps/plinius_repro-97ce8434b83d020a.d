@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_repro-97ce8434b83d020a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_repro-97ce8434b83d020a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

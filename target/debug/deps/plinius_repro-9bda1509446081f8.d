@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_repro-9bda1509446081f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-9bda1509446081f8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_repro-9bda1509446081f8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_repro-ab8c8998cc006d69.d: src/lib.rs
+
+/root/repo/target/debug/deps/plinius_repro-ab8c8998cc006d69: src/lib.rs
+
+src/lib.rs:

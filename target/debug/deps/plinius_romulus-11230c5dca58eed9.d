@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_romulus-11230c5dca58eed9.d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/debug/deps/libplinius_romulus-11230c5dca58eed9.rlib: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/debug/deps/libplinius_romulus-11230c5dca58eed9.rmeta: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+crates/romulus/src/lib.rs:
+crates/romulus/src/engine.rs:
+crates/romulus/src/sps.rs:

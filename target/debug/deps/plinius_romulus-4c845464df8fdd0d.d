@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_romulus-4c845464df8fdd0d.d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/debug/deps/plinius_romulus-4c845464df8fdd0d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+crates/romulus/src/lib.rs:
+crates/romulus/src/engine.rs:
+crates/romulus/src/sps.rs:

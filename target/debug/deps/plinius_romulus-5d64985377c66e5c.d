@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_romulus-5d64985377c66e5c.d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/debug/deps/plinius_romulus-5d64985377c66e5c: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+crates/romulus/src/lib.rs:
+crates/romulus/src/engine.rs:
+crates/romulus/src/sps.rs:

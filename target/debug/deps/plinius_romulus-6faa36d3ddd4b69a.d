@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plinius_romulus-6faa36d3ddd4b69a.d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_romulus-6faa36d3ddd4b69a.rmeta: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs Cargo.toml
+
+crates/romulus/src/lib.rs:
+crates/romulus/src/engine.rs:
+crates/romulus/src/sps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_romulus-842805dc1f0f7bb9.d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/debug/deps/libplinius_romulus-842805dc1f0f7bb9.rmeta: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+crates/romulus/src/lib.rs:
+crates/romulus/src/engine.rs:
+crates/romulus/src/sps.rs:

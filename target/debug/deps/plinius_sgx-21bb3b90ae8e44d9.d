@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_sgx-21bb3b90ae8e44d9.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/debug/deps/libplinius_sgx-21bb3b90ae8e44d9.rmeta: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:

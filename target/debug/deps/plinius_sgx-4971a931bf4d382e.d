@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_sgx-4971a931bf4d382e.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/debug/deps/plinius_sgx-4971a931bf4d382e: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:

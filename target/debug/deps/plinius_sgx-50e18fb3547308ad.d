@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_sgx-50e18fb3547308ad.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/debug/deps/libplinius_sgx-50e18fb3547308ad.rmeta: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_sgx-7eda805982eea92b.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/debug/deps/plinius_sgx-7eda805982eea92b: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_sgx-890077fd1e1b3590.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/debug/deps/libplinius_sgx-890077fd1e1b3590.rlib: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/debug/deps/libplinius_sgx-890077fd1e1b3590.rmeta: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:

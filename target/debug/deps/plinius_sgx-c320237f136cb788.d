@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plinius_sgx-c320237f136cb788.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_sgx-c320237f136cb788.rmeta: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs Cargo.toml
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

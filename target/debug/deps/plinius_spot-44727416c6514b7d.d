@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_spot-44727416c6514b7d.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-44727416c6514b7d.rmeta: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_spot-4aa6804aeb3b9f78.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-4aa6804aeb3b9f78.rlib: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-4aa6804aeb3b9f78.rmeta: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_spot-7329e7c15453272c.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-7329e7c15453272c.rmeta: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

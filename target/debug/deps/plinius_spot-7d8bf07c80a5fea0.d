@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_spot-7d8bf07c80a5fea0.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/plinius_spot-7d8bf07c80a5fea0: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

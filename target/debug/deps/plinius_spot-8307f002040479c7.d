@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_spot-8307f002040479c7.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-8307f002040479c7.rlib: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-8307f002040479c7.rmeta: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

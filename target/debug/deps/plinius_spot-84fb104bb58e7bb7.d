@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_spot-84fb104bb58e7bb7.d: crates/spot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_spot-84fb104bb58e7bb7.rmeta: crates/spot/src/lib.rs Cargo.toml
+
+crates/spot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_spot-8dc7afcf5dab47b4.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/plinius_spot-8dc7afcf5dab47b4: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_spot-9a3f58f73c1860ed.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-9a3f58f73c1860ed.rmeta: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plinius_spot-ebec3bf1406bf49d.d: crates/spot/src/lib.rs
+
+/root/repo/target/debug/deps/libplinius_spot-ebec3bf1406bf49d.rmeta: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_storage-03fc1716a58aa3a6.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/debug/deps/plinius_storage-03fc1716a58aa3a6: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plinius_storage-1c1ade9726c9753d.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/debug/deps/libplinius_storage-1c1ade9726c9753d.rlib: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/debug/deps/libplinius_storage-1c1ade9726c9753d.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

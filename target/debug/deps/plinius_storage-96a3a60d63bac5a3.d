@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_storage-96a3a60d63bac5a3.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/debug/deps/libplinius_storage-96a3a60d63bac5a3.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plinius_storage-a4a060fd3426f47f.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplinius_storage-a4a060fd3426f47f.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

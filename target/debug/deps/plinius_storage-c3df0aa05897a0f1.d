@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_storage-c3df0aa05897a0f1.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/debug/deps/plinius_storage-c3df0aa05897a0f1: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_storage-d468414f4ac0c1e3.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/debug/deps/libplinius_storage-d468414f4ac0c1e3.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plinius_storage-e481b0d419c19248.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/debug/deps/libplinius_storage-e481b0d419c19248.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_loss-968217b7f2a2d64f.d: crates/plinius/tests/probe_loss.rs
+
+/root/repo/target/debug/deps/probe_loss-968217b7f2a2d64f: crates/plinius/tests/probe_loss.rs
+
+crates/plinius/tests/probe_loss.rs:

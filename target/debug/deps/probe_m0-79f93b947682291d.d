@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_m0-79f93b947682291d.d: crates/plinius/tests/probe_m0.rs
+
+/root/repo/target/debug/deps/probe_m0-79f93b947682291d: crates/plinius/tests/probe_m0.rs
+
+crates/plinius/tests/probe_m0.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_quickstart-74fae830d7d1b1c2.d: tests/probe_quickstart.rs
+
+/root/repo/target/debug/deps/probe_quickstart-74fae830d7d1b1c2: tests/probe_quickstart.rs
+
+tests/probe_quickstart.rs:

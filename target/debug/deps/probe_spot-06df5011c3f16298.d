@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_spot-06df5011c3f16298.d: tests/probe_spot.rs
+
+/root/repo/target/debug/deps/probe_spot-06df5011c3f16298: tests/probe_spot.rs
+
+tests/probe_spot.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0dbefcd27d3f5775.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-0dbefcd27d3f5775.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:
+crates/shims/proptest/src/strategy.rs:

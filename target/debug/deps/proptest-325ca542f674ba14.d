@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-325ca542f674ba14.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-325ca542f674ba14.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:
+crates/shims/proptest/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-983115913c477ec5.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-983115913c477ec5.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-983115913c477ec5.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:
+crates/shims/proptest/src/strategy.rs:

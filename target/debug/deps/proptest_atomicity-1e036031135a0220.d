@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_atomicity-1e036031135a0220.d: crates/romulus/tests/proptest_atomicity.rs
+
+/root/repo/target/debug/deps/libproptest_atomicity-1e036031135a0220.rmeta: crates/romulus/tests/proptest_atomicity.rs
+
+crates/romulus/tests/proptest_atomicity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_atomicity-8ee0851abac9b4e1.d: crates/romulus/tests/proptest_atomicity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_atomicity-8ee0851abac9b4e1.rmeta: crates/romulus/tests/proptest_atomicity.rs Cargo.toml
+
+crates/romulus/tests/proptest_atomicity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_atomicity-9a3491002447b89b.d: crates/romulus/tests/proptest_atomicity.rs
+
+/root/repo/target/debug/deps/libproptest_atomicity-9a3491002447b89b.rmeta: crates/romulus/tests/proptest_atomicity.rs
+
+crates/romulus/tests/proptest_atomicity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_atomicity-aacd573c5bf234f9.d: crates/romulus/tests/proptest_atomicity.rs
+
+/root/repo/target/debug/deps/proptest_atomicity-aacd573c5bf234f9: crates/romulus/tests/proptest_atomicity.rs
+
+crates/romulus/tests/proptest_atomicity.rs:

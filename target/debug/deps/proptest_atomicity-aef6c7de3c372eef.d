@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_atomicity-aef6c7de3c372eef.d: crates/romulus/tests/proptest_atomicity.rs
+
+/root/repo/target/debug/deps/proptest_atomicity-aef6c7de3c372eef: crates/romulus/tests/proptest_atomicity.rs
+
+crates/romulus/tests/proptest_atomicity.rs:

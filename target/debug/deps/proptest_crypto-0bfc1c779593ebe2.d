@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_crypto-0bfc1c779593ebe2.d: crates/crypto/tests/proptest_crypto.rs
+
+/root/repo/target/debug/deps/proptest_crypto-0bfc1c779593ebe2: crates/crypto/tests/proptest_crypto.rs
+
+crates/crypto/tests/proptest_crypto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_crypto-11fb295d3b76faf3.d: crates/crypto/tests/proptest_crypto.rs
+
+/root/repo/target/debug/deps/proptest_crypto-11fb295d3b76faf3: crates/crypto/tests/proptest_crypto.rs
+
+crates/crypto/tests/proptest_crypto.rs:

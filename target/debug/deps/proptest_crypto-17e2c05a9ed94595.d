@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_crypto-17e2c05a9ed94595.d: crates/crypto/tests/proptest_crypto.rs
+
+/root/repo/target/debug/deps/libproptest_crypto-17e2c05a9ed94595.rmeta: crates/crypto/tests/proptest_crypto.rs
+
+crates/crypto/tests/proptest_crypto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_crypto-42f19f7c35e56e5d.d: crates/crypto/tests/proptest_crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_crypto-42f19f7c35e56e5d.rmeta: crates/crypto/tests/proptest_crypto.rs Cargo.toml
+
+crates/crypto/tests/proptest_crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_crypto-fa8cabe882382f74.d: crates/crypto/tests/proptest_crypto.rs
+
+/root/repo/target/debug/deps/libproptest_crypto-fa8cabe882382f74.rmeta: crates/crypto/tests/proptest_crypto.rs
+
+crates/crypto/tests/proptest_crypto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pool-4b16b981e4937c51.d: crates/pmem/tests/proptest_pool.rs
+
+/root/repo/target/debug/deps/proptest_pool-4b16b981e4937c51: crates/pmem/tests/proptest_pool.rs
+
+crates/pmem/tests/proptest_pool.rs:

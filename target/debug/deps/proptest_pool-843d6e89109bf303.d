@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_pool-843d6e89109bf303.d: crates/pmem/tests/proptest_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_pool-843d6e89109bf303.rmeta: crates/pmem/tests/proptest_pool.rs Cargo.toml
+
+crates/pmem/tests/proptest_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

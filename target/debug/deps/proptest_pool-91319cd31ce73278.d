@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pool-91319cd31ce73278.d: crates/pmem/tests/proptest_pool.rs
+
+/root/repo/target/debug/deps/libproptest_pool-91319cd31ce73278.rmeta: crates/pmem/tests/proptest_pool.rs
+
+crates/pmem/tests/proptest_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pool-b2f3db1259678b36.d: crates/pmem/tests/proptest_pool.rs
+
+/root/repo/target/debug/deps/libproptest_pool-b2f3db1259678b36.rmeta: crates/pmem/tests/proptest_pool.rs
+
+crates/pmem/tests/proptest_pool.rs:

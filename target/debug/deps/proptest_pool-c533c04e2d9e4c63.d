@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pool-c533c04e2d9e4c63.d: crates/pmem/tests/proptest_pool.rs
+
+/root/repo/target/debug/deps/proptest_pool-c533c04e2d9e4c63: crates/pmem/tests/proptest_pool.rs
+
+crates/pmem/tests/proptest_pool.rs:

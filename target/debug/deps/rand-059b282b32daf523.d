@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-059b282b32daf523.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-059b282b32daf523.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-21465235e89f330e.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-21465235e89f330e.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

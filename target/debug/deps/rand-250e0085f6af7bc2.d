@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-250e0085f6af7bc2.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-250e0085f6af7bc2.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-250e0085f6af7bc2.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6b3e02b73486ae88.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6b3e02b73486ae88.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7d136e2d7bd0e743.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7d136e2d7bd0e743.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

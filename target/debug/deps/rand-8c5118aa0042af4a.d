@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-8c5118aa0042af4a.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8c5118aa0042af4a.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ad8b615b2d388d1c.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ad8b615b2d388d1c.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c24bb433a8d2a65c.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-c24bb433a8d2a65c: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d31acdac86002146.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d31acdac86002146.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d31acdac86002146.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

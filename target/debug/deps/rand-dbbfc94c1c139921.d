@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-dbbfc94c1c139921.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-dbbfc94c1c139921: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-111848d3e67a09b3.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-111848d3e67a09b3: tests/security.rs
+
+tests/security.rs:

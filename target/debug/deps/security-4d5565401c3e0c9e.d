@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-4d5565401c3e0c9e.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-4d5565401c3e0c9e: tests/security.rs
+
+tests/security.rs:

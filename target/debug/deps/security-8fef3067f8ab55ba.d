@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-8fef3067f8ab55ba.d: tests/security.rs
+
+/root/repo/target/debug/deps/libsecurity-8fef3067f8ab55ba.rmeta: tests/security.rs
+
+tests/security.rs:

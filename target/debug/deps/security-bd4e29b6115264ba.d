@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security-bd4e29b6115264ba.d: tests/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity-bd4e29b6115264ba.rmeta: tests/security.rs Cargo.toml
+
+tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-cd8d91284273fe8e.d: tests/security.rs
+
+/root/repo/target/debug/deps/libsecurity-cd8d91284273fe8e.rmeta: tests/security.rs
+
+tests/security.rs:

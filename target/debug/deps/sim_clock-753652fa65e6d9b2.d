@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_clock-753652fa65e6d9b2.d: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+/root/repo/target/debug/deps/libsim_clock-753652fa65e6d9b2.rlib: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+/root/repo/target/debug/deps/libsim_clock-753652fa65e6d9b2.rmeta: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+crates/sim-clock/src/lib.rs:
+crates/sim-clock/src/cost.rs:
+crates/sim-clock/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sim_clock-83488feb0514467c.d: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+/root/repo/target/debug/deps/sim_clock-83488feb0514467c: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+crates/sim-clock/src/lib.rs:
+crates/sim-clock/src/cost.rs:
+crates/sim-clock/src/stats.rs:

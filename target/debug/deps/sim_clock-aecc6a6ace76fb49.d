@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sim_clock-aecc6a6ace76fb49.d: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_clock-aecc6a6ace76fb49.rmeta: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs Cargo.toml
+
+crates/sim-clock/src/lib.rs:
+crates/sim-clock/src/cost.rs:
+crates/sim-clock/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sim_clock-cfcea26fae8e291f.d: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+/root/repo/target/debug/deps/libsim_clock-cfcea26fae8e291f.rmeta: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+crates/sim-clock/src/lib.rs:
+crates/sim-clock/src/cost.rs:
+crates/sim-clock/src/stats.rs:

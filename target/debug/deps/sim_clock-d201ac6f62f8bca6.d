@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sim_clock-d201ac6f62f8bca6.d: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_clock-d201ac6f62f8bca6.rmeta: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs Cargo.toml
+
+crates/sim-clock/src/lib.rs:
+crates/sim-clock/src/cost.rs:
+crates/sim-clock/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sim_clock-f285f503a074cf7e.d: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+/root/repo/target/debug/deps/libsim_clock-f285f503a074cf7e.rmeta: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+crates/sim-clock/src/lib.rs:
+crates/sim-clock/src/cost.rs:
+crates/sim-clock/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sim_clock-f3e8e36b324d14aa.d: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+/root/repo/target/debug/deps/sim_clock-f3e8e36b324d14aa: crates/sim-clock/src/lib.rs crates/sim-clock/src/cost.rs crates/sim-clock/src/stats.rs
+
+crates/sim-clock/src/lib.rs:
+crates/sim-clock/src/cost.rs:
+crates/sim-clock/src/stats.rs:

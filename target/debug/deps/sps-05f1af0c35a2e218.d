@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sps-05f1af0c35a2e218.d: crates/bench/benches/sps.rs
+
+/root/repo/target/debug/deps/libsps-05f1af0c35a2e218.rmeta: crates/bench/benches/sps.rs
+
+crates/bench/benches/sps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sps-1c81c563664c7042.d: crates/bench/benches/sps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsps-1c81c563664c7042.rmeta: crates/bench/benches/sps.rs Cargo.toml
+
+crates/bench/benches/sps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sps-4e5d92ed9224a2ad.d: crates/bench/benches/sps.rs
+
+/root/repo/target/debug/deps/libsps-4e5d92ed9224a2ad.rmeta: crates/bench/benches/sps.rs
+
+crates/bench/benches/sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-427a38d0c677d7cb.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/table1_breakdown-427a38d0c677d7cb: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

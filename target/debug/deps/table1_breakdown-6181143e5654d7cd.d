@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-6181143e5654d7cd.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/libtable1_breakdown-6181143e5654d7cd.rmeta: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

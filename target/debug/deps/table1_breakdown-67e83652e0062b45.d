@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-67e83652e0062b45.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/table1_breakdown-67e83652e0062b45: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-6bd4af6b219784f3.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/libtable1_breakdown-6bd4af6b219784f3.rmeta: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-7e3e01243654aa4b.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/table1_breakdown-7e3e01243654aa4b: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

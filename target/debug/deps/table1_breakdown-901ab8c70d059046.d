@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_breakdown-901ab8c70d059046.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/debug/deps/table1_breakdown-901ab8c70d059046: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tcb_report-476ec4f369738450.d: crates/bench/src/bin/tcb_report.rs
+
+/root/repo/target/debug/deps/libtcb_report-476ec4f369738450.rmeta: crates/bench/src/bin/tcb_report.rs
+
+crates/bench/src/bin/tcb_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tcb_report-500f446915c8652b.d: crates/bench/src/bin/tcb_report.rs
+
+/root/repo/target/debug/deps/libtcb_report-500f446915c8652b.rmeta: crates/bench/src/bin/tcb_report.rs
+
+crates/bench/src/bin/tcb_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tcb_report-bb8383859bbe46c6.d: crates/bench/src/bin/tcb_report.rs
+
+/root/repo/target/debug/deps/tcb_report-bb8383859bbe46c6: crates/bench/src/bin/tcb_report.rs
+
+crates/bench/src/bin/tcb_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

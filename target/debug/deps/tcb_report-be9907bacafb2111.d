@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tcb_report-be9907bacafb2111.d: crates/bench/src/bin/tcb_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcb_report-be9907bacafb2111.rmeta: crates/bench/src/bin/tcb_report.rs Cargo.toml
+
+crates/bench/src/bin/tcb_report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tcb_report-ef584137250c5f1d.d: crates/bench/src/bin/tcb_report.rs
+
+/root/repo/target/debug/deps/libtcb_report-ef584137250c5f1d.rmeta: crates/bench/src/bin/tcb_report.rs
+
+crates/bench/src/bin/tcb_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tcb_report-f63c23c638f4577f.d: crates/bench/src/bin/tcb_report.rs
+
+/root/repo/target/debug/deps/libtcb_report-f63c23c638f4577f.rmeta: crates/bench/src/bin/tcb_report.rs
+
+crates/bench/src/bin/tcb_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_resilient_training-083264c06e7cd7ce.d: examples/crash_resilient_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_resilient_training-083264c06e7cd7ce.rmeta: examples/crash_resilient_training.rs Cargo.toml
+
+examples/crash_resilient_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

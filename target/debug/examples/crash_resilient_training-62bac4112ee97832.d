@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_resilient_training-62bac4112ee97832.d: examples/crash_resilient_training.rs
+
+/root/repo/target/debug/examples/crash_resilient_training-62bac4112ee97832: examples/crash_resilient_training.rs
+
+examples/crash_resilient_training.rs:

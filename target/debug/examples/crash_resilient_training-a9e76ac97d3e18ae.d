@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_resilient_training-a9e76ac97d3e18ae.d: examples/crash_resilient_training.rs
+
+/root/repo/target/debug/examples/libcrash_resilient_training-a9e76ac97d3e18ae.rmeta: examples/crash_resilient_training.rs
+
+examples/crash_resilient_training.rs:

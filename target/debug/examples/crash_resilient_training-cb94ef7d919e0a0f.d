@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_resilient_training-cb94ef7d919e0a0f.d: examples/crash_resilient_training.rs
+
+/root/repo/target/debug/examples/crash_resilient_training-cb94ef7d919e0a0f: examples/crash_resilient_training.rs
+
+examples/crash_resilient_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_resilient_training-e4dd03aefc50bdcb.d: examples/crash_resilient_training.rs
+
+/root/repo/target/debug/examples/libcrash_resilient_training-e4dd03aefc50bdcb.rmeta: examples/crash_resilient_training.rs
+
+examples/crash_resilient_training.rs:

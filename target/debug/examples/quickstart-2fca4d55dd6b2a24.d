@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2fca4d55dd6b2a24.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2fca4d55dd6b2a24: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-428e27f458446315.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-428e27f458446315.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

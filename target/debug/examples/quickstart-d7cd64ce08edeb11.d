@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d7cd64ce08edeb11.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-d7cd64ce08edeb11.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-de4d2477b99498c5.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-de4d2477b99498c5.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f2fb5cff30f27fb4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f2fb5cff30f27fb4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_inference-2c6dca339753cbe0.d: examples/secure_inference.rs
+
+/root/repo/target/debug/examples/secure_inference-2c6dca339753cbe0: examples/secure_inference.rs
+
+examples/secure_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_inference-5f69f466ae176e5a.d: examples/secure_inference.rs
+
+/root/repo/target/debug/examples/libsecure_inference-5f69f466ae176e5a.rmeta: examples/secure_inference.rs
+
+examples/secure_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_inference-ae2c95196246c896.d: examples/secure_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_inference-ae2c95196246c896.rmeta: examples/secure_inference.rs Cargo.toml
+
+examples/secure_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

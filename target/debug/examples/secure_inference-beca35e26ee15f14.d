@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_inference-beca35e26ee15f14.d: examples/secure_inference.rs
+
+/root/repo/target/debug/examples/secure_inference-beca35e26ee15f14: examples/secure_inference.rs
+
+examples/secure_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_inference-d9145261cb34c4ed.d: examples/secure_inference.rs
+
+/root/repo/target/debug/examples/libsecure_inference-d9145261cb34c4ed.rmeta: examples/secure_inference.rs
+
+examples/secure_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spot_instance_training-3807ad64904f8326.d: examples/spot_instance_training.rs
+
+/root/repo/target/debug/examples/spot_instance_training-3807ad64904f8326: examples/spot_instance_training.rs
+
+examples/spot_instance_training.rs:

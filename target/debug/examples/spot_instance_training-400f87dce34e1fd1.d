@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spot_instance_training-400f87dce34e1fd1.d: examples/spot_instance_training.rs
+
+/root/repo/target/debug/examples/libspot_instance_training-400f87dce34e1fd1.rmeta: examples/spot_instance_training.rs
+
+examples/spot_instance_training.rs:

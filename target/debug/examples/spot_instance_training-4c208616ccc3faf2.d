@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spot_instance_training-4c208616ccc3faf2.d: examples/spot_instance_training.rs
+
+/root/repo/target/debug/examples/spot_instance_training-4c208616ccc3faf2: examples/spot_instance_training.rs
+
+examples/spot_instance_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spot_instance_training-d57934c496956fba.d: examples/spot_instance_training.rs
+
+/root/repo/target/debug/examples/libspot_instance_training-d57934c496956fba.rmeta: examples/spot_instance_training.rs
+
+examples/spot_instance_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spot_instance_training-edce77dbf5382e72.d: examples/spot_instance_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspot_instance_training-edce77dbf5382e72.rmeta: examples/spot_instance_training.rs Cargo.toml
+
+examples/spot_instance_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libplinius_spot.rlib: /root/repo/crates/shims/rand/src/lib.rs /root/repo/crates/spot/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-2795cbc16a103a75.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-2795cbc16a103a75: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

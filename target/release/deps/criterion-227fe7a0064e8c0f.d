@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-227fe7a0064e8c0f.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-227fe7a0064e8c0f.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-227fe7a0064e8c0f.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

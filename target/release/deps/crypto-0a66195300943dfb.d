@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto-0a66195300943dfb.d: crates/bench/benches/crypto.rs
+
+/root/repo/target/release/deps/crypto-0a66195300943dfb: crates/bench/benches/crypto.rs
+
+crates/bench/benches/crypto.rs:

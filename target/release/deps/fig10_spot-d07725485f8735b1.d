@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_spot-d07725485f8735b1.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/release/deps/fig10_spot-d07725485f8735b1: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

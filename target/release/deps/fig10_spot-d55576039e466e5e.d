@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_spot-d55576039e466e5e.d: crates/bench/src/bin/fig10_spot.rs
+
+/root/repo/target/release/deps/fig10_spot-d55576039e466e5e: crates/bench/src/bin/fig10_spot.rs
+
+crates/bench/src/bin/fig10_spot.rs:

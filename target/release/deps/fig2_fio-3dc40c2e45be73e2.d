@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_fio-3dc40c2e45be73e2.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/release/deps/fig2_fio-3dc40c2e45be73e2: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

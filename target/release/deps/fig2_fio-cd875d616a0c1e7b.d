@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_fio-cd875d616a0c1e7b.d: crates/bench/src/bin/fig2_fio.rs
+
+/root/repo/target/release/deps/fig2_fio-cd875d616a0c1e7b: crates/bench/src/bin/fig2_fio.rs
+
+crates/bench/src/bin/fig2_fio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_sps-a9d0f0ad3d67bd36.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/release/deps/fig6_sps-a9d0f0ad3d67bd36: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

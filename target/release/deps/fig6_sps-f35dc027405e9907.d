@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_sps-f35dc027405e9907.d: crates/bench/src/bin/fig6_sps.rs
+
+/root/repo/target/release/deps/fig6_sps-f35dc027405e9907: crates/bench/src/bin/fig6_sps.rs
+
+crates/bench/src/bin/fig6_sps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mirroring-235fb1ecc25a74b2.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/release/deps/fig7_mirroring-235fb1ecc25a74b2: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mirroring-a08c93f0f81b8225.d: crates/bench/src/bin/fig7_mirroring.rs
+
+/root/repo/target/release/deps/fig7_mirroring-a08c93f0f81b8225: crates/bench/src/bin/fig7_mirroring.rs
+
+crates/bench/src/bin/fig7_mirroring.rs:

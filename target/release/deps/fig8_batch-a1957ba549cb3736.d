@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_batch-a1957ba549cb3736.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/release/deps/fig8_batch-a1957ba549cb3736: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_batch-e2aa600fa16ecd64.d: crates/bench/src/bin/fig8_batch.rs
+
+/root/repo/target/release/deps/fig8_batch-e2aa600fa16ecd64: crates/bench/src/bin/fig8_batch.rs
+
+crates/bench/src/bin/fig8_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_crash-1e576b4cbad22699.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/release/deps/fig9_crash-1e576b4cbad22699: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_crash-9507e0db247637e1.d: crates/bench/src/bin/fig9_crash.rs
+
+/root/repo/target/release/deps/fig9_crash-9507e0db247637e1: crates/bench/src/bin/fig9_crash.rs
+
+crates/bench/src/bin/fig9_crash.rs:

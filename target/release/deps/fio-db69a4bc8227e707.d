@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fio-db69a4bc8227e707.d: crates/bench/benches/fio.rs
+
+/root/repo/target/release/deps/fio-db69a4bc8227e707: crates/bench/benches/fio.rs
+
+crates/bench/benches/fio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inference_accuracy-797bb5d32c618215.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/release/deps/inference_accuracy-797bb5d32c618215: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

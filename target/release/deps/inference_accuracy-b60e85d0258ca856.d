@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inference_accuracy-b60e85d0258ca856.d: crates/bench/src/bin/inference_accuracy.rs
+
+/root/repo/target/release/deps/inference_accuracy-b60e85d0258ca856: crates/bench/src/bin/inference_accuracy.rs
+
+crates/bench/src/bin/inference_accuracy.rs:

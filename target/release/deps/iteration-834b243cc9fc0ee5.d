@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iteration-834b243cc9fc0ee5.d: crates/bench/benches/iteration.rs
+
+/root/repo/target/release/deps/iteration-834b243cc9fc0ee5: crates/bench/benches/iteration.rs
+
+crates/bench/benches/iteration.rs:

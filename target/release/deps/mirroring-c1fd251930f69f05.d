@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mirroring-c1fd251930f69f05.d: crates/bench/benches/mirroring.rs
+
+/root/repo/target/release/deps/mirroring-c1fd251930f69f05: crates/bench/benches/mirroring.rs
+
+crates/bench/benches/mirroring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-d24f68e91bccbf33.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-d24f68e91bccbf33: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

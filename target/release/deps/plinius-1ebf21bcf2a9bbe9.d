@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/plinius-1ebf21bcf2a9bbe9.d: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+/root/repo/target/release/deps/libplinius-1ebf21bcf2a9bbe9.rlib: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+/root/repo/target/release/deps/libplinius-1ebf21bcf2a9bbe9.rmeta: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+crates/plinius/src/lib.rs:
+crates/plinius/src/mirror.rs:
+crates/plinius/src/pmdata.rs:
+crates/plinius/src/ssd.rs:
+crates/plinius/src/trainer.rs:
+crates/plinius/src/workflow.rs:

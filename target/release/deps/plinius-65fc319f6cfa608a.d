@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/plinius-65fc319f6cfa608a.d: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+/root/repo/target/release/deps/plinius-65fc319f6cfa608a: crates/plinius/src/lib.rs crates/plinius/src/mirror.rs crates/plinius/src/pmdata.rs crates/plinius/src/ssd.rs crates/plinius/src/trainer.rs crates/plinius/src/workflow.rs
+
+crates/plinius/src/lib.rs:
+crates/plinius/src/mirror.rs:
+crates/plinius/src/pmdata.rs:
+crates/plinius/src/ssd.rs:
+crates/plinius/src/trainer.rs:
+crates/plinius/src/workflow.rs:

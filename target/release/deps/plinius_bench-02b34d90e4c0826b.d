@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_bench-02b34d90e4c0826b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libplinius_bench-02b34d90e4c0826b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libplinius_bench-02b34d90e4c0826b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_bench-dd26b4bfcaa94f2b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/plinius_bench-dd26b4bfcaa94f2b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

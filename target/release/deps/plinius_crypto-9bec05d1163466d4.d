@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/plinius_crypto-9bec05d1163466d4.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libplinius_crypto-9bec05d1163466d4.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libplinius_crypto-9bec05d1163466d4.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/gcm.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/gcm.rs:
+crates/crypto/src/sha256.rs:

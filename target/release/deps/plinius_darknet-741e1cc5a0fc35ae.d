@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/plinius_darknet-741e1cc5a0fc35ae.d: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs
+
+/root/repo/target/release/deps/libplinius_darknet-741e1cc5a0fc35ae.rlib: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs
+
+/root/repo/target/release/deps/libplinius_darknet-741e1cc5a0fc35ae.rmeta: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs
+
+crates/darknet/src/lib.rs:
+crates/darknet/src/activation.rs:
+crates/darknet/src/config.rs:
+crates/darknet/src/data.rs:
+crates/darknet/src/layers/mod.rs:
+crates/darknet/src/layers/connected.rs:
+crates/darknet/src/layers/conv.rs:
+crates/darknet/src/layers/maxpool.rs:
+crates/darknet/src/layers/softmax.rs:
+crates/darknet/src/matrix.rs:
+crates/darknet/src/network.rs:

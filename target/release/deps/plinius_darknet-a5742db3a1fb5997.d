@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/plinius_darknet-a5742db3a1fb5997.d: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs
+
+/root/repo/target/release/deps/plinius_darknet-a5742db3a1fb5997: crates/darknet/src/lib.rs crates/darknet/src/activation.rs crates/darknet/src/config.rs crates/darknet/src/data.rs crates/darknet/src/layers/mod.rs crates/darknet/src/layers/connected.rs crates/darknet/src/layers/conv.rs crates/darknet/src/layers/maxpool.rs crates/darknet/src/layers/softmax.rs crates/darknet/src/matrix.rs crates/darknet/src/network.rs
+
+crates/darknet/src/lib.rs:
+crates/darknet/src/activation.rs:
+crates/darknet/src/config.rs:
+crates/darknet/src/data.rs:
+crates/darknet/src/layers/mod.rs:
+crates/darknet/src/layers/connected.rs:
+crates/darknet/src/layers/conv.rs:
+crates/darknet/src/layers/maxpool.rs:
+crates/darknet/src/layers/softmax.rs:
+crates/darknet/src/matrix.rs:
+crates/darknet/src/network.rs:

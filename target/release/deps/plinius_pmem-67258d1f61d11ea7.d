@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_pmem-67258d1f61d11ea7.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/release/deps/plinius_pmem-67258d1f61d11ea7: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

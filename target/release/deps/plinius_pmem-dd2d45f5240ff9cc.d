@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plinius_pmem-dd2d45f5240ff9cc.d: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/release/deps/libplinius_pmem-dd2d45f5240ff9cc.rlib: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+/root/repo/target/release/deps/libplinius_pmem-dd2d45f5240ff9cc.rmeta: crates/pmem/src/lib.rs crates/pmem/src/fio.rs crates/pmem/src/pool.rs
+
+crates/pmem/src/lib.rs:
+crates/pmem/src/fio.rs:
+crates/pmem/src/pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plinius_repro-0751b654ddaa364c.d: src/lib.rs
+
+/root/repo/target/release/deps/plinius_repro-0751b654ddaa364c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_repro-70f1355ced7f608a.d: src/lib.rs
+
+/root/repo/target/release/deps/libplinius_repro-70f1355ced7f608a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libplinius_repro-70f1355ced7f608a.rmeta: src/lib.rs
+
+src/lib.rs:

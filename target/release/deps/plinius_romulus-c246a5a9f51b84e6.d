@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_romulus-c246a5a9f51b84e6.d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/release/deps/plinius_romulus-c246a5a9f51b84e6: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+crates/romulus/src/lib.rs:
+crates/romulus/src/engine.rs:
+crates/romulus/src/sps.rs:

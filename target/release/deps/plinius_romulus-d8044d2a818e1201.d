@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plinius_romulus-d8044d2a818e1201.d: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/release/deps/libplinius_romulus-d8044d2a818e1201.rlib: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+/root/repo/target/release/deps/libplinius_romulus-d8044d2a818e1201.rmeta: crates/romulus/src/lib.rs crates/romulus/src/engine.rs crates/romulus/src/sps.rs
+
+crates/romulus/src/lib.rs:
+crates/romulus/src/engine.rs:
+crates/romulus/src/sps.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_sgx-6e48206390c15a5f.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/release/deps/plinius_sgx-6e48206390c15a5f: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:

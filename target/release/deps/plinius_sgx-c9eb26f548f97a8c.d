@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plinius_sgx-c9eb26f548f97a8c.d: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/release/deps/libplinius_sgx-c9eb26f548f97a8c.rlib: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+/root/repo/target/release/deps/libplinius_sgx-c9eb26f548f97a8c.rmeta: crates/sgx/src/lib.rs crates/sgx/src/attestation.rs crates/sgx/src/enclave.rs
+
+crates/sgx/src/lib.rs:
+crates/sgx/src/attestation.rs:
+crates/sgx/src/enclave.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_spot-20b723c1b980f4cf.d: crates/spot/src/lib.rs
+
+/root/repo/target/release/deps/libplinius_spot-20b723c1b980f4cf.rlib: crates/spot/src/lib.rs
+
+/root/repo/target/release/deps/libplinius_spot-20b723c1b980f4cf.rmeta: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plinius_spot-83e76c9bd25a5b74.d: crates/spot/src/lib.rs
+
+/root/repo/target/release/deps/plinius_spot-83e76c9bd25a5b74: crates/spot/src/lib.rs
+
+crates/spot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plinius_storage-d6ad60c04e286476.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/release/deps/libplinius_storage-d6ad60c04e286476.rlib: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/release/deps/libplinius_storage-d6ad60c04e286476.rmeta: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plinius_storage-e6300ab4305e528a.d: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+/root/repo/target/release/deps/plinius_storage-e6300ab4305e528a: crates/storage/src/lib.rs crates/storage/src/checkpoint.rs crates/storage/src/fs.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/fs.rs:

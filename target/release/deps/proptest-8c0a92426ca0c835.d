@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-8c0a92426ca0c835.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/proptest-8c0a92426ca0c835: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:
+crates/shims/proptest/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-eaf48a33b6863d46.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-eaf48a33b6863d46.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-eaf48a33b6863d46.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs crates/shims/proptest/src/strategy.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:
+crates/shims/proptest/src/strategy.rs:

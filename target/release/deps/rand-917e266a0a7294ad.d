@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-917e266a0a7294ad.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-917e266a0a7294ad.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-917e266a0a7294ad.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sps-ccb8f8bb29dd6b50.d: crates/bench/benches/sps.rs
+
+/root/repo/target/release/deps/sps-ccb8f8bb29dd6b50: crates/bench/benches/sps.rs
+
+crates/bench/benches/sps.rs:

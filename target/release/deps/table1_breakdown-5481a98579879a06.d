@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_breakdown-5481a98579879a06.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/release/deps/table1_breakdown-5481a98579879a06: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

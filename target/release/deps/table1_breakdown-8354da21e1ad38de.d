@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_breakdown-8354da21e1ad38de.d: crates/bench/src/bin/table1_breakdown.rs
+
+/root/repo/target/release/deps/table1_breakdown-8354da21e1ad38de: crates/bench/src/bin/table1_breakdown.rs
+
+crates/bench/src/bin/table1_breakdown.rs:

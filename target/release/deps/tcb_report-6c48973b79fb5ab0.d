@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tcb_report-6c48973b79fb5ab0.d: crates/bench/src/bin/tcb_report.rs
+
+/root/repo/target/release/deps/tcb_report-6c48973b79fb5ab0: crates/bench/src/bin/tcb_report.rs
+
+crates/bench/src/bin/tcb_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

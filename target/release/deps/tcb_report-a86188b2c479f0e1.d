@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tcb_report-a86188b2c479f0e1.d: crates/bench/src/bin/tcb_report.rs
+
+/root/repo/target/release/deps/tcb_report-a86188b2c479f0e1: crates/bench/src/bin/tcb_report.rs
+
+crates/bench/src/bin/tcb_report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_resilient_training-fe1d5a0eeafbbe12.d: examples/crash_resilient_training.rs
+
+/root/repo/target/release/examples/crash_resilient_training-fe1d5a0eeafbbe12: examples/crash_resilient_training.rs
+
+examples/crash_resilient_training.rs:

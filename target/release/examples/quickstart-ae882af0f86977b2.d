@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ae882af0f86977b2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ae882af0f86977b2: examples/quickstart.rs
+
+examples/quickstart.rs:

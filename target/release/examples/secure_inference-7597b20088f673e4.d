@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/secure_inference-7597b20088f673e4.d: examples/secure_inference.rs
+
+/root/repo/target/release/examples/secure_inference-7597b20088f673e4: examples/secure_inference.rs
+
+examples/secure_inference.rs:

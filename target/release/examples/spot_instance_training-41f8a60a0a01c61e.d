@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spot_instance_training-41f8a60a0a01c61e.d: examples/spot_instance_training.rs
+
+/root/repo/target/release/examples/spot_instance_training-41f8a60a0a01c61e: examples/spot_instance_training.rs
+
+examples/spot_instance_training.rs:
