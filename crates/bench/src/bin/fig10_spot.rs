@@ -5,7 +5,7 @@ use plinius::{
     spot_crash_schedule, train_with_crash_schedule, PersistenceBackend, TrainerConfig,
     TrainingSetup,
 };
-use plinius_bench::RunMode;
+use plinius_bench::{cli, RunMode};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use plinius_spot::{SpotSimulator, SpotTrace};
 use rand::rngs::StdRng;
@@ -13,17 +13,16 @@ use rand::SeedableRng;
 use sim_clock::CostModel;
 
 fn main() {
-    let (iters, conv_layers, batch, samples) = match RunMode::from_args() {
+    let (mode, trace_path) = cli::parse_args_single_input();
+    let (iters, conv_layers, batch, samples) = match mode {
         RunMode::Smoke => (12, 1, 8, 64),
         RunMode::Full => (500, 12, 128, 4096),
         _ => (100, 4, 16, 512),
     };
     let max_bid = 0.0955;
     let mut rng = StdRng::seed_from_u64(38);
-    // Spot trace: use a real CSV passed as the first argument, otherwise synthesize one.
-    let trace = std::env::args()
-        .nth(1)
-        .filter(|a| !a.starts_with("--"))
+    // Spot trace: use a real CSV passed as the argument, otherwise synthesize one.
+    let trace = trace_path
         .and_then(|path| std::fs::read_to_string(path).ok())
         .and_then(|text| SpotTrace::parse_csv(&text).ok())
         .unwrap_or_else(|| SpotTrace::synthetic(160, 0.0912, &mut rng));
@@ -50,10 +49,10 @@ fn main() {
             batch,
             max_iterations: iters,
             mirror_frequency: 1,
-            backend: PersistenceBackend::PmMirror,
             encrypted_data: true,
             seed: 4,
         },
+        backend: PersistenceBackend::PmMirror,
         model_seed: 6,
     };
     for (label, resilient) in [

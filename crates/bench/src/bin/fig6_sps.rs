@@ -1,12 +1,12 @@
 //! Regenerates Fig. 6: SPS benchmark (swaps/us vs transaction size) comparing native
 //! Romulus, sgx-romulus and scone-romulus for two PWB+fence combinations.
 
-use plinius_bench::RunMode;
+use plinius_bench::{cli, RunMode};
 use plinius_romulus::sps::figure6_sweep;
 use sim_clock::CostModel;
 
 fn main() {
-    let transactions = match RunMode::from_args() {
+    let transactions = match cli::parse_args_mode_only() {
         RunMode::Smoke => 2,
         RunMode::Quick => 8,
         _ => 24,

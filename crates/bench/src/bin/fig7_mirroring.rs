@@ -2,12 +2,12 @@
 //! model size, for both server profiles (sgx-emlPM and emlSGX-PM).
 
 use plinius_bench::{
-    mirroring_sweep, RunMode, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
+    cli, mirroring_sweep, RunMode, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
 };
 use sim_clock::CostModel;
 
 fn main() {
-    let sizes: &[usize] = match RunMode::from_args() {
+    let sizes: &[usize] = match cli::parse_args_mode_only() {
         RunMode::Smoke => &FIG7_SIZES_SMOKE_MB,
         RunMode::Quick => &FIG7_SIZES_QUICK_MB,
         _ => &FIG7_SIZES_MB,

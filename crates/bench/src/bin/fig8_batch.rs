@@ -1,11 +1,11 @@
 //! Regenerates Fig. 8: per-iteration training time versus batch size for encrypted and
 //! unencrypted MNIST-like data on both server profiles.
 
-use plinius_bench::{iteration_sweep, RunMode};
+use plinius_bench::{cli, iteration_sweep, RunMode};
 use sim_clock::CostModel;
 
 fn main() {
-    let mode = RunMode::from_args();
+    let mode = cli::parse_args_mode_only();
     let batches: Vec<usize> = match mode {
         RunMode::Smoke => vec![8],
         RunMode::Quick => vec![16, 128, 512],

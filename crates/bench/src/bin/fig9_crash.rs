@@ -6,14 +6,14 @@
 //! paper-scale run.
 
 use plinius::{train_with_crash_schedule, PersistenceBackend, TrainerConfig, TrainingSetup};
-use plinius_bench::RunMode;
+use plinius_bench::{cli, RunMode};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_clock::CostModel;
 
 fn main() {
-    let (iters, conv_layers, batch, samples, crashes) = match RunMode::from_args() {
+    let (iters, conv_layers, batch, samples, crashes) = match cli::parse_args_mode_only() {
         RunMode::Smoke => (12, 1, 8, 64, 1),
         RunMode::Full => (500, 5, 128, 4096, 9),
         _ => (100, 3, 16, 512, 4),
@@ -28,10 +28,10 @@ fn main() {
             batch,
             max_iterations: iters,
             mirror_frequency: 1,
-            backend: PersistenceBackend::PmMirror,
             encrypted_data: true,
             seed: 9,
         },
+        backend: PersistenceBackend::PmMirror,
         model_seed: 5,
     };
     let crash_points: Vec<u64> = (0..crashes).map(|_| rng.gen_range(5..iters - 5)).collect();

@@ -4,14 +4,14 @@
 //! and the scaled-down default model reach a comparable high accuracy.
 
 use plinius::{run_full_workflow, PersistenceBackend, TrainerConfig, TrainingSetup};
-use plinius_bench::RunMode;
+use plinius_bench::{cli, RunMode};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_clock::CostModel;
 
 fn main() {
-    let (iters, conv_layers, batch, samples) = match RunMode::from_args() {
+    let (iters, conv_layers, batch, samples) = match cli::parse_args_mode_only() {
         RunMode::Smoke => (10, 1, 8, 120),
         RunMode::Full => (500, 12, 128, 12_000),
         _ => (200, 2, 32, 2400),
@@ -26,10 +26,10 @@ fn main() {
             batch,
             max_iterations: iters,
             mirror_frequency: 10,
-            backend: PersistenceBackend::PmMirror,
             encrypted_data: true,
             seed: 77,
         },
+        backend: PersistenceBackend::PmMirror,
         model_seed: 11,
     };
     match run_full_workflow(&setup) {
@@ -39,6 +39,10 @@ fn main() {
                 iters, conv_layers
             );
             println!("  attestation ok:     {}", report.attestation_ok);
+            println!(
+                "  persistence:        {} ({} persists)",
+                report.backend, report.persist_stats.persists
+            );
             println!("  final loss:         {:.4}", report.final_loss);
             println!("  test accuracy:      {:.2}%", report.test_accuracy * 100.0);
             println!("  PM dataset bytes:   {}", report.pm_dataset_bytes);

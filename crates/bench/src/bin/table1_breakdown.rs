@@ -3,12 +3,12 @@
 //! the PM encryption-metadata accounting of §VI (140 B per layer).
 
 use plinius_bench::{
-    mirroring_sweep, table1, RunMode, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
+    cli, mirroring_sweep, table1, RunMode, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
 };
 use sim_clock::CostModel;
 
 fn main() {
-    let mode = RunMode::from_args();
+    let mode = cli::parse_args_mode_only();
     let sizes: &[usize] = match mode {
         RunMode::Smoke => &FIG7_SIZES_SMOKE_MB,
         RunMode::Quick => &FIG7_SIZES_QUICK_MB,

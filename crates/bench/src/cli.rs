@@ -1,0 +1,283 @@
+//! Shared command-line handling for the figure-reproduction binaries.
+//!
+//! Every `src/bin/*` binary accepts the same three scale flags (`--smoke`, `--quick`,
+//! `--full`) plus optional positional inputs (e.g. a spot-price CSV for `fig10_spot`).
+//! Unknown flags are an error: a typo like `--smokee` aborts the run instead of being
+//! silently ignored and launching a paper-scale sweep.
+
+use std::fmt;
+
+/// Scale of a figure-reproduction run, shared by every `src/bin/*` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Tiny bitrot-guard configuration (`--smoke`, used by the smoke tests).
+    Smoke,
+    /// Reduced sweep for interactive runs (`--quick`).
+    Quick,
+    /// The binary's default scale.
+    Default,
+    /// Paper-scale run (`--full`).
+    Full,
+}
+
+impl fmt::Display for RunMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunMode::Smoke => "smoke",
+            RunMode::Quick => "quick",
+            RunMode::Default => "default",
+            RunMode::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parsed command line of a bench binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// The selected run scale.
+    pub mode: RunMode,
+    /// Positional (non-flag) arguments, in order.
+    pub inputs: Vec<String>,
+}
+
+/// A rejected command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An argument starting with `-` that is not one of the known flags.
+    UnknownFlag(String),
+    /// A positional argument given to a binary that does not take any.
+    UnexpectedArgument(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::UnexpectedArgument(arg) => write!(f, "unexpected argument `{arg}`"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage string printed on `--help` and after a [`CliError`]; `[FILE...]` is shown
+/// only for binaries that actually accept positional inputs.
+fn usage(accepts_inputs: bool) -> String {
+    let files = if accepts_inputs { " [FILE]" } else { "" };
+    format!(
+        "usage: <binary> [--smoke | --quick | --full]{files}\n\
+        \n\
+        --smoke   tiny bitrot-guard configuration (used by the smoke tests)\n\
+        --quick   reduced sweep for interactive runs\n\
+        --full    paper-scale run\n\
+        \n\
+        With none of the flags the binary runs at its default scale. `--smoke` wins\n\
+        over `--quick`, which wins over `--full`."
+    )
+}
+
+/// Parses the arguments of a bench binary (without the program name).
+///
+/// `--smoke` wins over `--quick`, which wins over `--full`; with none of the flags
+/// present the binary runs at its default scale. Anything else starting with `-` is an
+/// error; remaining arguments are collected as positional inputs.
+///
+/// # Errors
+///
+/// Returns [`CliError::UnknownFlag`] for any unrecognised flag.
+pub fn parse<I>(args: I) -> Result<BenchArgs, CliError>
+where
+    I: IntoIterator,
+    I::Item: Into<String>,
+{
+    let (mut smoke, mut quick, mut full) = (false, false, false);
+    let mut inputs = Vec::new();
+    for arg in args {
+        let arg: String = arg.into();
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--quick" => quick = true,
+            "--full" => full = true,
+            s if s.starts_with('-') => return Err(CliError::UnknownFlag(arg)),
+            _ => inputs.push(arg),
+        }
+    }
+    let mode = if smoke {
+        RunMode::Smoke
+    } else if quick {
+        RunMode::Quick
+    } else if full {
+        RunMode::Full
+    } else {
+        RunMode::Default
+    };
+    Ok(BenchArgs { mode, inputs })
+}
+
+/// Like [`parse`], for binaries that take no positional inputs: a stray argument (e.g.
+/// `smoke` with its dashes forgotten) is an error instead of being silently dropped.
+///
+/// # Errors
+///
+/// Returns [`CliError::UnknownFlag`] or [`CliError::UnexpectedArgument`].
+pub fn parse_mode<I>(args: I) -> Result<RunMode, CliError>
+where
+    I: IntoIterator,
+    I::Item: Into<String>,
+{
+    let parsed = parse(args)?;
+    match parsed.inputs.into_iter().next() {
+        Some(stray) => Err(CliError::UnexpectedArgument(stray)),
+        None => Ok(parsed.mode),
+    }
+}
+
+/// Like [`parse`], for binaries with at most one positional input (`fig10_spot`'s CSV
+/// path): a second positional is an error instead of being silently dropped.
+///
+/// # Errors
+///
+/// Returns [`CliError::UnknownFlag`] or [`CliError::UnexpectedArgument`].
+pub fn parse_single_input<I>(args: I) -> Result<(RunMode, Option<String>), CliError>
+where
+    I: IntoIterator,
+    I::Item: Into<String>,
+{
+    let parsed = parse(args)?;
+    let mut inputs = parsed.inputs.into_iter();
+    let first = inputs.next();
+    match inputs.next() {
+        Some(extra) => Err(CliError::UnexpectedArgument(extra)),
+        None => Ok((parsed.mode, first)),
+    }
+}
+
+/// Parses `std::env::args()` for a binary taking one optional positional input,
+/// printing usage and exiting on `--help`/`-h` (status 0), an unknown flag or a second
+/// positional (status 2).
+pub fn parse_args_single_input() -> (RunMode, Option<String>) {
+    exit_on_error(parse_single_input(help_checked_args(true)), true)
+}
+
+/// Parses `std::env::args()` for a binary that takes no positional inputs, rejecting
+/// stray arguments as well as unknown flags (status 2).
+pub fn parse_args_mode_only() -> RunMode {
+    exit_on_error(parse_mode(help_checked_args(false)), false)
+}
+
+/// `std::env::args()` minus the program name, after handling `--help`/`-h`.
+fn help_checked_args(accepts_inputs: bool) -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage(accepts_inputs));
+        std::process::exit(0);
+    }
+    args
+}
+
+fn exit_on_error<T>(result: Result<T, CliError>, accepts_inputs: bool) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}\n{}", usage(accepts_inputs));
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<BenchArgs, CliError> {
+        parse(args.iter().copied())
+    }
+
+    #[test]
+    fn defaults_to_default_mode_with_no_args() {
+        let parsed = parse_strs(&[]).unwrap();
+        assert_eq!(parsed.mode, RunMode::Default);
+        assert!(parsed.inputs.is_empty());
+    }
+
+    #[test]
+    fn parses_each_scale_flag() {
+        assert_eq!(parse_strs(&["--smoke"]).unwrap().mode, RunMode::Smoke);
+        assert_eq!(parse_strs(&["--quick"]).unwrap().mode, RunMode::Quick);
+        assert_eq!(parse_strs(&["--full"]).unwrap().mode, RunMode::Full);
+    }
+
+    #[test]
+    fn smoke_wins_over_quick_wins_over_full() {
+        assert_eq!(
+            parse_strs(&["--full", "--quick", "--smoke"]).unwrap().mode,
+            RunMode::Smoke
+        );
+        assert_eq!(
+            parse_strs(&["--full", "--quick"]).unwrap().mode,
+            RunMode::Quick
+        );
+    }
+
+    #[test]
+    fn positional_inputs_are_collected_in_order() {
+        let parsed = parse_strs(&["trace.csv", "--smoke", "more.csv"]).unwrap();
+        assert_eq!(parsed.mode, RunMode::Smoke);
+        assert_eq!(parsed.inputs, vec!["trace.csv", "more.csv"]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert_eq!(
+            parse_strs(&["--smokee"]),
+            Err(CliError::UnknownFlag("--smokee".to_owned()))
+        );
+        assert_eq!(
+            parse_strs(&["-x"]),
+            Err(CliError::UnknownFlag("-x".to_owned()))
+        );
+        // The error names the offending flag.
+        let msg = parse_strs(&["--bogus"]).unwrap_err().to_string();
+        assert!(msg.contains("--bogus"));
+    }
+
+    #[test]
+    fn mode_only_parsing_rejects_stray_positionals() {
+        assert_eq!(parse_mode(["--smoke"]).unwrap(), RunMode::Smoke);
+        assert_eq!(
+            parse_mode(["smoke"]),
+            Err(CliError::UnexpectedArgument("smoke".to_owned()))
+        );
+        assert_eq!(
+            parse_mode(["--quick", "trace.csv"]),
+            Err(CliError::UnexpectedArgument("trace.csv".to_owned()))
+        );
+    }
+
+    #[test]
+    fn single_input_parsing_allows_one_positional_at_most() {
+        assert_eq!(
+            parse_single_input(["--smoke"]).unwrap(),
+            (RunMode::Smoke, None)
+        );
+        assert_eq!(
+            parse_single_input(["trace.csv", "--full"]).unwrap(),
+            (RunMode::Full, Some("trace.csv".to_owned()))
+        );
+        assert_eq!(
+            parse_single_input(["trace.csv", "smoke"]),
+            Err(CliError::UnexpectedArgument("smoke".to_owned()))
+        );
+    }
+
+    #[test]
+    fn usage_advertises_inputs_only_where_accepted() {
+        assert!(usage(true).contains("[FILE]"));
+        assert!(!usage(false).contains("FILE"));
+        assert!(usage(false).starts_with("usage:"));
+    }
+
+    #[test]
+    fn run_mode_displays_lowercase_names() {
+        assert_eq!(RunMode::Smoke.to_string(), "smoke");
+        assert_eq!(RunMode::Default.to_string(), "default");
+    }
+}

@@ -2,6 +2,10 @@
 //! Each `src/bin/*` binary prints one figure/table; the Criterion benches under
 //! `benches/` exercise the same code paths with wall-clock measurement.
 
+pub mod cli;
+
+pub use cli::{BenchArgs, RunMode};
+
 use plinius::{MirrorModel, PliniusContext, PliniusError, PmDataset, SsdCheckpointer};
 use plinius_crypto::Key;
 use plinius_darknet::config::{build_network, mnist_cnn_config, sized_model_config};
@@ -100,51 +104,6 @@ pub const FIG7_SIZES_QUICK_MB: [usize; 4] = [10, 44, 78, 100];
 
 /// A minimal sweep used by `--smoke` runs (bitrot guard for the bin harnesses).
 pub const FIG7_SIZES_SMOKE_MB: [usize; 2] = [1, 2];
-
-/// Scale of a figure-reproduction run, shared by every `src/bin/*` binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RunMode {
-    /// Tiny bitrot-guard configuration (`--smoke`, used by the smoke tests).
-    Smoke,
-    /// Reduced sweep for interactive runs (`--quick`).
-    Quick,
-    /// The binary's default scale.
-    Default,
-    /// Paper-scale run (`--full`).
-    Full,
-}
-
-impl RunMode {
-    /// Parses the run mode from the process arguments.
-    ///
-    /// `--smoke` wins over `--quick`, which wins over `--full`; with none of
-    /// the flags present the binary runs at its default scale.
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let has = |flag: &str| args.iter().any(|a| a == flag);
-        if has("--smoke") {
-            RunMode::Smoke
-        } else if has("--quick") {
-            RunMode::Quick
-        } else if has("--full") {
-            RunMode::Full
-        } else {
-            RunMode::Default
-        }
-    }
-}
-
-impl std::fmt::Display for RunMode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            RunMode::Smoke => "smoke",
-            RunMode::Quick => "quick",
-            RunMode::Default => "default",
-            RunMode::Full => "full",
-        };
-        f.write_str(s)
-    }
-}
 
 /// Runs the Fig. 7 sweep for one server profile.
 ///

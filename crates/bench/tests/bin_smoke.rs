@@ -43,3 +43,48 @@ smoke_test! {
     table1_breakdown_runs => "table1_breakdown",
     tcb_report_runs => "tcb_report",
 }
+
+#[test]
+fn unknown_flags_abort_instead_of_launching_a_default_scale_run() {
+    // A typo like `--smokee` used to be silently ignored, turning an intended
+    // seconds-long smoke run into the binary's default-scale sweep.
+    let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+        .arg("--smokee")
+        .output()
+        .expect("failed to spawn fig7_mirroring");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--smokee") && stderr.contains("usage:"),
+        "stderr did not explain the rejected flag:\n{stderr}"
+    );
+    assert!(output.stdout.is_empty(), "a rejected run must not start");
+}
+
+#[test]
+fn stray_positionals_abort_binaries_that_take_no_inputs() {
+    // `fig7_mirroring smoke` (dashes forgotten) must not silently run the
+    // default-scale sweep.
+    let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+        .arg("smoke")
+        .output()
+        .expect("failed to spawn fig7_mirroring");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("smoke") && stderr.contains("usage:"),
+        "stderr did not explain the stray argument:\n{stderr}"
+    );
+    assert!(output.stdout.is_empty(), "a rejected run must not start");
+}
+
+#[test]
+fn help_flag_prints_usage_and_exits_cleanly() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig9_crash"))
+        .arg("--help")
+        .output()
+        .expect("failed to spawn fig9_crash");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("--smoke") && stdout.contains("--full"));
+}

@@ -15,21 +15,30 @@
 //!   (Algorithm 3), built on `sgx-romulus`;
 //! * [`pmdata`] — the PM-data module: encrypted byte-addressable training data in PM;
 //! * [`ssd`] — the baseline: encrypted checkpoints on secondary storage through ocalls;
-//! * [`trainer`] — Algorithm 2 (train + mirror loop), crash/resume orchestration, and the
-//!   spot-instance training driver;
+//! * [`persist`] — the open persistence API: the object-safe [`ModelPersistence`] trait
+//!   and its built-in backends (PM mirror, SSD checkpoint, hybrid tiered, no-op, plus a
+//!   fault-injecting test wrapper);
+//! * [`trainer`] — Algorithm 2 (train + persist loop), the fluent [`PliniusBuilder`],
+//!   crash/resume orchestration, and the spot-instance training driver;
 //! * [`workflow`] — the full Fig. 5 workflow: remote attestation, key provisioning,
 //!   data import, training, inference.
 //!
 //! # Example
 //!
 //! ```
-//! use plinius::{PliniusContext, TrainingSetup};
+//! use plinius::{PliniusBuilder, PliniusContext, TrainingSetup};
 //! use sim_clock::CostModel;
 //!
 //! // A tiny end-to-end run: 2-layer CNN, synthetic MNIST, mirroring every iteration.
 //! let setup = TrainingSetup::small_test();
 //! let report = plinius::workflow::run_full_workflow(&setup)?;
 //! assert!(report.final_loss.is_finite());
+//!
+//! // Or drive training directly through the builder (local deployment).
+//! let mut trainer = PliniusBuilder::new(TrainingSetup::small_test())
+//!     .max_iterations(2)
+//!     .build()?;
+//! trainer.run()?;
 //! # let _ = CostModel::default();
 //! # let _ = PliniusContext::small_test(64 * 1024);
 //! # Ok::<(), plinius::PliniusError>(())
@@ -52,17 +61,22 @@ use std::fmt;
 use std::sync::Arc;
 
 pub mod mirror;
+pub mod persist;
 pub mod pmdata;
 pub mod ssd;
 pub mod trainer;
 pub mod workflow;
 
 pub use mirror::{MirrorInReport, MirrorModel, MirrorOutReport};
+pub use persist::{
+    shared_ssd, FaultInjectingBackend, HybridTieredBackend, ModelPersistence, NoOpBackend,
+    PersistStats, PersistenceBackend, PmMirrorBackend, SsdCheckpointBackend,
+};
 pub use pmdata::PmDataset;
 pub use ssd::SsdCheckpointer;
 pub use trainer::{
-    spot_crash_schedule, train_with_crash_schedule, CrashRunReport, PersistenceBackend,
-    PliniusTrainer, TrainerConfig, TrainingReport, TrainingSetup,
+    spot_crash_schedule, train_with_crash_schedule, CrashRunReport, PliniusBuilder, PliniusTrainer,
+    TrainerConfig, TrainingReport, TrainingSetup,
 };
 pub use workflow::{run_full_workflow, WorkflowReport};
 
@@ -94,6 +108,9 @@ pub enum PliniusError {
     MirrorMismatch(String),
     /// A trainer/workflow configuration value is out of its valid range.
     InvalidConfig(String),
+    /// A deliberately injected persistence fault (testing only, see
+    /// [`persist::FaultInjectingBackend`]).
+    InjectedFault(String),
 }
 
 impl fmt::Display for PliniusError {
@@ -116,6 +133,7 @@ impl fmt::Display for PliniusError {
             }
             PliniusError::MirrorMismatch(msg) => write!(f, "mirror model mismatch: {msg}"),
             PliniusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PliniusError::InjectedFault(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

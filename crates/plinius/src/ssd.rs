@@ -66,13 +66,7 @@ impl SsdCheckpointer {
     /// Convenience: creates a checkpointer whose simulated SSD charges costs to the same
     /// clock as `ctx`, which is what the Fig. 7 comparison requires.
     pub fn on_shared_clock(ctx: &PliniusContext, path: impl Into<String>) -> Self {
-        let fs = SimFileSystem::with_settings(
-            ctx.cost_model().clone(),
-            plinius_storage::StorageProfile::Ssd,
-            ctx.clock(),
-            ctx.stats(),
-        );
-        Self::new(fs, path)
+        Self::new(crate::persist::shared_ssd(ctx), path)
     }
 
     /// The underlying simulated file system.

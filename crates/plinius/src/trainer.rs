@@ -1,9 +1,11 @@
 //! The training driver (Algorithm 2): the train-and-mirror loop, crash/resume
 //! orchestration (Fig. 9) and spot-instance-driven training (Fig. 10).
+//!
+//! Trainers are constructed through the fluent [`PliniusBuilder`]; the persistence
+//! medium is any [`ModelPersistence`] implementation (see [`crate::persist`]).
 
-use crate::mirror::MirrorModel;
+use crate::persist::{ModelPersistence, NoOpBackend, PersistStats, PersistenceBackend};
 use crate::pmdata::PmDataset;
-use crate::ssd::SsdCheckpointer;
 use crate::{PliniusContext, PliniusError};
 use plinius_crypto::Key;
 use plinius_darknet::config::build_network;
@@ -14,28 +16,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_clock::CostModel;
 
-/// Where (and whether) the model state is persisted during training.
+/// Numeric knobs of a training run. Persistence policy is *not* part of this struct:
+/// the medium is a [`ModelPersistence`] backend chosen on the [`PliniusBuilder`] (or
+/// declaratively via [`TrainingSetup::backend`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PersistenceBackend {
-    /// Plinius' mirroring mechanism: encrypted mirror copies on PM.
-    PmMirror,
-    /// The baseline: encrypted checkpoints on the SSD at the given path.
-    SsdCheckpoint(String),
-    /// No persistence (the "non-crash-resilient system" of Fig. 9b / Fig. 10c).
-    None,
-}
-
-/// Configuration of a training run.
-#[derive(Debug, Clone, PartialEq)]
 pub struct TrainerConfig {
     /// Batch size per iteration.
     pub batch: usize,
     /// Train until the model's iteration counter reaches this value (`MAX_ITER`).
     pub max_iterations: u64,
-    /// Mirror/checkpoint after every `mirror_frequency` iterations (1 in the paper).
+    /// Persist after every `mirror_frequency` iterations (1 in the paper).
     pub mirror_frequency: u64,
-    /// Persistence backend.
-    pub backend: PersistenceBackend,
     /// Whether training data is read encrypted from PM (true, the Plinius path) or used
     /// unencrypted (the Fig. 8 comparison baseline).
     pub encrypted_data: bool,
@@ -49,7 +40,6 @@ impl Default for TrainerConfig {
             batch: 128,
             max_iterations: 500,
             mirror_frequency: 1,
-            backend: PersistenceBackend::PmMirror,
             encrypted_data: true,
             seed: 0xBEEF,
         }
@@ -74,83 +64,19 @@ impl TrainingReport {
     }
 }
 
-/// The Plinius training driver bound to one context, one enclave model and the PM-resident
-/// training data.
+/// The Plinius training driver bound to one context, one enclave model, the PM-resident
+/// training data and one persistence backend.
 #[derive(Debug)]
 pub struct PliniusTrainer {
     ctx: PliniusContext,
     network: Network,
     pm_data: PmDataset,
     plain_data: Option<Dataset>,
-    mirror: Option<MirrorModel>,
-    ssd: Option<SsdCheckpointer>,
+    backend: Box<dyn ModelPersistence>,
     config: TrainerConfig,
 }
 
 impl PliniusTrainer {
-    /// Creates a trainer (lines 2–12 of Algorithm 2): registers the enclave model's
-    /// memory, opens the PM dataset, and either restores the model from the configured
-    /// backend (if a persisted copy exists) or allocates a fresh mirror.
-    ///
-    /// `plain_data` is only needed when `config.encrypted_data` is false (the Fig. 8
-    /// plaintext baseline).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PliniusError::InvalidConfig`] if `config.mirror_frequency` is zero,
-    /// [`PliniusError::NoPmDataset`] if no dataset was loaded into PM, or any
-    /// restore/allocation error from the backend.
-    pub fn new(
-        ctx: PliniusContext,
-        mut network: Network,
-        config: TrainerConfig,
-        plain_data: Option<Dataset>,
-    ) -> Result<Self, PliniusError> {
-        // A zero frequency would silently never mirror (`is_multiple_of(0)` is
-        // false for every iteration) — reject it loudly instead.
-        if config.mirror_frequency == 0 {
-            return Err(PliniusError::InvalidConfig(
-                "mirror_frequency must be at least 1".to_owned(),
-            ));
-        }
-        let pm_data = PmDataset::open(&ctx)?;
-        // The enclave model and its training buffers occupy trusted memory; this is what
-        // pushes large models past the EPC limit.
-        ctx.enclave()
-            .alloc_trusted((network.model_bytes() * 2) as u64)
-            .map_err(PliniusError::from)?;
-        let mut mirror = None;
-        let mut ssd = None;
-        match &config.backend {
-            PersistenceBackend::PmMirror => {
-                if MirrorModel::exists(&ctx) {
-                    let m = MirrorModel::open(&ctx)?;
-                    m.mirror_in(&ctx, &mut network)?;
-                    mirror = Some(m);
-                } else {
-                    mirror = Some(MirrorModel::allocate(&ctx, &network)?);
-                }
-            }
-            PersistenceBackend::SsdCheckpoint(path) => {
-                let ckpt = SsdCheckpointer::on_shared_clock(&ctx, path.clone());
-                if ckpt.exists() {
-                    ckpt.restore(&ctx, &mut network)?;
-                }
-                ssd = Some(ckpt);
-            }
-            PersistenceBackend::None => {}
-        }
-        Ok(PliniusTrainer {
-            ctx,
-            network,
-            pm_data,
-            plain_data,
-            mirror,
-            ssd,
-            config,
-        })
-    }
-
     /// The enclave model being trained.
     pub fn network(&self) -> &Network {
         &self.network
@@ -159,6 +85,16 @@ impl PliniusTrainer {
     /// The training context.
     pub fn context(&self) -> &PliniusContext {
         &self.ctx
+    }
+
+    /// The persistence backend driving model durability.
+    pub fn backend(&self) -> &dyn ModelPersistence {
+        self.backend.as_ref()
+    }
+
+    /// Activity counters of the persistence backend.
+    pub fn persist_stats(&self) -> PersistStats {
+        self.backend.persist_stats()
     }
 
     /// The model's current iteration counter.
@@ -175,7 +111,7 @@ impl PliniusTrainer {
     ///
     /// # Errors
     ///
-    /// Propagates data-decryption, training and mirroring errors.
+    /// Propagates data-decryption, training and persistence errors.
     pub fn step(&mut self) -> Result<f32, PliniusError> {
         let batch = self.config.batch;
         // Batch sampling is a pure function of (seed, iteration counter), so a run
@@ -199,18 +135,11 @@ impl PliniusTrainer {
         let loss = self.ctx.enclave().ecall("train_iteration", || {
             self.network.train_batch(&images, &labels, batch)
         })??;
-        // Mirror-out / checkpoint according to the configured frequency.
-        if self
-            .network
-            .iteration()
-            .is_multiple_of(self.config.mirror_frequency)
-        {
-            if let Some(mirror) = &self.mirror {
-                mirror.mirror_out(&self.ctx, &self.network)?;
-            }
-            if let Some(ssd) = &self.ssd {
-                ssd.save(&self.ctx, &self.network)?;
-            }
+        // Persist according to the configured frequency — the trainer does not know
+        // (or care) which medium the backend writes to.
+        let iteration = self.network.iteration();
+        if iteration.is_multiple_of(self.config.mirror_frequency) {
+            self.backend.persist(&self.ctx, &self.network, iteration)?;
         }
         Ok(loss)
     }
@@ -264,8 +193,11 @@ pub struct TrainingSetup {
     pub model_config: String,
     /// The training dataset (loaded into PM once).
     pub dataset: Dataset,
-    /// Trainer configuration.
+    /// Trainer configuration (numeric knobs).
     pub trainer: TrainerConfig,
+    /// Declarative persistence spec; [`PliniusBuilder::backend`] overrides it with an
+    /// arbitrary [`ModelPersistence`] implementation.
+    pub backend: PersistenceBackend,
     /// Model/weight initialisation seed.
     pub model_seed: u64,
 }
@@ -283,10 +215,10 @@ impl TrainingSetup {
                 batch: 8,
                 max_iterations: 12,
                 mirror_frequency: 1,
-                backend: PersistenceBackend::PmMirror,
                 encrypted_data: true,
                 seed: 1,
             },
+            backend: PersistenceBackend::PmMirror,
             model_seed: 3,
         }
     }
@@ -299,6 +231,169 @@ impl TrainingSetup {
     pub fn build_network(&self) -> Result<Network, PliniusError> {
         let mut rng = StdRng::seed_from_u64(self.model_seed);
         build_network(&self.model_config, &mut rng).map_err(PliniusError::from)
+    }
+}
+
+/// Salt mixed into the seed of the key generated by [`PliniusBuilder::build`] when no
+/// context is supplied, so data-sampling and key randomness differ.
+const LOCAL_KEY_SALT: u64 = 0x6c6f_6361_6c00;
+
+/// Fluent constructor for [`PliniusTrainer`] (lines 2–12 of Algorithm 2).
+///
+/// The builder starts from a [`TrainingSetup`], lets individual knobs and the
+/// persistence backend be overridden, and wires everything together in `build()`:
+/// register the enclave model's memory, open the PM dataset, and either restore the
+/// model from the backend (if a persisted copy exists) or let the backend prepare
+/// fresh state.
+///
+/// ```
+/// use plinius::{PliniusBuilder, TrainingSetup};
+///
+/// // Local deployment: fresh PM pool, seed-derived key, dataset loaded into PM.
+/// let mut trainer = PliniusBuilder::new(TrainingSetup::small_test())
+///     .mirror_frequency(2)
+///     .max_iterations(4)
+///     .seed(42)
+///     .build()?;
+/// let report = trainer.run()?;
+/// assert_eq!(report.final_iteration, 4);
+/// # Ok::<(), plinius::PliniusError>(())
+/// ```
+#[derive(Debug)]
+pub struct PliniusBuilder {
+    setup: TrainingSetup,
+    ctx: Option<PliniusContext>,
+    backend: Option<Box<dyn ModelPersistence>>,
+    plain_data: Option<Dataset>,
+}
+
+impl PliniusBuilder {
+    /// Starts a builder from a deployment description.
+    pub fn new(setup: TrainingSetup) -> Self {
+        PliniusBuilder {
+            setup,
+            ctx: None,
+            backend: None,
+            plain_data: None,
+        }
+    }
+
+    /// Uses an existing deployment context (pool, enclave, provisioned key) instead of
+    /// creating a fresh local one. Crash/resume flows re-open a context over the
+    /// surviving pool and pass it here.
+    pub fn context(mut self, ctx: PliniusContext) -> Self {
+        self.ctx = Some(ctx);
+        self
+    }
+
+    /// Persists the model through `backend` instead of the declarative
+    /// [`TrainingSetup::backend`] spec.
+    pub fn backend(self, backend: impl ModelPersistence + 'static) -> Self {
+        self.backend_boxed(Box::new(backend))
+    }
+
+    /// Like [`PliniusBuilder::backend`], for an already-boxed trait object.
+    pub fn backend_boxed(mut self, backend: Box<dyn ModelPersistence>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Overrides the batch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.setup.trainer.batch = batch;
+        self
+    }
+
+    /// Overrides the target iteration count (`MAX_ITER`).
+    pub fn max_iterations(mut self, max_iterations: u64) -> Self {
+        self.setup.trainer.max_iterations = max_iterations;
+        self
+    }
+
+    /// Overrides how often the model is persisted (every `n` iterations).
+    pub fn mirror_frequency(mut self, n: u64) -> Self {
+        self.setup.trainer.mirror_frequency = n;
+        self
+    }
+
+    /// Overrides the batch-sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.setup.trainer.seed = seed;
+        self
+    }
+
+    /// Selects encrypted PM training data (the Plinius path) or the plaintext baseline.
+    pub fn encrypted_data(mut self, encrypted: bool) -> Self {
+        self.setup.trainer.encrypted_data = encrypted;
+        self
+    }
+
+    /// Plaintext dataset for the unencrypted baseline; defaults to the setup's dataset.
+    pub fn plain_data(mut self, data: Dataset) -> Self {
+        self.plain_data = Some(data);
+        self
+    }
+
+    /// Builds the trainer: validates the configuration, deploys a local context if none
+    /// was supplied, registers the enclave model's memory, opens the PM dataset, and
+    /// restores from the persistence backend when a persisted model exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::InvalidConfig`] if `mirror_frequency` is zero,
+    /// [`PliniusError::NoPmDataset`] if no dataset was loaded into PM, or any
+    /// restore/allocation error from the backend.
+    pub fn build(self) -> Result<PliniusTrainer, PliniusError> {
+        let PliniusBuilder {
+            setup,
+            ctx,
+            backend,
+            plain_data,
+        } = self;
+        let config = setup.trainer.clone();
+        // A zero frequency would silently never persist (`is_multiple_of(0)` is
+        // false for every iteration) — reject it loudly instead.
+        if config.mirror_frequency == 0 {
+            return Err(PliniusError::InvalidConfig(
+                "mirror_frequency must be at least 1".to_owned(),
+            ));
+        }
+        let ctx = match ctx {
+            Some(ctx) => ctx,
+            None => {
+                // Local deployment for tests and examples: fresh pool, seed-derived
+                // key provisioned directly (production uses the attested Fig. 5
+                // workflow), dataset loaded into PM.
+                let ctx = PliniusContext::create(setup.cost.clone(), setup.pm_bytes)?;
+                let mut rng = StdRng::seed_from_u64(config.seed ^ LOCAL_KEY_SALT);
+                ctx.provision_key_directly(Key::generate_128(&mut rng));
+                PmDataset::load(&ctx, &setup.dataset)?;
+                ctx
+            }
+        };
+        let pm_data = PmDataset::open(&ctx)?;
+        let mut network = setup.build_network()?;
+        // The enclave model and its training buffers occupy trusted memory; this is what
+        // pushes large models past the EPC limit.
+        ctx.enclave()
+            .alloc_trusted((network.model_bytes() * 2) as u64)
+            .map_err(PliniusError::from)?;
+        let mut backend = backend.unwrap_or_else(|| setup.backend.instantiate());
+        if backend.exists(&ctx) {
+            backend.restore(&ctx, &mut network)?;
+        } else {
+            backend.prepare(&ctx, &network)?;
+        }
+        let plain_data =
+            plain_data.or_else(|| (!config.encrypted_data).then(|| setup.dataset.clone()));
+        Ok(PliniusTrainer {
+            ctx,
+            network,
+            pm_data,
+            plain_data,
+            backend,
+            config,
+        })
     }
 }
 
@@ -327,10 +422,13 @@ pub struct CrashRunReport {
 /// Runs a training job that is killed (crashed) after the given numbers of *executed*
 /// iterations and restarted each time, as in the Fig. 9 experiment.
 ///
-/// With `resilient = true` the Plinius mirroring mechanism persists and restores the
-/// model, so training resumes where it left off; with `resilient = false` nothing is
-/// persisted and every restart begins from freshly initialised weights (the paper's
-/// non-crash-resilient comparison).
+/// With `resilient = true` the setup's persistence backend (PM mirror, SSD checkpoint
+/// or the hybrid tier) persists and restores the model, so training resumes where it
+/// left off; with `resilient = false` nothing is persisted and every restart begins
+/// from freshly initialised weights (the paper's non-crash-resilient comparison).
+///
+/// SSD-backed specs write to one durable simulated SSD that — like a real disk —
+/// survives every simulated process kill.
 ///
 /// # Errors
 ///
@@ -347,6 +445,11 @@ pub fn train_with_crash_schedule(
     ctx.provision_key_directly(key.clone());
     PmDataset::load(&ctx, &setup.dataset)?;
     let pool = ctx.pool().clone();
+    // The simulated SSD outlives every process kill (a crash wipes volatile state and
+    // unflushed PM lines, not the disk), so SSD-backed specs checkpoint onto one
+    // device shared by all segments.
+    let durable_ssd =
+        (resilient && setup.backend.uses_ssd()).then(|| crate::persist::shared_ssd(&ctx));
     drop(ctx);
 
     let mut losses = Vec::new();
@@ -359,15 +462,15 @@ pub fn train_with_crash_schedule(
         // (Re)open the deployment over the surviving PM pool.
         let ctx = PliniusContext::open(pool.clone(), setup.cost.clone())?;
         ctx.provision_key_directly(key.clone());
-        let backend = if resilient {
-            PersistenceBackend::PmMirror
+        let backend: Box<dyn ModelPersistence> = if resilient {
+            setup.backend.instantiate_on(durable_ssd.as_ref())
         } else {
-            PersistenceBackend::None
+            Box::new(NoOpBackend)
         };
-        let mut config = setup.trainer.clone();
-        config.backend = backend;
-        let network = setup.build_network()?;
-        let mut trainer = PliniusTrainer::new(ctx, network, config, Some(setup.dataset.clone()))?;
+        let mut trainer = PliniusBuilder::new(setup.clone())
+            .context(ctx)
+            .backend_boxed(backend)
+            .build()?;
         // Run until the next crash point or completion.
         let next_crash = crash_points.iter().find(|&&p| p > executed).copied();
         let limit = match next_crash {
@@ -421,6 +524,7 @@ pub fn spot_crash_schedule(sim: &SpotSimulator, iterations_per_step: u64) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mirror::MirrorModel;
     use plinius_spot::SpotTrace;
 
     fn setup() -> TrainingSetup {
@@ -440,14 +544,21 @@ mod tests {
     fn training_loop_runs_and_mirrors_every_iteration() {
         let setup = setup();
         let (ctx, _key) = deploy(&setup);
-        let network = setup.build_network().unwrap();
-        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        let mut trainer = PliniusBuilder::new(setup.clone())
+            .context(ctx)
+            .build()
+            .unwrap();
         let report = trainer.run().unwrap();
         assert_eq!(report.final_iteration, setup.trainer.max_iterations);
         assert_eq!(report.losses.len(), setup.trainer.max_iterations as usize);
         assert!(report.final_loss().unwrap().is_finite());
         assert!(report.simulated_ns > 0);
         assert!(trainer.is_done());
+        assert_eq!(trainer.backend().label(), "pm-mirror");
+        assert_eq!(
+            trainer.persist_stats().persists,
+            setup.trainer.max_iterations
+        );
         // The mirror in PM carries the final iteration counter.
         let mirror = MirrorModel::open(trainer.context()).unwrap();
         assert_eq!(
@@ -460,8 +571,10 @@ mod tests {
     fn resumed_training_continues_from_mirror() {
         let setup = setup();
         let (ctx, key) = deploy(&setup);
-        let network = setup.build_network().unwrap();
-        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        let mut trainer = PliniusBuilder::new(setup.clone())
+            .context(ctx)
+            .build()
+            .unwrap();
         trainer.run_at_most(5).unwrap();
         assert_eq!(trainer.iteration(), 5);
         let pool = trainer.context().pool().clone();
@@ -469,9 +582,12 @@ mod tests {
         // Restart: fresh enclave, fresh model object — training must resume at 5.
         let ctx2 = PliniusContext::open(pool, setup.cost.clone()).unwrap();
         ctx2.provision_key_directly(key);
-        let network2 = setup.build_network().unwrap();
-        let mut resumed = PliniusTrainer::new(ctx2, network2, setup.trainer.clone(), None).unwrap();
+        let mut resumed = PliniusBuilder::new(setup.clone())
+            .context(ctx2)
+            .build()
+            .unwrap();
         assert_eq!(resumed.iteration(), 5);
+        assert_eq!(resumed.persist_stats().restores, 1);
         let report = resumed.run().unwrap();
         assert_eq!(report.final_iteration, setup.trainer.max_iterations);
         assert_eq!(report.losses.len() as u64, setup.trainer.max_iterations - 5);
@@ -492,32 +608,46 @@ mod tests {
     fn zero_mirror_frequency_is_rejected() {
         let setup = setup();
         let (ctx, _key) = deploy(&setup);
-        let network = setup.build_network().unwrap();
-        let mut config = setup.trainer.clone();
-        config.mirror_frequency = 0;
-        match PliniusTrainer::new(ctx, network, config, None) {
+        match PliniusBuilder::new(setup)
+            .context(ctx)
+            .mirror_frequency(0)
+            .build()
+        {
             Err(PliniusError::InvalidConfig(msg)) => assert!(msg.contains("mirror_frequency")),
-            other => panic!("expected InvalidConfig, got {other:?}"),
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
         }
     }
 
     #[test]
     fn crashed_resilient_run_matches_uninterrupted_run_exactly() {
-        // With momentum 0 the entire training state lives in the five mirrored
+        // With momentum 0 the entire training state lives in the five persisted
         // tensors per layer (the Darknet weight format carries no momentum
-        // buffers), so mirror-based resume must be bit-for-bit deterministic.
-        let mut setup = setup();
-        setup.model_config = plinius_darknet::mnist_cnn_config_with_momentum(2, 4, 8, 0.0);
-        setup.trainer.max_iterations = 12;
-        let uninterrupted = train_with_crash_schedule(&setup, &[], true).unwrap();
-        let crashed = train_with_crash_schedule(&setup, &[3, 8], true).unwrap();
-        assert_eq!(uninterrupted.crashes, 0);
-        assert_eq!(crashed.crashes, 2);
-        // Resumes at the correct iteration: no iteration is redone or skipped.
-        assert_eq!(crashed.completed_iteration, 12);
-        assert_eq!(crashed.total_iterations_executed, 12);
-        // The whole loss curve — including the final loss — is identical.
-        assert_eq!(crashed.losses, uninterrupted.losses);
+        // buffers), so resume from *any* backend must be bit-for-bit
+        // deterministic — the loss curve of a crashed run equals the
+        // uninterrupted one for the PM mirror, the SSD baseline and the hybrid
+        // tier alike.
+        for backend in [
+            PersistenceBackend::PmMirror,
+            PersistenceBackend::SsdCheckpoint("crash.ckpt".into()),
+            PersistenceBackend::HybridTiered {
+                ssd_path: "crash-demote.ckpt".into(),
+                demote_every: 4,
+            },
+        ] {
+            let mut setup = setup();
+            setup.model_config = plinius_darknet::mnist_cnn_config_with_momentum(2, 4, 8, 0.0);
+            setup.trainer.max_iterations = 12;
+            setup.backend = backend.clone();
+            let uninterrupted = train_with_crash_schedule(&setup, &[], true).unwrap();
+            let crashed = train_with_crash_schedule(&setup, &[3, 8], true).unwrap();
+            assert_eq!(uninterrupted.crashes, 0, "{backend:?}");
+            assert_eq!(crashed.crashes, 2, "{backend:?}");
+            // Resumes at the correct iteration: no iteration is redone or skipped.
+            assert_eq!(crashed.completed_iteration, 12, "{backend:?}");
+            assert_eq!(crashed.total_iterations_executed, 12, "{backend:?}");
+            // The whole loss curve — including the final loss — is identical.
+            assert_eq!(crashed.losses, uninterrupted.losses, "{backend:?}");
+        }
     }
 
     #[test]
@@ -550,8 +680,10 @@ mod tests {
     fn resume_restores_the_exact_mirror_iteration() {
         let setup = setup();
         let (ctx, key) = deploy(&setup);
-        let network = setup.build_network().unwrap();
-        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
+        let mut trainer = PliniusBuilder::new(setup.clone())
+            .context(ctx)
+            .build()
+            .unwrap();
         trainer.run_at_most(7).unwrap();
         let pool = trainer.context().pool().clone();
         drop(trainer);
@@ -562,8 +694,7 @@ mod tests {
         ctx2.provision_key_directly(key);
         let mirror = MirrorModel::open(&ctx2).unwrap();
         assert_eq!(mirror.iteration(&ctx2).unwrap(), 7);
-        let network2 = setup.build_network().unwrap();
-        let resumed = PliniusTrainer::new(ctx2, network2, setup.trainer.clone(), None).unwrap();
+        let resumed = PliniusBuilder::new(setup).context(ctx2).build().unwrap();
         assert_eq!(resumed.iteration(), 7);
     }
 
@@ -581,15 +712,37 @@ mod tests {
     }
 
     #[test]
-    fn ssd_backend_also_resumes() {
+    fn ssd_backend_also_resumes_across_restarts() {
+        // Unlike the PM pool, the simulated SSD lives in the backend's file system:
+        // carry it across the restart, exactly as a disk would survive a process kill.
         let mut setup = setup();
-        setup.trainer.backend = PersistenceBackend::SsdCheckpoint("ckpt.bin".into());
-        setup.trainer.max_iterations = 4;
-        let (ctx, _key) = deploy(&setup);
-        let network = setup.build_network().unwrap();
-        let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), None).unwrap();
-        let report = trainer.run().unwrap();
-        assert_eq!(report.final_iteration, 4);
+        setup.trainer.max_iterations = 8;
+        let (ctx, key) = deploy(&setup);
+        let fs = crate::persist::shared_ssd(&ctx);
+        let mut trainer = PliniusBuilder::new(setup.clone())
+            .context(ctx)
+            .backend(crate::persist::SsdCheckpointBackend::on_filesystem(
+                fs.clone(),
+                "ckpt.bin",
+            ))
+            .build()
+            .unwrap();
+        trainer.run_at_most(5).unwrap();
+        let pool = trainer.context().pool().clone();
+        drop(trainer);
+        let ctx2 = PliniusContext::open(pool, setup.cost.clone()).unwrap();
+        ctx2.provision_key_directly(key);
+        let mut resumed = PliniusBuilder::new(setup)
+            .context(ctx2)
+            .backend(crate::persist::SsdCheckpointBackend::on_filesystem(
+                fs, "ckpt.bin",
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(resumed.iteration(), 5);
+        assert_eq!(resumed.backend().label(), "ssd-checkpoint");
+        let report = resumed.run().unwrap();
+        assert_eq!(report.final_iteration, 8);
     }
 
     #[test]
@@ -604,12 +757,12 @@ mod tests {
     fn plaintext_data_path_requires_dataset_copy() {
         let setup = setup();
         let (ctx, _key) = deploy(&setup);
-        let network = setup.build_network().unwrap();
-        let mut cfg = setup.trainer.clone();
-        cfg.encrypted_data = false;
-        cfg.max_iterations = 2;
-        let mut trainer =
-            PliniusTrainer::new(ctx, network, cfg, Some(setup.dataset.clone())).unwrap();
+        let mut trainer = PliniusBuilder::new(setup)
+            .context(ctx)
+            .encrypted_data(false)
+            .max_iterations(2)
+            .build()
+            .unwrap();
         let report = trainer.run().unwrap();
         assert_eq!(report.final_iteration, 2);
     }

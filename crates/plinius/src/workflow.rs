@@ -4,8 +4,9 @@
 //! PM, and training proceeds with mirroring — followed by secure inference with the
 //! trained model.
 
+use crate::persist::PersistStats;
 use crate::pmdata::PmDataset;
-use crate::trainer::{PliniusTrainer, TrainingSetup};
+use crate::trainer::{PliniusBuilder, TrainingSetup};
 use crate::{PliniusContext, PliniusError};
 use plinius_crypto::Key;
 use plinius_sgx::{AttestationService, DataOwner};
@@ -27,6 +28,10 @@ pub struct WorkflowReport {
     pub pm_dataset_bytes: usize,
     /// Simulated nanoseconds for the whole workflow.
     pub simulated_ns: u64,
+    /// Label of the persistence backend that protected the model.
+    pub backend: String,
+    /// Activity counters of the persistence backend.
+    pub persist_stats: PersistStats,
 }
 
 /// Runs the complete Fig. 5 workflow for the given setup:
@@ -63,10 +68,12 @@ pub fn run_full_workflow(setup: &TrainingSetup) -> Result<WorkflowReport, Pliniu
     let pm = PmDataset::open(&ctx)?;
     let pm_dataset_bytes = pm.pm_bytes();
 
-    // ➎–➐ Training with mirroring.
+    // ➎–➐ Training with the configured persistence backend (mirroring by default).
     let clock = ctx.clock();
-    let network = setup.build_network()?;
-    let mut trainer = PliniusTrainer::new(ctx, network, setup.trainer.clone(), Some(train_split))?;
+    let mut trainer = PliniusBuilder::new(setup.clone())
+        .context(ctx)
+        .plain_data(train_split)
+        .build()?;
     let report = trainer.run()?;
 
     // Secure inference on the held-out split.
@@ -79,6 +86,8 @@ pub fn run_full_workflow(setup: &TrainingSetup) -> Result<WorkflowReport, Pliniu
         test_accuracy,
         pm_dataset_bytes,
         simulated_ns: clock.now_ns(),
+        backend: trainer.backend().label().to_owned(),
+        persist_stats: trainer.persist_stats(),
     })
 }
 
@@ -100,6 +109,9 @@ mod tests {
         assert!(report.test_accuracy >= 0.0 && report.test_accuracy <= 1.0);
         assert!(report.pm_dataset_bytes > 0);
         assert!(report.simulated_ns > 0);
+        assert_eq!(report.backend, "pm-mirror");
+        assert_eq!(report.persist_stats.persists, 15);
+        assert!(report.persist_stats.persisted_bytes > 0);
     }
 
     #[test]

@@ -113,6 +113,19 @@ impl SimFileSystem {
         Arc::clone(&self.clock)
     }
 
+    /// A handle to the *same files* that charges its device costs to a different
+    /// clock/statistics pair — how a new deployment (fresh simulation timeline) opens
+    /// a disk that survived the previous one.
+    pub fn rebound(&self, clock: ClockHandle, stats: StatsHandle) -> SimFileSystem {
+        SimFileSystem {
+            inner: Arc::clone(&self.inner),
+            clock,
+            stats,
+            cost: Arc::clone(&self.cost),
+            profile: self.profile,
+        }
+    }
+
     /// The device profile of this file system.
     pub fn profile(&self) -> StorageProfile {
         self.profile
@@ -323,6 +336,21 @@ mod tests {
             clock.now_ns()
         };
         assert!(run(StorageProfile::Hdd) > 2 * run(StorageProfile::Ssd));
+    }
+
+    #[test]
+    fn rebound_shares_files_but_charges_the_new_clock() {
+        let fs = SimFileSystem::new();
+        fs.write("survivor", b"data");
+        let new_clock = SimClock::new();
+        let reopened = fs.rebound(Arc::clone(&new_clock), StatsRegistry::new());
+        assert_eq!(reopened.read_all("survivor").unwrap(), b"data");
+        assert!(new_clock.now_ns() > 0, "read cost must hit the new clock");
+        let before = new_clock.now_ns();
+        reopened.write("survivor", b"more");
+        assert!(new_clock.now_ns() > before);
+        // The write is visible through the original handle too.
+        assert_eq!(fs.file_size("survivor").unwrap(), 8);
     }
 
     #[test]

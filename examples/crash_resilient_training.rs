@@ -21,10 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch: 16,
             max_iterations: 60,
             mirror_frequency: 1,
-            backend: PersistenceBackend::PmMirror,
             encrypted_data: true,
             seed: 2,
         },
+        backend: PersistenceBackend::PmMirror,
         model_seed: 9,
     };
     let crashes = [12u64, 30, 47];

@@ -21,10 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             batch: 32,
             max_iterations: 60,
             mirror_frequency: 1,
-            backend: PersistenceBackend::PmMirror,
             encrypted_data: true,
             seed: 7,
         },
+        backend: PersistenceBackend::PmMirror,
         model_seed: 3,
     };
     println!(

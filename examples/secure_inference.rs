@@ -1,11 +1,13 @@
 //! Secure inference (§VI): train a CNN inside the enclave on encrypted PM data, then
 //! classify a held-out test set with the trained in-enclave model.
 //!
+//! The trainer is assembled through `PliniusBuilder`: with no explicit context it
+//! performs a local deployment (fresh PM pool, seed-derived key, dataset loaded into
+//! PM) — the shortest path from a dataset to a training enclave.
+//!
 //! Run with: `cargo run --release --example secure_inference`
 
-use plinius::{PersistenceBackend, PliniusContext, PliniusTrainer, PmDataset, TrainerConfig};
-use plinius_crypto::Key;
-use plinius_darknet::config::build_network;
+use plinius::{PersistenceBackend, PliniusBuilder, TrainerConfig, TrainingSetup};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,24 +17,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(3);
     let dataset = synthetic_mnist(1200, &mut rng);
     let (train, test) = dataset.split(1000);
-    let ctx = PliniusContext::create(CostModel::sgx_eml_pm(), 128 * 1024 * 1024)?;
-    ctx.provision_key_directly(Key::generate_128(&mut rng));
-    PmDataset::load(&ctx, &train)?;
-    let network = build_network(&mnist_cnn_config(2, 8, 32), &mut rng)?;
-    let config = TrainerConfig {
-        batch: 32,
-        max_iterations: 150,
-        mirror_frequency: 10,
+    let setup = TrainingSetup {
+        cost: CostModel::sgx_eml_pm(),
+        pm_bytes: 128 * 1024 * 1024,
+        model_config: mnist_cnn_config(2, 8, 32),
+        dataset: train,
+        trainer: TrainerConfig {
+            batch: 32,
+            max_iterations: 150,
+            mirror_frequency: 10,
+            encrypted_data: true,
+            seed: 33,
+        },
         backend: PersistenceBackend::PmMirror,
-        encrypted_data: true,
-        seed: 33,
+        model_seed: 8,
     };
-    let mut trainer = PliniusTrainer::new(ctx, network, config, None)?;
+    let mut trainer = PliniusBuilder::new(setup).build()?;
     let report = trainer.run()?;
     println!(
         "Trained for {} iterations, final loss {:.4}",
         report.final_iteration,
         report.final_loss().unwrap_or(f32::NAN)
+    );
+    println!(
+        "Persistence: {} ({} persists, {} KiB written)",
+        trainer.backend().label(),
+        trainer.persist_stats().persists,
+        trainer.persist_stats().persisted_bytes / 1024
     );
     let accuracy = trainer.accuracy(&test);
     println!(

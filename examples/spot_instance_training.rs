@@ -42,10 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // (the schedule above kills training around iterations 78 and 111).
             max_iterations: 120,
             mirror_frequency: 1,
-            backend: PersistenceBackend::PmMirror,
             encrypted_data: true,
             seed: 21,
         },
+        backend: PersistenceBackend::PmMirror,
         model_seed: 4,
     };
     let report = train_with_crash_schedule(&setup, &schedule, true)?;

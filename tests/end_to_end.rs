@@ -2,7 +2,7 @@
 //! separate contexts, and the PM-vs-SSD comparison exercised end to end.
 
 use plinius::{
-    train_with_crash_schedule, MirrorModel, PersistenceBackend, PliniusContext, PliniusTrainer,
+    train_with_crash_schedule, MirrorModel, PersistenceBackend, PliniusBuilder, PliniusContext,
     PmDataset, TrainerConfig, TrainingSetup,
 };
 use plinius_crypto::Key;
@@ -64,16 +64,25 @@ fn mirror_and_resume_across_contexts_with_key_reprovisioning() {
     let ctx = PliniusContext::create(cost.clone(), 32 * 1024 * 1024).unwrap();
     ctx.provision_key_directly(key.clone());
     PmDataset::load(&ctx, &dataset).unwrap();
-    let network = plinius_darknet::build_network(&mnist_cnn_config(2, 4, 8), &mut rng).unwrap();
-    let config = TrainerConfig {
-        batch: 8,
-        max_iterations: 10,
-        mirror_frequency: 1,
+    let setup = TrainingSetup {
+        cost: cost.clone(),
+        pm_bytes: 32 * 1024 * 1024,
+        model_config: mnist_cnn_config(2, 4, 8),
+        dataset,
+        trainer: TrainerConfig {
+            batch: 8,
+            max_iterations: 10,
+            mirror_frequency: 1,
+            encrypted_data: true,
+            seed: 5,
+        },
         backend: PersistenceBackend::PmMirror,
-        encrypted_data: true,
-        seed: 5,
+        model_seed: 13,
     };
-    let mut trainer = PliniusTrainer::new(ctx, network, config.clone(), None).unwrap();
+    let mut trainer = PliniusBuilder::new(setup.clone())
+        .context(ctx)
+        .build()
+        .unwrap();
     trainer.run_at_most(4).unwrap();
     let pool = trainer.context().pool().clone();
     drop(trainer);
@@ -85,11 +94,34 @@ fn mirror_and_resume_across_contexts_with_key_reprovisioning() {
     let ctx2 = PliniusContext::open(pool, cost).unwrap();
     ctx2.provision_key_directly(key);
     assert!(MirrorModel::exists(&ctx2));
-    let network2 = plinius_darknet::build_network(&mnist_cnn_config(2, 4, 8), &mut rng).unwrap();
-    let mut resumed = PliniusTrainer::new(ctx2, network2, config, None).unwrap();
+    let mut resumed = PliniusBuilder::new(setup).context(ctx2).build().unwrap();
     assert_eq!(resumed.iteration(), 4);
     let report = resumed.run().unwrap();
     assert_eq!(report.final_iteration, 10);
+}
+
+#[test]
+fn every_resilient_backend_resumes_through_the_crash_driver() {
+    // The crash driver holds the simulated SSD outside the per-segment contexts, so the
+    // checkpoint-on-disk backends survive a process kill exactly like the PM mirror.
+    for backend in [
+        PersistenceBackend::PmMirror,
+        PersistenceBackend::SsdCheckpoint("e2e.ckpt".into()),
+        PersistenceBackend::HybridTiered {
+            ssd_path: "e2e-tier.ckpt".into(),
+            demote_every: 2,
+        },
+    ] {
+        let mut setup = small_setup(10);
+        setup.backend = backend.clone();
+        let report = train_with_crash_schedule(&setup, &[4, 7], true).unwrap();
+        assert_eq!(report.completed_iteration, 10, "{backend:?}");
+        assert_eq!(
+            report.total_iterations_executed, 10,
+            "{backend:?} redid work after a crash"
+        );
+        assert_eq!(report.crashes, 2, "{backend:?}");
+    }
 }
 
 #[test]

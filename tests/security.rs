@@ -2,7 +2,10 @@
 //! the reproduction — confidentiality and integrity of the model mirror and of the
 //! PM-resident training data, and attestation-gated key provisioning.
 
-use plinius::{MirrorModel, PliniusContext, PliniusError, PmDataset};
+use plinius::{
+    shared_ssd, HybridTieredBackend, MirrorModel, PliniusBuilder, PliniusContext, PliniusError,
+    PmDataset, TrainingSetup,
+};
 use plinius_crypto::{CryptoError, Key};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use plinius_sgx::{AttestationService, DataOwner};
@@ -88,6 +91,48 @@ fn pm_training_data_is_encrypted_and_integrity_protected() {
         pm.sample(&ctx, 0).unwrap_err(),
         PliniusError::KeyNotProvisioned
     ));
+}
+
+#[test]
+fn demoted_ssd_checkpoints_are_not_stored_in_plaintext() {
+    // The hybrid tier demotes checkpoints to the (untrusted) SSD; like the PM mirror,
+    // whatever lands on the device must be sealed.
+    let setup = TrainingSetup::small_test();
+    let mut rng = StdRng::seed_from_u64(8);
+    let key = Key::generate_128(&mut rng);
+    let ctx = PliniusContext::create(setup.cost.clone(), setup.pm_bytes).unwrap();
+    ctx.provision_key_directly(key);
+    PmDataset::load(&ctx, &setup.dataset).unwrap();
+    let ssd = shared_ssd(&ctx);
+    let mut trainer = PliniusBuilder::new(setup)
+        .context(ctx)
+        .backend(HybridTieredBackend::on_filesystem(
+            ssd.clone(),
+            "tier.ckpt",
+            2,
+        ))
+        .max_iterations(4)
+        .build()
+        .unwrap();
+    trainer.run().unwrap();
+    assert!(ssd.exists("tier.ckpt"), "no checkpoint was demoted");
+    // Scan the raw checkpoint for a window of the trained model's first-layer weights.
+    let weights = trainer
+        .network()
+        .layers()
+        .iter()
+        .find(|l| l.is_trainable())
+        .unwrap()
+        .params()[0]
+        .data
+        .to_vec();
+    let needle: Vec<u8> = weights[..16.min(weights.len())]
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    let media = ssd.read_all("tier.ckpt").unwrap();
+    let found = media.windows(needle.len()).any(|w| w == needle.as_slice());
+    assert!(!found, "plaintext weights leaked onto the SSD checkpoint");
 }
 
 #[test]
