@@ -1,0 +1,79 @@
+//! Wall-clock Criterion benchmarks of the rebuilt compute hot path: the blocked /
+//! multi-threaded GEMM (against the naive reference kernel) and the chunk-parallel
+//! mirror-out sealing across thread counts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use plinius::{MirrorModel, PliniusContext};
+use plinius_crypto::Key;
+use plinius_darknet::config::{build_network, mnist_cnn_config};
+use plinius_darknet::matrix::{gemm_reference, gemm_with_threads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 256;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a: Vec<f32> = (0..DIM * DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..DIM * DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut out = vec![0.0f32; DIM * DIM];
+    let mut group = c.benchmark_group(format!("gemm_{DIM}x{DIM}x{DIM}"));
+    group.sample_size(10);
+    // 2 flops (mul + add) per inner-product term.
+    group.throughput(Throughput::Elements((2 * DIM * DIM * DIM) as u64));
+    // `nn` is conv-forward layout; `nt` is the connected-layer / conv-weight-gradient
+    // layout and `tn` the conv input-gradient layout, where the reference kernel's
+    // `ldb`/`lda`-strided walks are worst.
+    for (label, ta, tb) in [
+        ("nn", false, false),
+        ("nt", false, true),
+        ("tn", true, false),
+    ] {
+        group.bench_function(format!("reference_{label}"), |bch| {
+            bch.iter(|| {
+                gemm_reference(
+                    ta, tb, DIM, DIM, DIM, 1.0, &a, DIM, &b, DIM, 0.0, &mut out, DIM,
+                );
+                black_box(out[0])
+            })
+        });
+        for threads in [1usize, 2, 4] {
+            group.bench_function(format!("blocked_{label}_{threads}t"), |bch| {
+                bch.iter(|| {
+                    gemm_with_threads(
+                        threads, ta, tb, DIM, DIM, DIM, 1.0, &a, DIM, &b, DIM, 0.0, &mut out, DIM,
+                    );
+                    black_box(out[0])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_mirror_seal(c: &mut Criterion) {
+    // A deep CNN with many similar-sized conv layers: per-tensor sealing parallelism
+    // balances across threads (a single huge FC tensor would serialise the batch).
+    let mut rng = StdRng::seed_from_u64(11);
+    let network = build_network(&mnist_cnn_config(12, 64, 1), &mut rng).expect("bench model");
+    let model_bytes = network.model_bytes();
+    let ctx = PliniusContext::small_test(model_bytes * 3 + (4 << 20));
+    ctx.provision_key_directly(Key::generate_128(&mut rng));
+    let mirror = MirrorModel::allocate(&ctx, &network).expect("mirror");
+    let mut group = c.benchmark_group("mirror_out_seal_deep_cnn");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(model_bytes as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("{threads}t"), |bch| {
+            bch.iter(|| {
+                mirror
+                    .mirror_out_with_threads(&ctx, &network, threads)
+                    .expect("mirror-out")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_mirror_seal);
+criterion_main!(benches);

@@ -323,8 +323,9 @@ pub fn tcb_report(crates_dir: &std::path::Path) -> TcbReport {
     let trusted_crates = [
         "crypto",
         "darknet",
-        "romulus",
+        "parallel",
         "plinius",
+        "romulus",
         "sgx",
         "shims/rand",
         "shims/parking_lot",

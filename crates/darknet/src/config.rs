@@ -123,6 +123,17 @@ pub fn build_network<R: Rng>(text: &str, rng: &mut R) -> Result<Network, Darknet
                     .unwrap_or("leaky")
                     .parse()
                     .map_err(|e| DarknetError::Config(format!("{e}")))?;
+                // Reject degenerate geometry here with a proper error instead of
+                // letting `conv_out_dim` panic (the old formula underflowed `usize`
+                // when the kernel exceeded the padded input).
+                if crate::matrix::try_conv_out_dim(h, size, stride, pad).is_none()
+                    || crate::matrix::try_conv_out_dim(w, size, stride, pad).is_none()
+                {
+                    return Err(DarknetError::Config(format!(
+                        "convolutional kernel {size} (stride {stride}, pad {pad}) does not \
+                         fit the {h}x{w} input"
+                    )));
+                }
                 let layer =
                     ConvLayer::new(h, w, c, filters, size, stride, pad, activation, batch, rng);
                 let (oc, oh, ow) = layer.out_shape();
@@ -134,6 +145,11 @@ pub fn build_network<R: Rng>(text: &str, rng: &mut R) -> Result<Network, Darknet
             "maxpool" => {
                 let size = section.parse("size", 2usize)?;
                 let stride = section.parse("stride", 2usize)?;
+                if size == 0 || stride == 0 || size > h || size > w {
+                    return Err(DarknetError::Config(format!(
+                        "maxpool window {size} (stride {stride}) does not fit the {h}x{w} input"
+                    )));
+                }
                 let layer = MaxPoolLayer::new(h, w, c, size, stride, batch);
                 let (oc, oh, ow) = layer.out_shape();
                 layers.push(Layer::MaxPool(layer));
@@ -297,6 +313,30 @@ activation=linear
         assert!(build_network("", &mut rng).is_err());
         assert!(build_network("[convolutional]\nfilters=2\n", &mut rng).is_err());
         assert!(build_network("[net]\n\n[convolutional]\nactivation=swish\n", &mut rng).is_err());
+    }
+
+    #[test]
+    fn oversized_kernels_are_rejected_at_construction_not_by_panic() {
+        // Regression: a 7x7 kernel on a 4x4 input used to underflow `usize` inside
+        // `conv_out_dim` (panic in debug, absurd dimension in release). Construction
+        // must reject the config with a proper error.
+        let mut rng = StdRng::seed_from_u64(5);
+        let conv = "[net]\nheight=4\nwidth=4\n\n[convolutional]\nsize=7\npad=1\n";
+        match build_network(conv, &mut rng) {
+            Err(DarknetError::Config(msg)) => assert!(msg.contains("does not fit"), "{msg}"),
+            other => panic!("expected a config error, got {other:?}"),
+        }
+        let pool = "[net]\nheight=4\nwidth=4\n\n[maxpool]\nsize=9\nstride=2\n";
+        match build_network(pool, &mut rng) {
+            Err(DarknetError::Config(msg)) => assert!(msg.contains("does not fit"), "{msg}"),
+            other => panic!("expected a config error, got {other:?}"),
+        }
+        // Zero stride is equally rejected.
+        let zero = "[net]\nheight=4\nwidth=4\n\n[convolutional]\nsize=3\nstride=0\n";
+        assert!(matches!(
+            build_network(zero, &mut rng),
+            Err(DarknetError::Config(_))
+        ));
     }
 
     #[test]

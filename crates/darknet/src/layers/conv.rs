@@ -1,11 +1,37 @@
 //! 2-D convolutional layer (convolution as GEMM over an im2col buffer), the workhorse of
 //! the paper's CNN models. Every convolutional layer uses a leaky-ReLU activation in the
 //! paper's experiments.
+//!
+//! The forward pass over a batch runs sample-parallel across scoped threads (each
+//! sample's im2col + GEMM + bias + activation writes a disjoint output band), and the
+//! backward pass parallelises inside its GEMM calls; both produce bit-identical results
+//! for every thread count.
 
 use crate::activation::Activation;
 use crate::layers::{ParamView, UpdateArgs, PARAM_TENSOR_NAMES};
-use crate::matrix::{axpy, col2im, conv_out_dim, gemm, im2col, scal};
+use crate::matrix::{axpy, col2im, conv_out_dim, gemm, gemm_with_threads, im2col, scal};
 use rand::Rng;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread im2col scratch for the sample-parallel forward path.
+    static COL_BUFFER: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Minimum per-sample GEMM work (`filters * k * out_pixels`) before the forward pass
+/// fans a batch out across threads; tiny layers stay serial.
+const FORWARD_PAR_MIN_WORK: usize = 1 << 14;
+
+/// Bias-add + activation over one sample's output band, shared by the serial and
+/// sample-parallel forward paths so both compute byte-identical results.
+fn forward_epilogue(out: &mut [f32], biases: &[f32], n: usize, activation: Activation) {
+    for (f, bias) in biases.iter().enumerate() {
+        for o in out[f * n..(f + 1) * n].iter_mut() {
+            *o += bias;
+        }
+    }
+    activation.apply_slice(out);
+}
 
 /// A 2-D convolutional layer.
 #[derive(Debug, Clone)]
@@ -133,7 +159,9 @@ impl ConvLayer {
         }
     }
 
-    /// Forward pass.
+    /// Forward pass. Batches fan out sample-parallel across scoped threads (disjoint
+    /// output bands, per-thread im2col scratch); the output is bit-identical for every
+    /// thread count.
     ///
     /// # Panics
     ///
@@ -147,42 +175,72 @@ impl ConvLayer {
         let m = self.filters;
         let k = self.in_c * self.ksize * self.ksize;
         let n = self.out_h * self.out_w;
-        for b in 0..batch {
-            let sample = &input[b * self.inputs()..(b + 1) * self.inputs()];
-            im2col(
-                sample,
-                self.in_c,
-                self.in_h,
-                self.in_w,
-                self.ksize,
-                self.stride,
-                self.pad,
-                &mut self.col_buffer,
+        let threads = if batch > 1 && m * k * n >= FORWARD_PAR_MIN_WORK {
+            plinius_parallel::max_threads().min(batch)
+        } else {
+            1
+        };
+        let in_size = self.inputs();
+        if threads > 1 {
+            // Each sample writes its own m*n output band; the inner GEMM stays
+            // single-threaded (the batch is the parallel axis).
+            let weights = &self.weights;
+            let biases = &self.biases;
+            let activation = self.activation;
+            let (in_c, in_h, in_w) = (self.in_c, self.in_h, self.in_w);
+            let (ksize, stride, pad) = (self.ksize, self.stride, self.pad);
+            plinius_parallel::par_chunks_mut(
+                &mut self.output[..batch * m * n],
+                m * n,
+                threads,
+                |b, out| {
+                    let sample = &input[b * in_size..(b + 1) * in_size];
+                    COL_BUFFER.with(|buf| {
+                        let mut col = buf.borrow_mut();
+                        col.resize(k * n, 0.0);
+                        im2col(sample, in_c, in_h, in_w, ksize, stride, pad, &mut col);
+                        out.iter_mut().for_each(|o| *o = 0.0);
+                        gemm_with_threads(
+                            1, false, false, m, n, k, 1.0, weights, k, &col, n, 0.0, out, n,
+                        );
+                    });
+                    forward_epilogue(out, biases, n, activation);
+                },
             );
-            let out = &mut self.output[b * m * n..(b + 1) * m * n];
-            out.iter_mut().for_each(|o| *o = 0.0);
-            gemm(
-                false,
-                false,
-                m,
-                n,
-                k,
-                1.0,
-                &self.weights,
-                k,
-                &self.col_buffer,
-                n,
-                0.0,
-                out,
-                n,
-            );
-            for f in 0..m {
-                let bias = self.biases[f];
-                for o in out[f * n..(f + 1) * n].iter_mut() {
-                    *o += bias;
-                }
+        } else {
+            for b in 0..batch {
+                let sample = &input[b * in_size..(b + 1) * in_size];
+                im2col(
+                    sample,
+                    self.in_c,
+                    self.in_h,
+                    self.in_w,
+                    self.ksize,
+                    self.stride,
+                    self.pad,
+                    &mut self.col_buffer,
+                );
+                let out = &mut self.output[b * m * n..(b + 1) * m * n];
+                out.iter_mut().for_each(|o| *o = 0.0);
+                // Row-band parallelism inside the GEMM still applies (e.g. single-
+                // sample inference on a large layer); results are thread-invariant.
+                gemm(
+                    false,
+                    false,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &self.weights,
+                    k,
+                    &self.col_buffer,
+                    n,
+                    0.0,
+                    out,
+                    n,
+                );
+                forward_epilogue(out, &self.biases, n, self.activation);
             }
-            self.activation.apply_slice(out);
         }
     }
 

@@ -1,6 +1,16 @@
 //! Max-pooling layer: spatial down-sampling with winner-take-all gradient routing.
+//!
+//! Output dimensions use the cover-the-input convention ([`pool_out_dim`]): the final
+//! window of a non-stride-divisible input hangs over the edge and pools only its valid
+//! cells. A window with *no* valid cell (possible when `stride > size`) outputs `0.0`
+//! and records the `NO_WINNER` sentinel so the backward pass routes no gradient —
+//! previously such windows kept index 0 and leaked a spurious delta into input cell 0.
 
-use crate::matrix::conv_out_dim;
+use crate::matrix::pool_out_dim;
+
+/// Sentinel stored in `indexes` for pool windows that contain no valid input cell; the
+/// backward pass skips gradient routing for them.
+const NO_WINNER: usize = usize::MAX;
 
 /// A 2-D max-pooling layer.
 #[derive(Debug, Clone)]
@@ -14,8 +24,9 @@ pub struct MaxPoolLayer {
     out_w: usize,
     output: Vec<f32>,
     delta: Vec<f32>,
-    /// Index (into the per-sample input) of the winning element for every output, used to
-    /// route the gradient during the backward pass.
+    /// Index (into the per-sample input) of the winning element for every output, used
+    /// to route the gradient during the backward pass; `NO_WINNER` marks windows with
+    /// no valid input cell.
     indexes: Vec<usize>,
 }
 
@@ -38,8 +49,8 @@ impl MaxPoolLayer {
             size <= in_h && size <= in_w,
             "pooling window larger than input"
         );
-        let out_h = conv_out_dim(in_h, size, stride, 0);
-        let out_w = conv_out_dim(in_w, size, stride, 0);
+        let out_h = pool_out_dim(in_h, size, stride);
+        let out_w = pool_out_dim(in_w, size, stride);
         let outputs = in_c * out_h * out_w;
         MaxPoolLayer {
             in_h,
@@ -96,14 +107,14 @@ impl MaxPoolLayer {
                 for oh in 0..self.out_h {
                     for ow in 0..self.out_w {
                         let mut best = f32::NEG_INFINITY;
-                        let mut best_idx = 0usize;
+                        let mut best_idx = NO_WINNER;
                         for kh in 0..self.size {
                             for kw in 0..self.size {
                                 let ih = oh * self.stride + kh;
                                 let iw = ow * self.stride + kw;
                                 if ih < self.in_h && iw < self.in_w {
                                     let idx = (c * self.in_h + ih) * self.in_w + iw;
-                                    if sample[idx] > best {
+                                    if best_idx == NO_WINNER || sample[idx] > best {
                                         best = sample[idx];
                                         best_idx = idx;
                                     }
@@ -111,7 +122,9 @@ impl MaxPoolLayer {
                             }
                         }
                         let out_idx = b * self.outputs() + (c * self.out_h + oh) * self.out_w + ow;
-                        self.output[out_idx] = best;
+                        // An empty window (no valid cell) outputs 0.0, not -inf, and
+                        // keeps the sentinel so backward routes nothing.
+                        self.output[out_idx] = if best_idx == NO_WINNER { 0.0 } else { best };
                         self.indexes[out_idx] = best_idx;
                     }
                 }
@@ -119,12 +132,16 @@ impl MaxPoolLayer {
         }
     }
 
-    /// Backward pass: routes each output delta to the winning input position.
+    /// Backward pass: routes each output delta to the winning input position. Windows
+    /// without a winner (the `NO_WINNER` sentinel) route nothing.
     pub fn backward(&mut self, _input: &[f32], prev_delta: Option<&mut [f32]>, batch: usize) {
         let Some(prev) = prev_delta else { return };
         for b in 0..batch {
             for o in 0..self.outputs() {
                 let out_idx = b * self.outputs() + o;
+                if self.indexes[out_idx] == NO_WINNER {
+                    continue;
+                }
                 let in_idx = b * self.inputs() + self.indexes[out_idx];
                 prev[in_idx] += self.delta[out_idx];
             }
@@ -200,5 +217,58 @@ mod tests {
     #[should_panic(expected = "larger than input")]
     fn window_larger_than_input_is_rejected() {
         let _ = MaxPoolLayer::new(2, 2, 1, 3, 1, 1);
+    }
+
+    #[test]
+    fn partial_edge_windows_pool_their_valid_cells() {
+        // 5x5 input, 2x2 window, stride 2: out is 3x3 and the last row/column of
+        // windows hangs over the edge, pooling only the valid cells.
+        let mut l = MaxPoolLayer::new(5, 5, 1, 2, 2, 1);
+        assert_eq!(l.out_shape(), (1, 3, 3));
+        let input: Vec<f32> = (0..25).map(|v| v as f32).collect();
+        l.forward(&input, 1);
+        #[rustfmt::skip]
+        let expected = vec![
+            6.0, 8.0, 9.0,     // row windows over input rows 0-1 (col 4 partial)
+            16.0, 18.0, 19.0,  // rows 2-3
+            21.0, 23.0, 24.0,  // row 4 only (partial in both axes)
+        ];
+        assert_eq!(l.output(), &expected[..]);
+        // The corner window contains exactly input[24]; its delta routes there — and
+        // nowhere spuriously (in particular not into input index 0).
+        l.delta_mut().iter_mut().for_each(|d| *d = 0.0);
+        l.delta_mut()[8] = 1.5;
+        let mut prev = vec![0.0f32; 25];
+        l.backward(&input, Some(&mut prev), 1);
+        let mut expected_prev = vec![0.0f32; 25];
+        expected_prev[24] = 1.5;
+        assert_eq!(prev, expected_prev);
+    }
+
+    #[test]
+    fn empty_windows_output_zero_and_route_no_gradient() {
+        // Regression: with stride > size some windows start beyond the input
+        // (6 wide, 1x1 window, stride 4 -> starts at 0, 4 and 8; 8 is out of range).
+        // The old code left the output at -inf and `indexes` at 0, so backward leaked
+        // a spurious delta into input cell 0.
+        let mut l = MaxPoolLayer::new(6, 6, 1, 1, 4, 1);
+        assert_eq!(l.out_shape(), (1, 3, 3));
+        let input: Vec<f32> = (0..36).map(|v| v as f32 + 1.0).collect();
+        l.forward(&input, 1);
+        // Window (2,2) starts at input (8,8): empty.
+        assert_eq!(l.output()[8], 0.0);
+        assert!(l.output().iter().all(|v| v.is_finite()));
+        // Route a delta out of every output, including the empty ones.
+        l.delta_mut().iter_mut().for_each(|d| *d = 1.0);
+        let mut prev = vec![0.0f32; 36];
+        l.backward(&input, Some(&mut prev), 1);
+        // The four valid windows route 1.0 each to their (single-cell) winners...
+        assert_eq!(prev[0], 1.0);
+        assert_eq!(prev[4], 1.0);
+        assert_eq!(prev[4 * 6], 1.0);
+        assert_eq!(prev[4 * 6 + 4], 1.0);
+        // ...and nothing else receives anything: no spurious delta into cell 0 beyond
+        // its own window's contribution.
+        assert_eq!(prev.iter().sum::<f32>(), 4.0);
     }
 }

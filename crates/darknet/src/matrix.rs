@@ -170,15 +170,292 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
 }
 
+/// Default k-block size of the blocked GEMM kernel: one `KC x n` panel of `op(B)` stays
+/// hot in cache while every row of the band streams over it. Tunable through
+/// [`gemm_tuned`]; the block size never changes the result (the per-element accumulation
+/// order over `p` is preserved across block boundaries).
+pub const GEMM_DEFAULT_KC: usize = 128;
+
+/// Minimum `m * n * k` product before [`gemm`] dispatches across threads; below it the
+/// scoped-thread fork/join overhead outweighs the kernel work.
+const GEMM_PAR_MIN_WORK: usize = 1 << 20;
+
 /// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`, where `op` optionally
 /// transposes its argument. `A` is `m x k` (after `op`), `B` is `k x n`, `C` is `m x n`,
 /// all row-major with the given leading dimensions.
+///
+/// This is the blocked, cache-aware kernel: the `op(A)`/`op(B)` panels are packed into
+/// contiguous buffers once (with `alpha` folded into the `A` panel), then an `ikj`-order
+/// loop runs over `KC`-sized k-blocks. Large products are dispatched across row bands on
+/// scoped threads (worker count from [`plinius_parallel::max_threads`], override with
+/// `PLINIUS_THREADS`). The result is **bit-identical for every thread count and block
+/// size** (the same compiled kernel runs in every configuration), and matches
+/// [`gemm_reference`] exactly for all finite results: every `C[i][j]` accumulates the
+/// same terms in the same order with no FMA contraction or reassociation. The one
+/// reference-comparison caveat: when inputs contain NaN/Inf, which values are NaN is
+/// identical but their *payload/sign bits* may differ from the reference, because the
+/// two kernels compile to different instruction schedules and the hardware propagates
+/// whichever operand's NaN lands first.
 ///
 /// # Panics
 ///
 /// Panics if any buffer is too small for the requested shape.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm(
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let threads = if work < GEMM_PAR_MIN_WORK {
+        1
+    } else {
+        plinius_parallel::max_threads()
+    };
+    gemm_with_threads(
+        threads, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+    );
+}
+
+/// [`gemm`] with an explicit worker-thread count (1 forces the single-threaded blocked
+/// kernel). Output is bit-identical for every `threads` value.
+///
+/// # Panics
+///
+/// Panics if any buffer is too small for the requested shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_threads(
+    threads: usize,
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    gemm_tuned(
+        threads,
+        GEMM_DEFAULT_KC,
+        ta,
+        tb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+    );
+}
+
+/// [`gemm`] with explicit worker-thread count *and* k-block size, for benchmarks and
+/// block-size tuning. Neither knob changes the result.
+///
+/// # Panics
+///
+/// Panics if any buffer is too small for the requested shape or `kc` is zero (with
+/// `k > 0`).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tuned(
+    threads: usize,
+    kc: usize,
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(
+        c.len() >= (m.saturating_sub(1)) * ldc + n,
+        "C buffer too small"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    // The beta pre-pass mirrors the reference kernel exactly (including `0 * NaN = NaN`
+    // semantics of `*=`), and runs before the early return so `k == 0` still scales C.
+    if beta != 1.0 {
+        for row in c.chunks_mut(ldc).take(m) {
+            for v in row[..n].iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+    if k == 0 {
+        return;
+    }
+    assert!(kc > 0, "k-block size must be non-zero");
+    // Pack the operand panels once: `ap` is op(A) row-major (m x k) with alpha folded
+    // in — the same `alpha * a[i][p]` product the reference kernel forms — and `bp` is
+    // op(B) row-major (k x n). Packing removes the per-element transpose branch and the
+    // `ldb`-strided walk of a transposed B from the inner loop.
+    let ap = pack_op_a(ta, m, k, alpha, a, lda);
+    let packed_b;
+    let bp: &[f32] = if !tb && ldb == n {
+        // op(B) is already contiguous row-major: borrow it directly.
+        &b[..k * n]
+    } else {
+        packed_b = pack_op_b(tb, k, n, b, ldb);
+        &packed_b
+    };
+    let c_rows = &mut c[..(m - 1) * ldc + n];
+    let threads = threads.clamp(1, m);
+    if threads == 1 {
+        gemm_packed_band(&ap, bp, k, n, kc, c_rows, ldc);
+        return;
+    }
+    let rows_per_band = m.div_ceil(threads);
+    let ap = &ap;
+    plinius_parallel::par_chunks_mut(c_rows, rows_per_band * ldc, threads, |band, c_band| {
+        let first_row = band * rows_per_band;
+        let rows = c_band.len().div_ceil(ldc);
+        let ap_band = &ap[first_row * k..(first_row + rows) * k];
+        gemm_packed_band(ap_band, bp, k, n, kc, c_band, ldc);
+    });
+}
+
+/// Packs `alpha * op(A)` into a contiguous row-major `m x k` panel. Out-of-range reads
+/// panic exactly as they would in the reference kernel.
+fn pack_op_a(ta: bool, m: usize, k: usize, alpha: f32, a: &[f32], lda: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * k];
+    if ta {
+        // A is stored k x m; gather column i of the storage as row i of the panel.
+        for p in 0..k {
+            let a_row = &a[p * lda..][..m];
+            for (i, &v) in a_row.iter().enumerate() {
+                out[i * k + p] = alpha * v;
+            }
+        }
+    } else {
+        for (i, out_row) in out.chunks_mut(k).enumerate() {
+            let a_row = &a[i * lda..][..k];
+            for (o, &v) in out_row.iter_mut().zip(a_row.iter()) {
+                *o = alpha * v;
+            }
+        }
+    }
+    out
+}
+
+/// Packs `op(B)` into a contiguous row-major `k x n` panel. Out-of-range reads panic
+/// exactly as they would in the reference kernel.
+fn pack_op_b(tb: bool, k: usize, n: usize, b: &[f32], ldb: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; k * n];
+    if tb {
+        // B is stored n x k; gather column p of the storage as row p of the panel.
+        for j in 0..n {
+            let b_row = &b[j * ldb..][..k];
+            for (p, &v) in b_row.iter().enumerate() {
+                out[p * n + j] = v;
+            }
+        }
+    } else {
+        for (p, out_row) in out.chunks_mut(n).enumerate() {
+            out_row.copy_from_slice(&b[p * ldb..][..n]);
+        }
+    }
+    out
+}
+
+/// Width of the register-resident C tile of the inner kernel (in `f32` lanes): enough
+/// independent accumulator vectors to hide FP-add latency without spilling.
+const GEMM_TILE_W: usize = 32;
+
+/// The blocked inner kernel over one band of C rows: `kb`-blocked `i / j-tile / p`
+/// order with a register-resident accumulator tile. Each `GEMM_TILE_W`-wide strip of a
+/// C row is loaded once per k-block, accumulates every `p` of the block in registers,
+/// and is stored once — instead of a C-row load/store per rank-1 update.
+///
+/// For every `C[i][j]` the terms still accumulate in ascending-`p` order with one `+=`
+/// per term — exactly the reference kernel's association, hence bit-identical results
+/// (no FMA contraction, no reassociation).
+fn gemm_packed_band(
+    ap: &[f32],
+    bp: &[f32],
+    k: usize,
+    n: usize,
+    kc: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let rows = c.len().div_ceil(ldc);
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + kc).min(k);
+        for r in 0..rows {
+            let a_row = &ap[r * k + kb..r * k + kend];
+            let c_row = &mut c[r * ldc..r * ldc + n];
+            let mut jt = 0;
+            // Full-width tiles: fixed-size accumulator array the compiler keeps in
+            // vector registers.
+            while jt + GEMM_TILE_W <= n {
+                let tile = &mut c_row[jt..jt + GEMM_TILE_W];
+                let mut acc: [f32; GEMM_TILE_W] = tile.try_into().expect("full tile");
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    let b_strip = &bp[(kb + p) * n + jt..(kb + p) * n + jt + GEMM_TILE_W];
+                    for (x, &b_v) in b_strip.iter().enumerate() {
+                        acc[x] += a_ip * b_v;
+                    }
+                }
+                tile.copy_from_slice(&acc);
+                jt += GEMM_TILE_W;
+            }
+            // Remainder strip narrower than a tile.
+            if jt < n {
+                let tile = &mut c_row[jt..];
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    let b_strip = &bp[(kb + p) * n + jt..(kb + p + 1) * n];
+                    for (cv, &b_v) in tile.iter_mut().zip(b_strip.iter()) {
+                        *cv += a_ip * b_v;
+                    }
+                }
+            }
+        }
+        kb = kend;
+    }
+}
+
+/// The naive triple-loop GEMM, kept as the semantic reference for the blocked/parallel
+/// kernel (property tests assert bit-for-bit agreement).
+///
+/// Note: the kernel deliberately has **no zero-skip** on `alpha * a[i][p]` — skipping
+/// zero terms would silently drop NaN/Inf propagation from `B` (IEEE `0 * NaN = NaN`,
+/// `0 * Inf = NaN`), masking diverged training runs.
+///
+/// # Panics
+///
+/// Panics if any buffer is too small for the requested shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_reference(
     ta: bool,
     tb: bool,
     m: usize,
@@ -222,9 +499,6 @@ pub fn gemm(
     for i in 0..m {
         for p in 0..k {
             let a_ip = alpha * a_at(i, p);
-            if a_ip == 0.0 {
-                continue;
-            }
             for j in 0..n {
                 c[i * ldc + j] += a_ip * b_at(p, j);
             }
@@ -316,9 +590,52 @@ pub fn col2im(
     }
 }
 
-/// Output spatial dimension of a convolution/pooling with the given geometry.
+/// Output spatial dimension of a convolution with the given geometry, or `None` for
+/// degenerate geometries: zero kernel/stride, or a kernel larger than the padded input
+/// (`ksize > dim + 2 * pad`, which would underflow the Darknet formula — panicking in
+/// debug builds and wrapping to an absurd dimension in release).
+pub fn try_conv_out_dim(dim: usize, ksize: usize, stride: usize, pad: usize) -> Option<usize> {
+    if ksize == 0 || stride == 0 {
+        return None;
+    }
+    let padded = dim.checked_add(2 * pad)?;
+    if ksize > padded {
+        return None;
+    }
+    Some((padded - ksize) / stride + 1)
+}
+
+/// Output spatial dimension of a convolution with the given geometry.
+///
+/// # Panics
+///
+/// Panics with a descriptive message if the kernel does not fit the padded input or the
+/// geometry is degenerate (see [`try_conv_out_dim`]). [`crate::config::build_network`]
+/// rejects such layer configurations with a proper error before any layer is built.
 pub fn conv_out_dim(dim: usize, ksize: usize, stride: usize, pad: usize) -> usize {
-    (dim + 2 * pad - ksize) / stride + 1
+    try_conv_out_dim(dim, ksize, stride, pad).unwrap_or_else(|| {
+        panic!(
+            "invalid convolution geometry: kernel {ksize} (stride {stride}) does not fit \
+             the padded input {dim}+2*{pad}"
+        )
+    })
+}
+
+/// Output spatial dimension of a pooling sweep that covers the whole input: windows
+/// start at every `stride` offset and the final window may hang over the input edge
+/// (a *partial* window), as in Darknet's maxpool. For stride-divisible inputs this
+/// matches the floor formula of [`conv_out_dim`] with zero padding.
+///
+/// # Panics
+///
+/// Panics if `size` or `stride` is zero.
+pub fn pool_out_dim(dim: usize, size: usize, stride: usize) -> usize {
+    assert!(size > 0 && stride > 0, "invalid pooling geometry");
+    if size >= dim {
+        1
+    } else {
+        (dim - size).div_ceil(stride) + 1
+    }
 }
 
 #[cfg(test)]
@@ -473,10 +790,136 @@ mod tests {
     }
 
     #[test]
+    fn gemm_propagates_nan_and_inf_from_b() {
+        // Regression: the old kernel skipped `alpha * a[i][p] == 0.0` terms, silently
+        // dropping NaN/Inf propagation from B (IEEE: 0 * NaN = NaN, 0 * Inf = NaN).
+        let a = vec![0.0f32, 0.0];
+        // Column 0 of B carries a NaN, column 1 an Inf.
+        let b = vec![f32::NAN, f32::INFINITY, 1.0, 2.0];
+        let mut c_ref = vec![0.5f32, 0.5];
+        gemm_reference(false, false, 1, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c_ref, 2);
+        let mut c_blk = vec![0.5f32, 0.5];
+        gemm(false, false, 1, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c_blk, 2);
+        for c in [&c_ref, &c_blk] {
+            assert!(c[0].is_nan(), "0 * NaN must poison C, got {}", c[0]);
+            assert!(c[1].is_nan(), "0 * Inf must poison C, got {}", c[1]);
+        }
+        // A zero *alpha* must poison C the same way.
+        let mut c = vec![0.0f32, 0.0];
+        gemm(
+            false,
+            false,
+            1,
+            2,
+            2,
+            0.0,
+            &[1.0, 1.0],
+            2,
+            &b,
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
+        assert!(c[0].is_nan());
+    }
+
+    fn bits(values: &[f32]) -> Vec<u32> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn blocked_and_parallel_gemm_are_bit_identical_to_reference() {
+        // One fixed ragged shape per transpose variant as a fast `--lib` smoke guard;
+        // the exhaustive sweep over shapes/alpha/beta/kc/threads/specials lives in
+        // `tests/proptest_gemm.rs`.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (m, n, k) = (5, 33, 129);
+        for (ta, tb) in [(false, false), (true, false), (false, true), (true, true)] {
+            let lda = if ta { m + 2 } else { k + 1 };
+            let ldb = if tb { k + 3 } else { n };
+            let ldc = n + 2;
+            let a: Vec<f32> = (0..(if ta { k } else { m }) * lda)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let b: Vec<f32> = (0..(if tb { n } else { k }) * ldb)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let c0: Vec<f32> = (0..m * ldc).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut c_ref = c0.clone();
+            gemm_reference(
+                ta, tb, m, n, k, 0.75, &a, lda, &b, ldb, 0.5, &mut c_ref, ldc,
+            );
+            let mut c = c0.clone();
+            gemm_tuned(
+                3, 2, ta, tb, m, n, k, 0.75, &a, lda, &b, ldb, 0.5, &mut c, ldc,
+            );
+            assert_eq!(bits(&c_ref), bits(&c), "ta={ta} tb={tb}");
+        }
+    }
+
+    #[test]
+    fn gemm_handles_degenerate_shapes() {
+        // k = 0: only the beta pass runs.
+        let mut c = vec![2.0f32, 4.0];
+        gemm(false, false, 1, 2, 0, 1.0, &[], 1, &[], 1, 0.5, &mut c, 2);
+        assert_eq!(c, vec![1.0, 2.0]);
+        // m = 0 / n = 0: no-ops.
+        gemm(
+            false,
+            false,
+            0,
+            2,
+            3,
+            1.0,
+            &[],
+            1,
+            &[0.0; 6],
+            2,
+            0.0,
+            &mut c,
+            2,
+        );
+        let mut empty: Vec<f32> = vec![];
+        gemm(
+            false, false, 1, 0, 3, 1.0, &[0.0; 3], 3, &[0.0; 3], 1, 0.0, &mut empty, 0,
+        );
+    }
+
+    #[test]
     fn conv_out_dim_formula() {
         assert_eq!(conv_out_dim(28, 3, 1, 1), 28);
         assert_eq!(conv_out_dim(28, 2, 2, 0), 14);
         assert_eq!(conv_out_dim(5, 3, 1, 0), 3);
+    }
+
+    #[test]
+    fn try_conv_out_dim_rejects_degenerate_geometry() {
+        // Kernel larger than the padded input: the old formula underflowed `usize`.
+        assert_eq!(try_conv_out_dim(4, 7, 1, 1), None);
+        assert_eq!(try_conv_out_dim(2, 3, 1, 0), None);
+        assert_eq!(try_conv_out_dim(4, 0, 1, 0), None);
+        assert_eq!(try_conv_out_dim(4, 3, 0, 0), None);
+        assert_eq!(try_conv_out_dim(2, 3, 1, 1), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn conv_out_dim_panics_clearly_on_underflow() {
+        let _ = conv_out_dim(4, 7, 1, 1);
+    }
+
+    #[test]
+    fn pool_out_dim_covers_the_whole_input() {
+        // Stride-divisible inputs match the conv formula.
+        assert_eq!(pool_out_dim(28, 2, 2), 14);
+        assert_eq!(pool_out_dim(8, 2, 2), 4);
+        // Non-divisible input: a partial window covers the trailing edge.
+        assert_eq!(pool_out_dim(5, 2, 2), 3);
+        assert_eq!(pool_out_dim(7, 2, 2), 4);
+        // Window as large as the input: one window.
+        assert_eq!(pool_out_dim(3, 3, 1), 1);
+        assert_eq!(pool_out_dim(2, 3, 1), 1);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property tests pinning the blocked / multi-threaded GEMM to the naive reference
+//! kernel **bit-for-bit**, across transpose variants, alpha/beta values, ragged shapes,
+//! strided leading dimensions, k-block sizes and thread counts.
+
+use plinius_darknet::matrix::{gemm, gemm_reference, gemm_tuned, GEMM_DEFAULT_KC};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Bit pattern with NaNs canonicalised. Used only for the *reference vs blocked*
+/// comparison: the two kernels compile to different instruction schedules, and LLVM is
+/// free to commute `fadd`/`fmul` operands, which changes which operand's NaN
+/// *payload/sign bits* propagate — the numeric IEEE semantics (which values are NaN,
+/// Inf, or finite, and every finite bit pattern) are still identical. Comparisons
+/// *between* blocked-kernel configurations (thread counts, block sizes) stay strictly
+/// bit-for-bit, because the same machine code runs in every configuration.
+fn canon_bits(values: &[f32]) -> Vec<u32> {
+    values
+        .iter()
+        .map(|v| if v.is_nan() { 0x7FC0_0000 } else { v.to_bits() })
+        .collect()
+}
+
+/// Fills a buffer with a mix of ordinary values, exact zeros and (optionally) NaN/Inf
+/// specials, so the properties also pin IEEE propagation semantics.
+fn fill(rng: &mut StdRng, len: usize, specials: bool) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            if i % 5 == 3 {
+                0.0
+            } else if specials && i % 17 == 8 {
+                f32::NAN
+            } else if specials && i % 23 == 11 {
+                f32::INFINITY
+            } else {
+                rng.gen_range(-2.0..2.0)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_and_parallel_gemm_match_reference_bit_for_bit(
+        m in 1usize..12,
+        n in 1usize..14,
+        k in 0usize..20,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        lda_pad in 0usize..3,
+        ldb_pad in 0usize..3,
+        ldc_pad in 0usize..3,
+        specials in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alpha = *[0.0f32, 1.0, -1.0, rng.gen_range(-2.0..2.0)]
+            .get((seed % 4) as usize)
+            .unwrap();
+        let beta = *[0.0f32, 1.0, rng.gen_range(-1.5..1.5)]
+            .get((seed % 3) as usize)
+            .unwrap();
+        let lda = if ta { m + lda_pad } else { k + lda_pad };
+        let ldb = if tb { k + ldb_pad } else { n + ldb_pad };
+        let ldc = n + ldc_pad;
+        let a = fill(&mut rng, (if ta { k } else { m }) * lda.max(1), specials);
+        let b = fill(&mut rng, (if tb { n } else { k }) * ldb.max(1), specials);
+        let c0 = fill(&mut rng, m * ldc, false);
+
+        let mut c_ref = c0.clone();
+        gemm_reference(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c_ref, ldc);
+
+        // The public dispatching entry point matches the reference bit-for-bit (modulo
+        // NaN payload canonicalisation, see `canon_bits`).
+        let mut c_auto = c0.clone();
+        gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c_auto, ldc);
+        prop_assert_eq!(canon_bits(&c_ref), canon_bits(&c_auto));
+
+        // Every explicit thread count and block size — including degenerate kc=1 and a
+        // block larger than k — matches the reference numerically and the dispatcher's
+        // output *strictly* bit-for-bit (same kernel code for every configuration).
+        for threads in [1usize, 2, 5] {
+            for kc in [1usize, 3, GEMM_DEFAULT_KC] {
+                let mut c = c0.clone();
+                gemm_tuned(threads, kc, ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
+                prop_assert_eq!(
+                    canon_bits(&c_ref),
+                    canon_bits(&c),
+                    "vs reference: threads={} kc={} m={} n={} k={} ta={} tb={}",
+                    threads, kc, m, n, k, ta, tb
+                );
+                prop_assert_eq!(
+                    bits(&c_auto),
+                    bits(&c),
+                    "vs dispatcher: threads={} kc={} m={} n={} k={} ta={} tb={}",
+                    threads, kc, m, n, k, ta, tb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_leaves_the_ldc_gutter_untouched(
+        m in 1usize..6,
+        n in 1usize..8,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Row padding beyond `n` must never be written, whichever kernel runs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ldc = n + 2;
+        let a = fill(&mut rng, m * k, false);
+        let b = fill(&mut rng, k * n, false);
+        let c0 = fill(&mut rng, m * ldc, false);
+        let mut c = c0.clone();
+        gemm_tuned(3, 2, false, false, m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, ldc);
+        for row in 0..m {
+            prop_assert_eq!(
+                bits(&c0[row * ldc + n..(row + 1) * ldc]),
+                bits(&c[row * ldc + n..(row + 1) * ldc])
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! # plinius-parallel
+//!
+//! Minimal fork/join helpers for the compute hot path, built on
+//! [`std::thread::scope`]. The build environment has no crates.io access, so this crate
+//! stands in for the small slice of `rayon` the workspace needs: splitting a mutable
+//! buffer into disjoint chunks processed across threads (`par_chunks_mut`) and mapping a
+//! slice of independent items to a result vector in item order (`par_map`).
+//!
+//! # Determinism contract
+//!
+//! Every helper partitions work by *item/chunk index*, never by thread id, and callers
+//! receive each chunk or item exactly as the serial loop would. As long as the
+//! per-item closure is itself deterministic, the overall result is **bit-identical for
+//! every thread count** — the property the training loop's crash/resume tests rely on.
+//! Threads may interleave side effects (e.g. charges to the shared simulation clock),
+//! but commutative accounting (atomic additions) reaches the same totals regardless.
+//!
+//! The default worker count comes from [`max_threads`]: the `PLINIUS_THREADS`
+//! environment variable when set, otherwise [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker-thread count (`1` forces serial
+/// execution; useful to verify the bit-identical-across-thread-counts invariant).
+pub const THREADS_ENV: &str = "PLINIUS_THREADS";
+
+/// Upper bound on the worker count, to keep a misconfigured environment from spawning
+/// an absurd number of scoped threads per kernel call.
+const MAX_THREAD_CAP: usize = 64;
+
+/// The worker-thread budget for parallel kernels: `PLINIUS_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism (both capped at 64).
+pub fn max_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREAD_CAP);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(MAX_THREAD_CAP)
+}
+
+/// Processes `data` in disjoint chunks of `chunk_len` elements across up to `threads`
+/// scoped threads, calling `f(chunk_index, chunk)` for every chunk.
+///
+/// Chunk boundaries depend only on `chunk_len` (the last chunk may be shorter), and
+/// chunks are distributed round-robin over the workers, so the set of `(index, chunk)`
+/// invocations is independent of the thread count. With `threads <= 1` (or a single
+/// chunk) everything runs on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero, and propagates panics from `f`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        chunk_len > 0,
+        "par_chunks_mut needs a non-zero chunk length"
+    );
+    if data.is_empty() {
+        return;
+    }
+    let num_chunks = data.len().div_ceil(chunk_len);
+    let threads = threads.clamp(1, num_chunks);
+    if threads == 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let mut assignments: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        assignments[i % threads].push((i, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut workers = assignments.into_iter();
+        let local = workers.next().expect("at least one worker");
+        for work in workers {
+            s.spawn(move || {
+                for (i, chunk) in work {
+                    f(i, chunk);
+                }
+            });
+        }
+        // The calling thread takes the first share instead of idling at the join.
+        for (i, chunk) in local {
+            f(i, chunk);
+        }
+    });
+}
+
+/// Maps every item of `items` through `f(index, item)` across up to `threads` scoped
+/// threads, returning the results **in item order**.
+///
+/// Items are distributed round-robin over the workers (so a few large items interleave
+/// with small ones instead of all landing on one band); the output vector is identical
+/// for every thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map<I, R, F>(items: &[I], threads: usize, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let mut assignments: Vec<Vec<(usize, &mut Option<R>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in out.iter_mut().enumerate() {
+        assignments[i % threads].push((i, slot));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut workers = assignments.into_iter();
+        let local = workers.next().expect("at least one worker");
+        for work in workers {
+            s.spawn(move || {
+                for (i, slot) in work {
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+        for (i, slot) in local {
+            *slot = Some(f(i, &items[i]));
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot is filled by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once_with_correct_indices() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut data: Vec<usize> = vec![0; 23];
+            par_chunks_mut(&mut data, 5, threads, |idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += idx + 1;
+                }
+            });
+            let expected: Vec<usize> = (0..23).map(|i| i / 5 + 1).collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_handles_empty_and_short_inputs() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut empty, 4, 8, |_, _| panic!("no chunks expected"));
+        let mut one = vec![7u8];
+        let calls = AtomicUsize::new(0);
+        par_chunks_mut(&mut one, 4, 8, |idx, chunk| {
+            assert_eq!((idx, chunk.len()), (0, 1));
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero chunk length")]
+    fn par_chunks_mut_rejects_zero_chunk_len() {
+        par_chunks_mut(&mut [0u8; 4], 0, 2, |_, _| {});
+    }
+
+    #[test]
+    fn par_map_preserves_item_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|v| v * v + 1).collect();
+        for threads in [1usize, 2, 5, 16, 64] {
+            let mapped = par_map(&items, threads, |i, v| {
+                assert_eq!(items[i], *v);
+                v * v + 1
+            });
+            assert_eq!(mapped, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_on_empty_slice_returns_empty() {
+        let out: Vec<u8> = par_map(&[] as &[u8], 4, |_, v| *v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn max_threads_honours_the_env_override() {
+        // `PLINIUS_THREADS` is process-global; this is the only test that mutates it.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(max_threads(), 3);
+        std::env::set_var(THREADS_ENV, "0"); // invalid: falls back to auto-detect
+        assert!(max_threads() >= 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(max_threads() >= 1);
+        std::env::set_var(THREADS_ENV, "4096"); // capped
+        assert_eq!(max_threads(), 64);
+        std::env::remove_var(THREADS_ENV);
+        assert!(max_threads() >= 1);
+    }
+}

@@ -14,7 +14,7 @@
 //! decrypts them into the enclave model.
 
 use crate::{bytes_to_f32s, f32s_to_bytes, PliniusContext, PliniusError};
-use plinius_crypto::{SealedBuffer, SEAL_OVERHEAD};
+use plinius_crypto::{IvSequence, SealedBuffer, SEAL_OVERHEAD};
 use plinius_darknet::Network;
 use plinius_romulus::PmPtr;
 use sim_clock::SimSpan;
@@ -210,6 +210,11 @@ impl MirrorModel {
     /// and synchronises the PM mirror within one durable transaction, recording the
     /// iteration counter.
     ///
+    /// The per-tensor AES-GCM sealing of independent tensors runs across scoped threads
+    /// (worker count from [`plinius_parallel::max_threads`], override with
+    /// `PLINIUS_THREADS`); the sealed bytes and the [`MirrorOutReport`] — including its
+    /// simulated-time spans — are identical for every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`PliniusError::KeyNotProvisioned`] without a model key,
@@ -219,9 +224,24 @@ impl MirrorModel {
         ctx: &PliniusContext,
         network: &Network,
     ) -> Result<MirrorOutReport, PliniusError> {
+        self.mirror_out_with_threads(ctx, network, plinius_parallel::max_threads())
+    }
+
+    /// [`MirrorModel::mirror_out`] with an explicit sealing-thread count (1 forces the
+    /// serial path). Exposed for benchmarks and the determinism tests; the result is
+    /// bit-identical for every `threads` value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MirrorModel::mirror_out`].
+    pub fn mirror_out_with_threads(
+        &self,
+        ctx: &PliniusContext,
+        network: &Network,
+        threads: usize,
+    ) -> Result<MirrorOutReport, PliniusError> {
         let key = ctx.key()?;
         let clock = ctx.clock();
-        let mut rng = ctx.enclave_rng();
         let trainable: Vec<_> = network
             .layers()
             .iter()
@@ -234,22 +254,47 @@ impl MirrorModel {
                 self.layer_nodes.len()
             )));
         }
+        // Flatten the model into independent per-tensor seal tasks. The IV sequence is
+        // seeded from one `sgx_read_rand` draw (exactly as many as the serial path
+        // used) and hands every task its IV by *task index*, so the sealed bytes do not
+        // depend on the thread schedule.
+        let tasks: Vec<(usize, usize, Vec<u8>)> = trainable
+            .iter()
+            .enumerate()
+            .flat_map(|(i, layer)| {
+                layer
+                    .params()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, param)| (i, j, f32s_to_bytes(param.data)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let ivs = IvSequence::from_rng(&mut ctx.enclave_rng());
         let mut model_bytes = 0usize;
         // Phase 1: in-enclave encryption of every parameter tensor.
         let (sealed, encrypt) = SimSpan::record(&clock, || -> Result<SealedModel, PliniusError> {
-            let mut all = Vec::with_capacity(trainable.len());
-            for (i, layer) in trainable.iter().enumerate() {
-                let mut layer_blobs = Vec::with_capacity(TENSORS_PER_LAYER);
-                for (j, param) in layer.params().iter().enumerate() {
-                    let plaintext = f32s_to_bytes(param.data);
-                    model_bytes += plaintext.len();
-                    ctx.enclave().charge_crypto(plaintext.len() as u64);
-                    let aad = format!("layer{i}-tensor{j}");
-                    let blob =
-                        SealedBuffer::seal_with_aad(&key, &plaintext, aad.as_bytes(), &mut rng)?;
-                    layer_blobs.push(blob.into_bytes());
-                }
-                all.push(layer_blobs);
+            // SimSpan accounting stays deterministic: each tensor's modeled crypto cost
+            // is charged serially in task order (same per-tensor charges, hence the
+            // same simulated-time total as the serial path), then the real sealing work
+            // fans out across threads.
+            for (_, _, plaintext) in &tasks {
+                model_bytes += plaintext.len();
+                ctx.enclave().charge_crypto(plaintext.len() as u64);
+            }
+            let blobs = plinius_parallel::par_map(&tasks, threads, |idx, (i, j, plaintext)| {
+                let aad = format!("layer{i}-tensor{j}");
+                SealedBuffer::seal_with_aad_and_iv(
+                    &key,
+                    plaintext,
+                    aad.as_bytes(),
+                    &ivs.iv(idx as u64),
+                )
+                .map(SealedBuffer::into_bytes)
+            });
+            let mut all: SealedModel = vec![Vec::with_capacity(TENSORS_PER_LAYER); trainable.len()];
+            for ((i, _, _), blob) in tasks.iter().zip(blobs) {
+                all[*i].push(blob?);
             }
             Ok(all)
         });
@@ -318,9 +363,33 @@ impl MirrorModel {
                 Ok((iteration, all))
             });
         let (iteration, blobs) = read_out?;
-        // Phase 2: in-enclave decryption and installation into the enclave model.
+        // Phase 2: in-enclave decryption (across threads — each tensor is an
+        // independent AES-GCM open) and serial installation into the enclave model.
         let (decrypt_result, decrypt) =
             SimSpan::record(&clock, || -> Result<usize, PliniusError> {
+                // Flatten to per-tensor decrypt tasks; charge the modeled crypto cost
+                // serially in task order so the simulated-time total matches the serial
+                // path for every thread count.
+                let tasks: Vec<(usize, usize, &Vec<u8>)> = blobs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, layer_blobs)| {
+                        layer_blobs.iter().enumerate().map(move |(j, b)| (i, j, b))
+                    })
+                    .collect();
+                for (_, _, blob) in &tasks {
+                    ctx.enclave().charge_crypto(blob.len() as u64);
+                }
+                let threads = plinius_parallel::max_threads();
+                let opened = plinius_parallel::par_map(&tasks, threads, |_, (i, j, blob)| {
+                    let aad = format!("layer{i}-tensor{j}");
+                    let sealed = SealedBuffer::from_bytes((*blob).clone())?;
+                    let plaintext = sealed.open_with_aad(&key, aad.as_bytes())?;
+                    bytes_to_f32s(&plaintext)
+                });
+                // Install layer by layer in mirror order, surfacing errors exactly as
+                // the serial loop would (layer 0's failures before layer 1's).
+                let mut opened = opened.into_iter();
                 let mut model_bytes = 0usize;
                 let mut node_idx = 0usize;
                 for layer in network.layers_mut().iter_mut() {
@@ -333,13 +402,10 @@ impl MirrorModel {
                         ));
                     }
                     let mut tensors = Vec::with_capacity(TENSORS_PER_LAYER);
-                    for (j, blob) in blobs[node_idx].iter().enumerate() {
-                        ctx.enclave().charge_crypto(blob.len() as u64);
-                        let aad = format!("layer{node_idx}-tensor{j}");
-                        let sealed = SealedBuffer::from_bytes(blob.clone())?;
-                        let plaintext = sealed.open_with_aad(&key, aad.as_bytes())?;
-                        model_bytes += plaintext.len();
-                        tensors.push(bytes_to_f32s(&plaintext)?);
+                    for _ in 0..blobs[node_idx].len() {
+                        let tensor = opened.next().expect("one result per task")?;
+                        model_bytes += tensor.len() * 4;
+                        tensors.push(tensor);
                     }
                     let expected: Vec<usize> =
                         layer.params().iter().map(|p| p.data.len()).collect();
@@ -414,6 +480,10 @@ mod tests {
         let out = mirror.mirror_out(&ctx, &net).unwrap();
         assert!(out.model_bytes > 0);
         assert!(out.total_ms() > 0.0);
+        // The (possibly thread-parallel) sealing reports exactly the plaintext model
+        // size and the fixed 28 B/tensor metadata overhead.
+        assert_eq!(out.model_bytes, net.model_bytes());
+        assert_eq!(out.metadata_bytes, mirror.metadata_bytes());
         // Restore into a differently initialised network: parameters must match exactly.
         let mut other = small_network(2);
         assert_ne!(snapshot(&net), snapshot(&other));
@@ -422,6 +492,59 @@ mod tests {
         assert_eq!(other.iteration(), 42);
         assert_eq!(snapshot(&net), snapshot(&other));
         assert_eq!(report.model_bytes, out.model_bytes);
+    }
+
+    /// Reads every sealed tensor blob back out of PM, in layer/tensor order.
+    fn sealed_tensor_bytes(ctx: &PliniusContext, mirror: &MirrorModel) -> Vec<Vec<Vec<u8>>> {
+        let rom = ctx.romulus();
+        mirror
+            .layer_nodes
+            .iter()
+            .enumerate()
+            .map(|(li, node)| {
+                mirror.sealed_lens[li]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, len)| {
+                        let ptr = PmPtr::from_offset(
+                            rom.read_u64(node.add(16 + (j as u64) * 16)).unwrap(),
+                        );
+                        rom.read_bytes(ptr, *len).unwrap()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sealing_is_bit_identical_across_thread_counts() {
+        // Two identical deployments (same pool size, same enclave RNG seed, same key,
+        // same model) sealed with different thread counts must leave byte-identical
+        // ciphertext+IV+MAC on PM and report identical simulated-time spans — the
+        // SimSpan accounting reduces per-tensor work to the serial path's totals.
+        let run = |threads: usize| {
+            let ctx = context_with_key(8 * 1024 * 1024);
+            let mut net = small_network(12);
+            net.set_iteration(5);
+            let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+            let report = mirror.mirror_out_with_threads(&ctx, &net, threads).unwrap();
+            (sealed_tensor_bytes(&ctx, &mirror), report)
+        };
+        let (bytes_serial, report_serial) = run(1);
+        let (bytes_par, report_par) = run(4);
+        assert_eq!(bytes_serial, bytes_par);
+        assert_eq!(report_serial, report_par);
+        // And the parallel-sealed image restores exactly (round-trip through the
+        // parallel decrypt path as well).
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(12);
+        net.set_iteration(5);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        mirror.mirror_out_with_threads(&ctx, &net, 4).unwrap();
+        let mut restored = small_network(13);
+        let report = mirror.mirror_in(&ctx, &mut restored).unwrap();
+        assert_eq!(report.iteration, 5);
+        assert_eq!(snapshot(&restored), snapshot(&net));
     }
 
     #[test]

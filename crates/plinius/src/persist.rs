@@ -26,6 +26,8 @@ use crate::ssd::SsdCheckpointer;
 use crate::{PliniusContext, PliniusError};
 use plinius_darknet::Network;
 use plinius_storage::{SimFileSystem, StorageProfile};
+use sim_clock::{SimClock, StatsRegistry};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 /// Cumulative activity counters of one [`ModelPersistence`] backend.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -163,15 +165,51 @@ pub trait ModelPersistence: std::fmt::Debug {
 // `ModelPersistence` must stay object-safe: the trainer owns a `Box<dyn ModelPersistence>`.
 const _OBJECT_SAFE: fn(&dyn ModelPersistence) = |_| {};
 
-/// A simulated SSD charging its device costs to the context's clock and statistics —
-/// the device every checkpoint-on-disk backend writes to unless given one explicitly.
+/// One durable-SSD registry entry: the owning deployment's clock (weak) and its disk.
+type SsdEntry = (Weak<SimClock>, SimFileSystem);
+
+/// The per-deployment durable SSD registry, keyed by simulation-clock identity (every
+/// deployment — PM pool + enclave + clock — has exactly one clock `Arc`, which survives
+/// simulated process restarts because the pool holds it). Entries are weak so a
+/// finished deployment's disk is reclaimed once its clock is gone.
+static SSD_REGISTRY: OnceLock<Mutex<Vec<SsdEntry>>> = OnceLock::new();
+
+/// The simulated SSD of the context's deployment, charging its device costs to the
+/// context's clock and statistics — the device every checkpoint-on-disk backend writes
+/// to unless given one explicitly.
+///
+/// Like a real disk, the device is *durable across simulated process restarts*:
+/// re-opening a context over the same PM pool (same simulation clock) returns the same
+/// file system, so checkpoints written before a crash are still there afterwards. Two
+/// independent deployments (different pools/clocks) get independent disks. To model
+/// separate devices within one deployment, construct `SimFileSystem`s directly and use
+/// the backends' `on_filesystem` constructors.
 pub fn shared_ssd(ctx: &PliniusContext) -> SimFileSystem {
-    SimFileSystem::with_settings(
+    let clock = ctx.clock();
+    let registry = SSD_REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+    let mut entries = registry.lock().expect("ssd registry poisoned");
+    entries.retain(|(weak, _)| weak.strong_count() > 0);
+    for (weak, fs) in entries.iter() {
+        if let Some(existing) = weak.upgrade() {
+            if Arc::ptr_eq(&existing, &clock) {
+                return fs.rebound(clock, ctx.stats());
+            }
+        }
+    }
+    let fs = SimFileSystem::with_settings(
         ctx.cost_model().clone(),
         StorageProfile::Ssd,
-        ctx.clock(),
+        clock.clone(),
         ctx.stats(),
-    )
+    );
+    // The registry keeps only a *detached* handle (rebound onto a private clock), so it
+    // holds no strong reference to the deployment clock and the eviction above really
+    // fires once the deployment drops its pool/context/backends.
+    entries.push((
+        Arc::downgrade(&clock),
+        fs.rebound(SimClock::new(), StatsRegistry::new()),
+    ));
+    fs
 }
 
 /// Declarative persistence spec, kept as a thin shim over the [`ModelPersistence`]
@@ -182,14 +220,11 @@ pub fn shared_ssd(ctx: &PliniusContext) -> SimFileSystem {
 /// that [`TrainingSetup`](crate::TrainingSetup) stays `Clone`-able and declarative, and
 /// maps onto trait objects via [`PersistenceBackend::instantiate`].
 ///
-/// **Simulation caveat:** each `instantiate()` of an SSD-backed variant creates a
-/// fresh — and therefore *empty* — simulated SSD, so a trainer rebuilt from the same
-/// declarative spec after a restart will not find the earlier checkpoint and silently
-/// starts from scratch (only the PM mirror lives in the pool itself). A real disk
-/// survives restarts; to model that, keep one `SimFileSystem` alive across the restart
-/// and use [`PersistenceBackend::instantiate_on`] or the backends' `on_filesystem`
-/// constructors, as [`train_with_crash_schedule`](crate::train_with_crash_schedule)
-/// and `examples/hybrid_tiered_training.rs` do.
+/// SSD-backed variants lazily bind to the deployment's durable [`shared_ssd`], which —
+/// like a real disk — survives simulated process restarts: a trainer rebuilt from the
+/// same declarative spec over the re-opened context finds the earlier checkpoint and
+/// resumes. Use [`PersistenceBackend::instantiate_on`] or the backends'
+/// `on_filesystem` constructors to target an explicitly separate device.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistenceBackend {
     /// Plinius' mirroring mechanism: encrypted mirror copies on PM
@@ -213,9 +248,10 @@ pub enum PersistenceBackend {
 }
 
 impl PersistenceBackend {
-    /// Maps the spec onto a fresh trait object. SSD-backed specs get their own fresh
-    /// simulated SSD; use [`PersistenceBackend::instantiate_on`] to target a device that
-    /// must survive process restarts.
+    /// Maps the spec onto a fresh trait object. SSD-backed specs bind (lazily, on first
+    /// use) to the deployment's durable [`shared_ssd`], so their checkpoints survive
+    /// simulated process restarts; use [`PersistenceBackend::instantiate_on`] to target
+    /// a specific device instead.
     pub fn instantiate(&self) -> Box<dyn ModelPersistence> {
         self.instantiate_on(None)
     }
@@ -340,8 +376,8 @@ pub struct SsdCheckpointBackend {
 }
 
 impl SsdCheckpointBackend {
-    /// Creates a backend writing to `path` on a fresh simulated SSD (bound to the
-    /// training context's clock on first use).
+    /// Creates a backend writing to `path` on the deployment's durable [`shared_ssd`]
+    /// (bound lazily on first use; survives simulated process restarts).
     pub fn new(path: impl Into<String>) -> Self {
         SsdCheckpointBackend {
             path: path.into(),
@@ -365,8 +401,8 @@ impl SsdCheckpointBackend {
         self.fs.as_ref()
     }
 
-    /// A checkpointer over this backend's file system, binding a fresh SSD to the
-    /// context's clock if none was supplied.
+    /// A checkpointer over this backend's file system, binding the deployment's
+    /// durable shared SSD if none was supplied.
     fn checkpointer(&mut self, ctx: &PliniusContext) -> SsdCheckpointer {
         let fs = self.fs.get_or_insert_with(|| shared_ssd(ctx)).clone();
         SsdCheckpointer::new(fs, self.path.clone())
@@ -378,9 +414,13 @@ impl ModelPersistence for SsdCheckpointBackend {
         "ssd-checkpoint"
     }
 
-    fn exists(&self, _ctx: &PliniusContext) -> bool {
-        // An unbound backend sits on a brand-new (empty) device.
-        self.fs.as_ref().is_some_and(|fs| fs.exists(&self.path))
+    fn exists(&self, ctx: &PliniusContext) -> bool {
+        // An unbound backend sits on the deployment's durable shared SSD, which may
+        // already hold a checkpoint from before a simulated restart.
+        match &self.fs {
+            Some(fs) => fs.exists(&self.path),
+            None => shared_ssd(ctx).exists(&self.path),
+        }
     }
 
     fn restore(
@@ -436,9 +476,9 @@ pub struct HybridTieredBackend {
 }
 
 impl HybridTieredBackend {
-    /// Creates a hybrid backend demoting to `ssd_path` on a fresh simulated SSD every
-    /// `demote_every` iterations (`0` disables demotion, making this equivalent to
-    /// [`PmMirrorBackend`]).
+    /// Creates a hybrid backend demoting to `ssd_path` on the deployment's durable
+    /// [`shared_ssd`] every `demote_every` iterations (`0` disables demotion, making
+    /// this equivalent to [`PmMirrorBackend`]).
     pub fn new(ssd_path: impl Into<String>, demote_every: u64) -> Self {
         Self::with_ssd(SsdCheckpointBackend::new(ssd_path), demote_every)
     }
@@ -817,6 +857,70 @@ mod tests {
         let report = mirror.mirror_in(&ctx2, &mut from_mirror).unwrap();
         assert_eq!(report.iteration, 4);
         assert_eq!(weights(&from_mirror), weights(&net));
+    }
+
+    #[test]
+    fn declarative_ssd_specs_survive_restarts_through_the_shared_device() {
+        // Regression for the documented fresh-simulated-SSD-per-instantiate caveat:
+        // a trainer rebuilt from the same declarative spec after a simulated process
+        // restart must find the earlier checkpoint on the deployment's durable SSD
+        // and resume, exactly like a builder-constructed `on_filesystem` backend.
+        for backend in [
+            PersistenceBackend::SsdCheckpoint("declarative.ckpt".into()),
+            PersistenceBackend::HybridTiered {
+                ssd_path: "declarative-tier.ckpt".into(),
+                demote_every: 1,
+            },
+        ] {
+            let mut setup = TrainingSetup::small_test();
+            setup.trainer.max_iterations = 8;
+            setup.backend = backend.clone();
+            let key = test_key(41);
+            let ctx = deploy(&setup, &key);
+            let pool = ctx.pool().clone();
+            let mut trainer = PliniusBuilder::new(setup.clone())
+                .context(ctx)
+                .build()
+                .unwrap();
+            trainer.run_at_most(5).unwrap();
+            let weights_before = weights(trainer.network());
+            drop(trainer);
+            // Simulated process restart over the surviving pool. The pure SSD spec has
+            // no PM mirror at all, so resuming at iteration 5 proves the declarative
+            // checkpoint genuinely survived on the shared device.
+            let ctx2 = PliniusContext::open(pool, setup.cost.clone()).unwrap();
+            ctx2.provision_key_directly(key);
+            let resumed = PliniusBuilder::new(setup.clone())
+                .context(ctx2)
+                .build()
+                .unwrap();
+            assert_eq!(
+                resumed.iteration(),
+                5,
+                "{backend:?} lost its checkpoint across the restart"
+            );
+            assert_eq!(weights(resumed.network()), weights_before, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn ssd_registry_holds_no_strong_reference_to_dead_deployments() {
+        // Regression: the registry must keep only a detached handle, otherwise every
+        // deployment's clock (and its entry, and its checkpoint bytes) would leak for
+        // the process lifetime.
+        let key = test_key(60);
+        let ctx = context_with_key(&key);
+        let fs = shared_ssd(&ctx);
+        fs.write("leak-probe", b"1");
+        // Same deployment -> same disk.
+        assert!(shared_ssd(&ctx).exists("leak-probe"));
+        let weak_clock = std::sync::Arc::downgrade(&ctx.clock());
+        drop((fs, ctx));
+        assert_eq!(
+            weak_clock.strong_count(),
+            0,
+            "the SSD registry leaked a strong reference to the deployment clock"
+        );
     }
 
     #[test]

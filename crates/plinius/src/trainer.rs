@@ -445,11 +445,6 @@ pub fn train_with_crash_schedule(
     ctx.provision_key_directly(key.clone());
     PmDataset::load(&ctx, &setup.dataset)?;
     let pool = ctx.pool().clone();
-    // The simulated SSD outlives every process kill (a crash wipes volatile state and
-    // unflushed PM lines, not the disk), so SSD-backed specs checkpoint onto one
-    // device shared by all segments.
-    let durable_ssd =
-        (resilient && setup.backend.uses_ssd()).then(|| crate::persist::shared_ssd(&ctx));
     drop(ctx);
 
     let mut losses = Vec::new();
@@ -462,8 +457,11 @@ pub fn train_with_crash_schedule(
         // (Re)open the deployment over the surviving PM pool.
         let ctx = PliniusContext::open(pool.clone(), setup.cost.clone())?;
         ctx.provision_key_directly(key.clone());
+        // SSD-backed specs bind to the deployment's durable shared SSD, which — like a
+        // real disk — outlives every simulated process kill (a crash wipes volatile
+        // state and unflushed PM lines, not the disk).
         let backend: Box<dyn ModelPersistence> = if resilient {
-            setup.backend.instantiate_on(durable_ssd.as_ref())
+            setup.backend.instantiate()
         } else {
             Box::new(NoOpBackend)
         };
