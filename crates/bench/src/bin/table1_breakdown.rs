@@ -3,7 +3,8 @@
 //! the PM encryption-metadata accounting of §VI (140 B per layer).
 
 use plinius_bench::{
-    cli, mirroring_sweep, table1, RunMode, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
+    aead_sweep, cli, mirroring_sweep, print_aead_sweep, table1, RunMode, AEAD_SIZES,
+    AEAD_SIZES_SMOKE, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
 };
 use sim_clock::CostModel;
 
@@ -13,6 +14,10 @@ fn main() {
         RunMode::Smoke => &FIG7_SIZES_SMOKE_MB,
         RunMode::Quick => &FIG7_SIZES_QUICK_MB,
         _ => &FIG7_SIZES_MB,
+    };
+    let aead_sizes: &[usize] = match mode {
+        RunMode::Full => &AEAD_SIZES,
+        _ => &AEAD_SIZES_SMOKE,
     };
     for cost in CostModel::both_servers() {
         match mirroring_sweep(&cost, sizes) {
@@ -60,4 +65,7 @@ fn main() {
         }
     }
     println!("\nPM encryption metadata: 28 B per parameter buffer (12 B IV + 16 B MAC), 5 buffers per layer = 140 B per layer.");
+    // Table Ia's encryption share is what the AEAD engine's real throughput buys
+    // down on actual hardware; report the engine's wall-clock numbers alongside.
+    print_aead_sweep(&aead_sweep(aead_sizes));
 }

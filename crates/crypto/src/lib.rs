@@ -5,6 +5,18 @@
 //! by the Intel SGX SDK routines that Plinius' encryption engine calls), SHA-256 and
 //! HMAC-SHA256 for enclave measurements and sealing-key derivation.
 //!
+//! The AEAD engine is built for throughput — Plinius mirrors the whole encrypted model
+//! to PM every iteration, so AES-GCM speed bounds the fault-tolerance overhead:
+//!
+//! * **T-table AES** ([`aes`]): four 256-entry fused SubBytes/ShiftRows/MixColumns
+//!   tables, an order of magnitude faster than the byte-wise reference kernel (which is
+//!   retained for differential testing);
+//! * **Shoup 4-bit GHASH** ([`gcm`]): a 16-entry per-key table turns the 128 bit-steps
+//!   of the schoolbook GF(2^128) multiply into 32 shift+lookup steps;
+//! * **zero-copy sealing** ([`seal_into`], [`SealedView::open_into`]): encrypt/decrypt
+//!   straight into caller-provided buffers with no heap allocation, plus optional
+//!   chunk-parallel CTR for large buffers (bit-identical for every thread count).
+//!
 //! The crate also provides the exact *sealed-buffer layout* Plinius stores on persistent
 //! memory (§IV of the paper): for every encrypted parameter buffer a fresh random 12-byte
 //! IV is generated, the plaintext is encrypted with AES-GCM, and the IV plus the 16-byte
@@ -56,6 +68,13 @@ pub enum CryptoError {
     AuthenticationFailed,
     /// A sealed buffer was too short to contain the IV and MAC trailer.
     TruncatedSealedBuffer(usize),
+    /// A caller-provided output buffer had the wrong size for a zero-copy operation.
+    BufferLengthMismatch {
+        /// The size the buffer must have.
+        expected: usize,
+        /// The size the caller supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CryptoError {
@@ -75,6 +94,12 @@ impl fmt::Display for CryptoError {
                 write!(
                     f,
                     "sealed buffer of {n} bytes is shorter than the 28-byte trailer"
+                )
+            }
+            CryptoError::BufferLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "output buffer has {got} bytes but the operation needs exactly {expected}"
                 )
             }
         }
@@ -138,8 +163,153 @@ impl Key {
     }
 
     /// Builds the AES-GCM context for this key.
+    ///
+    /// This expands the AES key schedule and derives the per-key GHASH table, which is
+    /// not free: hot paths that seal or open many buffers under one key should build
+    /// the context once and reuse it (see [`seal_into`] / [`SealedView::open_into`]).
     pub fn gcm(&self) -> AesGcm {
         AesGcm::from_key(&self.bytes)
+    }
+}
+
+/// Total on-PM size of a sealed buffer holding `plaintext_len` plaintext bytes.
+pub const fn sealed_len(plaintext_len: usize) -> usize {
+    plaintext_len + SEAL_OVERHEAD
+}
+
+/// Zero-copy sealing: encrypts `plaintext` under `gcm` with the caller-supplied IV and
+/// AAD, writing the full sealed layout `ciphertext || IV || MAC` into `out`. Performs
+/// **no heap allocation**, which makes it the building block of the allocation-free
+/// mirror-out path — pair it with a reusable output arena and an [`IvSequence`].
+///
+/// The sealed bytes are identical to [`SealedBuffer::seal_with_aad_and_iv`] for the
+/// same `(key, plaintext, aad, iv)`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BufferLengthMismatch`] unless `out.len()` is exactly
+/// [`sealed_len`]`(plaintext.len())`, and propagates GCM errors.
+pub fn seal_into(
+    gcm: &AesGcm,
+    plaintext: &[u8],
+    aad: &[u8],
+    iv: &[u8; IV_LEN],
+    out: &mut [u8],
+) -> Result<(), CryptoError> {
+    seal_into_with_threads(gcm, plaintext, aad, iv, out, 1)
+}
+
+/// [`seal_into`] with the CTR keystream of large buffers fanned out over up to
+/// `threads` scoped threads (chunked at 16-byte counter boundaries — the sealed bytes
+/// are bit-identical for every `threads` value).
+///
+/// # Errors
+///
+/// Same as [`seal_into`].
+pub fn seal_into_with_threads(
+    gcm: &AesGcm,
+    plaintext: &[u8],
+    aad: &[u8],
+    iv: &[u8; IV_LEN],
+    out: &mut [u8],
+    threads: usize,
+) -> Result<(), CryptoError> {
+    let expected = sealed_len(plaintext.len());
+    if out.len() != expected {
+        return Err(CryptoError::BufferLengthMismatch {
+            expected,
+            got: out.len(),
+        });
+    }
+    let (ct, trailer) = out.split_at_mut(plaintext.len());
+    let tag = gcm.encrypt_into_with_threads(iv, aad, plaintext, ct, threads)?;
+    trailer[..IV_LEN].copy_from_slice(iv);
+    trailer[IV_LEN..].copy_from_slice(&tag);
+    Ok(())
+}
+
+/// A borrowed view over sealed bytes in the on-PM layout `ciphertext || IV || MAC`.
+///
+/// Unlike [`SealedBuffer::from_bytes`], parsing a view copies nothing: the mirror-in
+/// path reads encrypted tensors from PM into one arena and decrypts each straight out
+/// of it ([`SealedView::open_into`]) without cloning the blob first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealedView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> SealedView<'a> {
+    /// Interprets `bytes` as a sealed buffer without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::TruncatedSealedBuffer`] if the data cannot even hold the
+    /// 28-byte IV+MAC trailer.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, CryptoError> {
+        if bytes.len() < SEAL_OVERHEAD {
+            return Err(CryptoError::TruncatedSealedBuffer(bytes.len()));
+        }
+        Ok(SealedView { bytes })
+    }
+
+    /// The ciphertext portion.
+    pub fn ciphertext(&self) -> &'a [u8] {
+        &self.bytes[..self.plaintext_len()]
+    }
+
+    /// The 12-byte IV.
+    pub fn iv(&self) -> &'a [u8] {
+        &self.bytes[self.plaintext_len()..self.plaintext_len() + IV_LEN]
+    }
+
+    /// The 16-byte authentication tag.
+    pub fn tag(&self) -> &'a [u8] {
+        &self.bytes[self.plaintext_len() + IV_LEN..]
+    }
+
+    /// Length of the plaintext this view decrypts to.
+    pub fn plaintext_len(&self) -> usize {
+        self.bytes.len() - SEAL_OVERHEAD
+    }
+
+    /// Decrypts and authenticates into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::AuthenticationFailed`] if the data was tampered with or
+    /// the wrong key/AAD is supplied.
+    pub fn open_with_aad(&self, key: &Key, aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut out = vec![0u8; self.plaintext_len()];
+        self.open_into(&key.gcm(), aad, &mut out)?;
+        Ok(out)
+    }
+
+    /// Zero-copy decryption: verifies the tag and decrypts into `out` (which must be
+    /// exactly [`SealedView::plaintext_len`] bytes) without any heap allocation. On
+    /// authentication failure `out` is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BufferLengthMismatch`] for a wrongly sized buffer or
+    /// [`CryptoError::AuthenticationFailed`].
+    pub fn open_into(&self, gcm: &AesGcm, aad: &[u8], out: &mut [u8]) -> Result<(), CryptoError> {
+        self.open_into_with_threads(gcm, aad, out, 1)
+    }
+
+    /// [`SealedView::open_into`] with chunk-parallel CTR for large buffers; the
+    /// plaintext is bit-identical for every `threads` value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SealedView::open_into`].
+    pub fn open_into_with_threads(
+        &self,
+        gcm: &AesGcm,
+        aad: &[u8],
+        out: &mut [u8],
+        threads: usize,
+    ) -> Result<(), CryptoError> {
+        gcm.decrypt_into_with_threads(self.iv(), aad, self.ciphertext(), self.tag(), out, threads)
     }
 }
 
@@ -246,10 +416,8 @@ impl SealedBuffer {
         aad: &[u8],
         iv: &[u8; IV_LEN],
     ) -> Result<Self, CryptoError> {
-        let (ciphertext, tag) = key.gcm().encrypt(iv, aad, plaintext)?;
-        let mut bytes = ciphertext;
-        bytes.extend_from_slice(iv);
-        bytes.extend_from_slice(&tag);
+        let mut bytes = vec![0u8; sealed_len(plaintext.len())];
+        seal_into(&key.gcm(), plaintext, aad, iv, &mut bytes)?;
         Ok(SealedBuffer { bytes })
     }
 
@@ -282,11 +450,13 @@ impl SealedBuffer {
     ///
     /// Same as [`SealedBuffer::open`].
     pub fn open_with_aad(&self, key: &Key, aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        let ct_len = self.bytes.len() - SEAL_OVERHEAD;
-        let ciphertext = &self.bytes[..ct_len];
-        let iv = &self.bytes[ct_len..ct_len + IV_LEN];
-        let tag = &self.bytes[ct_len + IV_LEN..];
-        key.gcm().decrypt(iv, aad, ciphertext, tag)
+        self.as_view().open_with_aad(key, aad)
+    }
+
+    /// A borrowed [`SealedView`] over this buffer's bytes (never fails: the trailer
+    /// invariant is checked at construction).
+    pub fn as_view(&self) -> SealedView<'_> {
+        SealedView { bytes: &self.bytes }
     }
 
     /// The full on-PM byte representation (ciphertext + IV + MAC).
@@ -460,6 +630,60 @@ mod tests {
         // A different index gives a different IV, hence different bytes.
         let c = SealedBuffer::seal_with_aad_and_iv(&key, b"tensor", b"layer0", &seq.iv(1)).unwrap();
         assert_ne!(a.as_bytes(), c.as_bytes());
+    }
+
+    #[test]
+    fn seal_into_matches_sealed_buffer_bytes() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let key = Key::generate_128(&mut rng);
+        let seq = IvSequence::from_rng(&mut rng);
+        let plaintext = b"tensor bytes for the arena";
+        let boxed =
+            SealedBuffer::seal_with_aad_and_iv(&key, plaintext, b"aad", &seq.iv(0)).unwrap();
+        let gcm = key.gcm();
+        let mut arena = vec![0u8; sealed_len(plaintext.len())];
+        seal_into(&gcm, plaintext, b"aad", &seq.iv(0), &mut arena).unwrap();
+        assert_eq!(arena, boxed.as_bytes());
+        // Wrong-size output buffers are rejected.
+        let mut short = vec![0u8; sealed_len(plaintext.len()) - 1];
+        assert!(matches!(
+            seal_into(&gcm, plaintext, b"aad", &seq.iv(0), &mut short),
+            Err(CryptoError::BufferLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sealed_view_parses_and_opens_without_copying() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let key = Key::generate_128(&mut rng);
+        let sealed =
+            SealedBuffer::seal_with_aad(&key, b"mirrored weights", b"layer0", &mut rng).unwrap();
+        let raw = sealed.as_bytes();
+        let view = SealedView::parse(raw).unwrap();
+        assert_eq!(view.plaintext_len(), 16);
+        assert_eq!(view.ciphertext().len(), 16);
+        assert_eq!(view.iv().len(), IV_LEN);
+        assert_eq!(view.tag().len(), TAG_LEN);
+        assert_eq!(
+            view.open_with_aad(&key, b"layer0").unwrap(),
+            b"mirrored weights"
+        );
+        // Zero-copy open into a caller buffer.
+        let gcm = key.gcm();
+        let mut out = [0u8; 16];
+        view.open_into(&gcm, b"layer0", &mut out).unwrap();
+        assert_eq!(&out, b"mirrored weights");
+        // Wrong AAD is rejected before any plaintext is written.
+        let mut untouched = [0xEEu8; 16];
+        assert!(view.open_into(&gcm, b"layer1", &mut untouched).is_err());
+        assert_eq!(untouched, [0xEEu8; 16]);
+        // Truncated data cannot be parsed.
+        assert!(matches!(
+            SealedView::parse(&raw[..SEAL_OVERHEAD - 1]),
+            Err(CryptoError::TruncatedSealedBuffer(_))
+        ));
+        // The view borrowed from a SealedBuffer matches parsing its bytes.
+        assert_eq!(sealed.as_view(), view);
     }
 
     #[test]

@@ -16,10 +16,15 @@ const K: [u32; 64] = [
 ];
 
 /// Incremental SHA-256 hasher.
+///
+/// The hasher buffers at most one 64-byte block on the stack and performs **no heap
+/// allocation**, so it can run on the allocation-free sealing path (per-tensor IV
+/// derivation via [`crate::IvSequence`]).
 #[derive(Debug, Clone)]
 pub struct Sha256 {
     state: [u32; 8],
-    buffer: Vec<u8>,
+    buffer: [u8; 64],
+    buffered: usize,
     length_bits: u64,
 }
 
@@ -37,37 +42,54 @@ impl Sha256 {
                 0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
                 0x5be0cd19,
             ],
-            buffer: Vec::with_capacity(64),
+            buffer: [0u8; 64],
+            buffered: 0,
             length_bits: 0,
         }
     }
 
     /// Absorbs `data` into the hash state.
-    pub fn update(&mut self, data: &[u8]) {
+    pub fn update(&mut self, mut data: &[u8]) {
         self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
-        self.buffer.extend_from_slice(data);
-        while self.buffer.len() >= 64 {
-            let block: [u8; 64] = self.buffer[..64].try_into().expect("64-byte block");
+        // Top up a partially filled block first.
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            if self.buffered < 64 {
+                return; // input exhausted without completing the block
+            }
+            let block = self.buffer;
             self.compress(&block);
-            self.buffer.drain(..64);
+            self.buffered = 0;
+            data = &data[take..];
         }
+        // Full blocks straight from the input, no copy through the buffer.
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let block: [u8; 64] = chunk.try_into().expect("64-byte block");
+            self.compress(&block);
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
     }
 
     /// Finishes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
         let len_bits = self.length_bits;
-        self.buffer.push(0x80);
-        while self.buffer.len() % 64 != 56 {
-            self.buffer.push(0);
-        }
-        self.buffer.extend_from_slice(&len_bits.to_be_bytes());
-        let blocks: Vec<[u8; 64]> = self
-            .buffer
-            .chunks(64)
-            .map(|c| c.try_into().expect("padded to 64-byte blocks"))
-            .collect();
-        for block in blocks {
+        let mut block = [0u8; 64];
+        block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
+        block[self.buffered] = 0x80;
+        if self.buffered < 56 {
+            block[56..].copy_from_slice(&len_bits.to_be_bytes());
             self.compress(&block);
+        } else {
+            // The length does not fit after the 0x80 marker: one extra block.
+            self.compress(&block);
+            let mut last = [0u8; 64];
+            last[56..].copy_from_slice(&len_bits.to_be_bytes());
+            self.compress(&last);
         }
         let mut out = [0u8; DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
@@ -137,13 +159,17 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
     } else {
         key_block[..key.len()].copy_from_slice(key);
     }
+    let mut ipad = [0u8; BLOCK];
+    let mut opad = [0u8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
     let mut inner = Sha256::new();
-    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
     inner.update(&ipad);
     inner.update(message);
     let inner_digest = inner.finalize();
     let mut outer = Sha256::new();
-    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
     outer.update(&opad);
     outer.update(&inner_digest);
     outer.finalize()

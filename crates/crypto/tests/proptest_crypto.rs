@@ -1,10 +1,14 @@
 //! Property-based tests for the crypto substrate: AES-GCM round-trips, tamper
-//! detection, and hash/HMAC determinism over arbitrary inputs.
+//! detection, hash/HMAC determinism, and the byte-for-byte pin of the table-driven
+//! fast engine (T-table AES + Shoup GHASH) to the retained reference kernels.
 
-use plinius_crypto::{CryptoError, Key, SealedBuffer, Sha256, SEAL_OVERHEAD};
+use plinius_crypto::{
+    seal_into, seal_into_with_threads, sealed_len, AesGcm, CryptoError, Key, SealedBuffer,
+    SealedView, Sha256, SEAL_OVERHEAD,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -83,5 +87,71 @@ proptest! {
         let key = Key::generate_256(&mut rng);
         let sealed = SealedBuffer::seal(&key, &data, &mut rng).unwrap();
         prop_assert_eq!(sealed.open(&key).unwrap(), data);
+    }
+
+    /// The table-driven fast engine (T-table AES + Shoup GHASH + word-wise CTR) is
+    /// pinned byte-for-byte — ciphertext *and* tag — to the retained reference kernels
+    /// (byte-wise AES + bit-serial GHASH), for every key size, arbitrary AAD, and both
+    /// 96-bit and GHASH-derived IV shapes.
+    #[test]
+    fn fast_gcm_is_byte_identical_to_reference(
+        seed in any::<u64>(),
+        key_choice in 0u8..3,
+        iv_len in prop_oneof![Just(12usize), 1usize..64],
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut key = vec![0u8; [16, 24, 32][key_choice as usize]];
+        rng.fill_bytes(&mut key);
+        let mut iv = vec![0u8; iv_len];
+        rng.fill_bytes(&mut iv);
+        let gcm = AesGcm::from_key(&key);
+        let fast = gcm.encrypt(&iv, &aad, &data).unwrap();
+        let reference = gcm.encrypt_reference(&iv, &aad, &data).unwrap();
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Zero-copy sealing into an arena slice produces exactly the bytes of the
+    /// allocating API, for every thread count, and opens back through a borrowed view.
+    #[test]
+    fn seal_into_and_view_match_sealed_buffer(
+        seed in any::<u64>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        threads in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = Key::generate_128(&mut rng);
+        let mut iv = [0u8; 12];
+        rng.fill_bytes(&mut iv);
+        let boxed = SealedBuffer::seal_with_aad_and_iv(&key, &data, &aad, &iv).unwrap();
+        let gcm = key.gcm();
+        let mut arena = vec![0u8; sealed_len(data.len())];
+        seal_into_with_threads(&gcm, &data, &aad, &iv, &mut arena, threads).unwrap();
+        prop_assert_eq!(&arena, boxed.as_bytes());
+        let view = SealedView::parse(&arena).unwrap();
+        let mut opened = vec![0u8; view.plaintext_len()];
+        view.open_into(&gcm, &aad, &mut opened).unwrap();
+        prop_assert_eq!(opened, data);
+    }
+
+    /// `seal_into` (serial) and the threaded variant agree for chunk-crossing sizes.
+    #[test]
+    fn threaded_seal_is_thread_count_invariant(
+        size in prop_oneof![Just(0usize), 1usize..2048, (128usize * 1024)..(192 * 1024)],
+        threads in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(size as u64);
+        let key = Key::generate_128(&mut rng);
+        let gcm = key.gcm();
+        let mut data = vec![0u8; size];
+        rng.fill_bytes(&mut data);
+        let iv = [7u8; 12];
+        let mut serial = vec![0u8; sealed_len(size)];
+        seal_into(&gcm, &data, b"t", &iv, &mut serial).unwrap();
+        let mut parallel = vec![0u8; sealed_len(size)];
+        seal_into_with_threads(&gcm, &data, b"t", &iv, &mut parallel, threads).unwrap();
+        prop_assert_eq!(serial, parallel);
     }
 }

@@ -363,7 +363,13 @@ impl ConvLayer {
 
     /// The five named parameter tensors of this layer.
     pub fn params(&self) -> Vec<ParamView<'_>> {
-        vec![
+        self.param_views().to_vec()
+    }
+
+    /// The same five tensors as [`Self::params`] in a fixed array — no allocation,
+    /// for the mirror's allocation-free staging loop.
+    pub fn param_views(&self) -> [ParamView<'_>; crate::PARAM_TENSORS_PER_LAYER] {
+        [
             ParamView {
                 name: PARAM_TENSOR_NAMES[0],
                 data: &self.weights,

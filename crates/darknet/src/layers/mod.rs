@@ -205,6 +205,16 @@ impl Layer {
         }
     }
 
+    /// The parameter tensors as a fixed array, `None` for non-trainable layers — the
+    /// allocation-free sibling of [`Layer::params`] used by the mirror's staging loop.
+    pub fn param_views(&self) -> Option<[ParamView<'_>; PARAM_TENSORS_PER_LAYER]> {
+        match self {
+            Layer::Convolutional(l) => Some(l.param_views()),
+            Layer::Connected(l) => Some(l.param_views()),
+            Layer::MaxPool(_) | Layer::Softmax(_) => None,
+        }
+    }
+
     /// Overwrites the layer's parameter tensors with the provided values (used by the
     /// Plinius mirror-in path).
     ///

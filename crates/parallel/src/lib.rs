@@ -152,6 +152,26 @@ where
         .collect()
 }
 
+/// Runs `f(index, item)` for every item of `items` across up to `threads` scoped
+/// threads, mutating the items in place.
+///
+/// This is the in-place sibling of [`par_map`]: instead of collecting results it hands
+/// each worker exclusive `&mut` access to its items (distributed round-robin by item
+/// index, like every helper in this crate), so callers can pre-stage per-item output
+/// buffers and avoid any allocation in the dispatch path when `threads <= 1`.
+/// The set of `(index, &mut item)` invocations is independent of the thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_chunks_mut(items, 1, threads, |i, chunk| f(i, &mut chunk[0]));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +221,22 @@ mod tests {
             });
             assert_eq!(mapped, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_every_item_in_place() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut items: Vec<(usize, u64)> = (0..17).map(|i| (i, 0u64)).collect();
+            par_for_each_mut(&mut items, threads, |idx, item| {
+                assert_eq!(item.0, idx, "index must match item position");
+                item.1 = (idx as u64) * 3 + 1;
+            });
+            let expected: Vec<(usize, u64)> = (0..17).map(|i| (i, (i as u64) * 3 + 1)).collect();
+            assert_eq!(items, expected, "threads={threads}");
+        }
+        // Empty input is a no-op.
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_mut(&mut empty, 4, |_, _| panic!("no items expected"));
     }
 
     #[test]

@@ -321,11 +321,23 @@ impl PliniusContext {
 /// Converts an `f32` slice to its little-endian byte representation (the form in which
 /// parameters are encrypted and placed on PM).
 pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len() * 4);
-    for v in values {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
+    let mut out = vec![0u8; values.len() * 4];
+    f32s_to_bytes_into(values, &mut out);
     out
+}
+
+/// Writes the little-endian byte representation of `values` into `out` — the
+/// allocation-free sibling of [`f32s_to_bytes`] used by the mirror's reusable
+/// plaintext staging buffer.
+///
+/// # Panics
+///
+/// Panics unless `out.len() == values.len() * 4`.
+pub fn f32s_to_bytes_into(values: &[f32], out: &mut [u8]) {
+    assert_eq!(out.len(), values.len() * 4, "staging slice size mismatch");
+    for (v, chunk) in values.iter().zip(out.chunks_exact_mut(4)) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
 }
 
 /// Inverse of [`f32s_to_bytes`].

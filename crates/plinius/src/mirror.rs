@@ -13,8 +13,11 @@
 //! A *mirror-in* (model restore) reads the encrypted buffers from PM into the enclave and
 //! decrypts them into the enclave model.
 
-use crate::{bytes_to_f32s, f32s_to_bytes, PliniusContext, PliniusError};
-use plinius_crypto::{IvSequence, SealedBuffer, SEAL_OVERHEAD};
+use crate::{bytes_to_f32s, f32s_to_bytes_into, PliniusContext, PliniusError, MODEL_KEY_NAME};
+use parking_lot::Mutex;
+use plinius_crypto::{
+    seal_into_with_threads, AesGcm, CryptoError, IvSequence, SealedView, IV_LEN, SEAL_OVERHEAD,
+};
 use plinius_darknet::Network;
 use plinius_romulus::PmPtr;
 use sim_clock::SimSpan;
@@ -24,9 +27,6 @@ pub const ROOT_MODEL: usize = 0;
 
 /// Number of encrypted parameter buffers per mirrored layer.
 const TENSORS_PER_LAYER: usize = plinius_darknet::PARAM_TENSORS_PER_LAYER;
-
-/// The sealed model image: `[layer][tensor]` encrypted parameter blobs.
-type SealedModel = Vec<Vec<Vec<u8>>>;
 
 /// Byte size of the persistent model header: `[iteration][num_layers][first_layer_ptr]`.
 const HEADER_BYTES: usize = 24;
@@ -75,13 +75,140 @@ impl MirrorInReport {
     }
 }
 
-/// Handle to the persistent mirror of one enclave model.
+/// Position of one parameter tensor inside the mirror's reusable staging buffers, plus
+/// everything that is constant per tensor across iterations (the AAD in particular,
+/// which the seed code re-`format!`ted for every tensor of every iteration).
 #[derive(Debug, Clone)]
+struct TensorSlot {
+    /// Trainable-layer index this tensor belongs to.
+    layer: usize,
+    /// Byte offset of the plaintext in the staging buffer.
+    plain_off: usize,
+    /// Plaintext length in bytes.
+    plain_len: usize,
+    /// Byte offset of the sealed blob (ciphertext ‖ IV ‖ MAC) in the arena.
+    sealed_off: usize,
+    /// Sealed length in bytes (`plain_len + SEAL_OVERHEAD`).
+    sealed_len: usize,
+    /// Precomputed additional authenticated data (`layer{i}-tensor{j}`).
+    aad: Vec<u8>,
+}
+
+/// Reusable cryptographic scratch of one mirror: everything the steady-state
+/// mirror-out/mirror-in loop needs so that the encryption phase performs **no heap
+/// allocation after warm-up** (with serial sealing; thread fan-out adds only the
+/// O(#tensors) dispatch buffers).
+struct MirrorScratch {
+    /// Raw bytes of the key the cached GCM context was built for, to detect
+    /// re-provisioning.
+    key_bytes: Vec<u8>,
+    /// Cached AES key schedule + GHASH tables (expensive to rebuild per tensor).
+    gcm: AesGcm,
+    /// Plaintext staging buffer: all tensors contiguous in slot order.
+    plain: Vec<u8>,
+    /// Sealed-blob arena: all sealed tensors contiguous in slot order.
+    arena: Vec<u8>,
+    /// Per-tensor IVs of the current sealing batch.
+    ivs: Vec<[u8; IV_LEN]>,
+}
+
+/// Handle to the persistent mirror of one enclave model.
 pub struct MirrorModel {
     header: PmPtr,
     layer_nodes: Vec<PmPtr>,
     /// Sealed length of every tensor of every layer, in layer order.
     sealed_lens: Vec<Vec<usize>>,
+    /// Flat per-tensor layout (layer-major), fixed at allocate/open time.
+    slots: Vec<TensorSlot>,
+    /// Lazily built reusable scratch; `Mutex` keeps `mirror_out(&self)` callable from
+    /// the existing persistence backends while the buffers are reused in place.
+    scratch: Mutex<Option<MirrorScratch>>,
+}
+
+impl std::fmt::Debug for MirrorModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MirrorModel")
+            .field("header", &self.header)
+            .field("layers", &self.layer_nodes.len())
+            .field("tensors", &self.slots.len())
+            .finish()
+    }
+}
+
+impl Clone for MirrorModel {
+    fn clone(&self) -> Self {
+        // The scratch is per-handle working memory, not state: a clone starts cold.
+        MirrorModel {
+            header: self.header,
+            layer_nodes: self.layer_nodes.clone(),
+            sealed_lens: self.sealed_lens.clone(),
+            slots: self.slots.clone(),
+            scratch: Mutex::new(None),
+        }
+    }
+}
+
+/// Fans a fallible per-slot operation out across threads: `buf` is carved into one
+/// disjoint `&mut` slice per slot (sequential, sized by `len_of`) and `f(slot_index,
+/// slice)` runs on up to `threads` workers. The first error surfaces in slot order.
+/// Shared scaffolding of the seal (arena) and open (staging) phases.
+fn par_slot_slices(
+    slots: &[TensorSlot],
+    buf: &mut [u8],
+    len_of: impl Fn(&TensorSlot) -> usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [u8]) -> Result<(), CryptoError> + Sync,
+) -> Result<(), PliniusError> {
+    struct SlotTask<'a> {
+        idx: usize,
+        out: &'a mut [u8],
+        result: Result<(), CryptoError>,
+    }
+    let mut tasks: Vec<SlotTask<'_>> = Vec::with_capacity(slots.len());
+    let mut rest: &mut [u8] = buf;
+    for (idx, slot) in slots.iter().enumerate() {
+        let (head, tail) = rest.split_at_mut(len_of(slot));
+        tasks.push(SlotTask {
+            idx,
+            out: head,
+            result: Ok(()),
+        });
+        rest = tail;
+    }
+    plinius_parallel::par_for_each_mut(&mut tasks, threads, |_, task| {
+        task.result = f(task.idx, task.out);
+    });
+    for task in tasks {
+        task.result?;
+    }
+    Ok(())
+}
+
+/// Builds the flat tensor layout (and precomputes every AAD) from the per-layer sealed
+/// lengths.
+fn build_slots(sealed_lens: &[Vec<usize>]) -> Result<Vec<TensorSlot>, PliniusError> {
+    let mut slots = Vec::new();
+    let (mut plain_off, mut sealed_off) = (0usize, 0usize);
+    for (i, layer) in sealed_lens.iter().enumerate() {
+        for (j, &sealed_len) in layer.iter().enumerate() {
+            let plain_len = sealed_len.checked_sub(SEAL_OVERHEAD).ok_or_else(|| {
+                PliniusError::MirrorMismatch(format!(
+                    "sealed tensor length {sealed_len} is shorter than the {SEAL_OVERHEAD}-byte trailer"
+                ))
+            })?;
+            slots.push(TensorSlot {
+                layer: i,
+                plain_off,
+                plain_len,
+                sealed_off,
+                sealed_len,
+                aad: format!("layer{i}-tensor{j}").into_bytes(),
+            });
+            plain_off += plain_len;
+            sealed_off += sealed_len;
+        }
+    }
+    Ok(slots)
 }
 
 impl MirrorModel {
@@ -138,10 +265,13 @@ impl MirrorModel {
             layer_nodes = nodes;
             Ok(())
         })?;
+        let slots = build_slots(&layer_tensor_lens)?;
         Ok(MirrorModel {
             header,
             layer_nodes,
             sealed_lens: layer_tensor_lens,
+            slots,
+            scratch: Mutex::new(None),
         })
     }
 
@@ -176,11 +306,54 @@ impl MirrorModel {
                 layer_nodes.len()
             )));
         }
+        let slots = build_slots(&sealed_lens)?;
         Ok(MirrorModel {
             header,
             layer_nodes,
             sealed_lens,
+            slots,
+            scratch: Mutex::new(None),
         })
+    }
+
+    /// Returns the warm scratch, (re)building it if absent or if the enclave's model
+    /// key changed since the cached GCM context was derived. The key comparison
+    /// borrows the stored key ([`plinius_sgx::Enclave::with_key`]) so the steady-state
+    /// path clones nothing.
+    fn ensure_scratch<'a>(
+        &self,
+        ctx: &PliniusContext,
+        guard: &'a mut Option<MirrorScratch>,
+    ) -> Result<&'a mut MirrorScratch, PliniusError> {
+        let stale = match guard.as_ref() {
+            Some(s) => !ctx
+                .enclave()
+                .with_key(MODEL_KEY_NAME, |k| k.as_bytes() == s.key_bytes.as_slice())
+                .ok_or(PliniusError::KeyNotProvisioned)?,
+            None => true,
+        };
+        if stale {
+            let key = ctx.key()?;
+            match guard.as_mut() {
+                Some(s) => {
+                    s.gcm = key.gcm();
+                    s.key_bytes.clear();
+                    s.key_bytes.extend_from_slice(key.as_bytes());
+                }
+                None => {
+                    let plain_total = self.slots.iter().map(|s| s.plain_len).sum();
+                    let sealed_total = self.slots.iter().map(|s| s.sealed_len).sum();
+                    *guard = Some(MirrorScratch {
+                        key_bytes: key.as_bytes().to_vec(),
+                        gcm: key.gcm(),
+                        plain: vec![0u8; plain_total],
+                        arena: vec![0u8; sealed_total],
+                        ivs: vec![[0u8; IV_LEN]; self.slots.len()],
+                    });
+                }
+            }
+        }
+        Ok(guard.as_mut().expect("scratch built above"))
     }
 
     /// Number of mirrored (trainable) layers.
@@ -240,82 +413,48 @@ impl MirrorModel {
         network: &Network,
         threads: usize,
     ) -> Result<MirrorOutReport, PliniusError> {
-        let key = ctx.key()?;
         let clock = ctx.clock();
-        let trainable: Vec<_> = network
-            .layers()
-            .iter()
-            .filter(|l| l.is_trainable())
-            .collect();
-        if trainable.len() != self.layer_nodes.len() {
-            return Err(PliniusError::MirrorMismatch(format!(
-                "enclave model has {} trainable layers, mirror has {}",
-                trainable.len(),
-                self.layer_nodes.len()
-            )));
-        }
-        // Flatten the model into independent per-tensor seal tasks. The IV sequence is
-        // seeded from one `sgx_read_rand` draw (exactly as many as the serial path
-        // used) and hands every task its IV by *task index*, so the sealed bytes do not
-        // depend on the thread schedule.
-        let tasks: Vec<(usize, usize, Vec<u8>)> = trainable
-            .iter()
-            .enumerate()
-            .flat_map(|(i, layer)| {
-                layer
-                    .params()
-                    .iter()
-                    .enumerate()
-                    .map(|(j, param)| (i, j, f32s_to_bytes(param.data)))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        self.check_model_shape(network)?;
+        let mut guard = self.scratch.lock();
+        let scratch = self.ensure_scratch(ctx, &mut guard)?;
+        // The IV sequence is seeded from one `sgx_read_rand` draw (exactly as many as
+        // the serial path used) and hands every tensor its IV by *slot index*, so the
+        // sealed bytes do not depend on the thread schedule.
         let ivs = IvSequence::from_rng(&mut ctx.enclave_rng());
+        for (idx, iv) in scratch.ivs.iter_mut().enumerate() {
+            *iv = ivs.iv(idx as u64);
+        }
         let mut model_bytes = 0usize;
-        // Phase 1: in-enclave encryption of every parameter tensor.
-        let (sealed, encrypt) = SimSpan::record(&clock, || -> Result<SealedModel, PliniusError> {
+        // Phase 1: in-enclave encryption of every parameter tensor, staged through and
+        // sealed into the reusable scratch — no heap allocation in the steady state.
+        let (seal_result, encrypt) = SimSpan::record(&clock, || {
             // SimSpan accounting stays deterministic: each tensor's modeled crypto cost
-            // is charged serially in task order (same per-tensor charges, hence the
+            // is charged serially in slot order (same per-tensor charges, hence the
             // same simulated-time total as the serial path), then the real sealing work
             // fans out across threads.
-            for (_, _, plaintext) in &tasks {
-                model_bytes += plaintext.len();
-                ctx.enclave().charge_crypto(plaintext.len() as u64);
+            for slot in &self.slots {
+                model_bytes += slot.plain_len;
+                ctx.enclave().charge_crypto(slot.plain_len as u64);
             }
-            let blobs = plinius_parallel::par_map(&tasks, threads, |idx, (i, j, plaintext)| {
-                let aad = format!("layer{i}-tensor{j}");
-                SealedBuffer::seal_with_aad_and_iv(
-                    &key,
-                    plaintext,
-                    aad.as_bytes(),
-                    &ivs.iv(idx as u64),
-                )
-                .map(SealedBuffer::into_bytes)
-            });
-            let mut all: SealedModel = vec![Vec::with_capacity(TENSORS_PER_LAYER); trainable.len()];
-            for ((i, _, _), blob) in tasks.iter().zip(blobs) {
-                all[*i].push(blob?);
-            }
-            Ok(all)
+            Self::stage_and_seal(&self.slots, scratch, network, threads)
         });
-        let sealed = sealed?;
-        // Phase 2: durable write of the encrypted buffers + iteration counter to PM.
+        seal_result?;
+        // Phase 2: durable write of the encrypted buffers + iteration counter to PM,
+        // straight from the arena.
+        let arena = &scratch.arena;
+        let mut slots = self.slots.iter();
         let (write_result, write) = SimSpan::record(&clock, || {
             ctx.romulus().transaction(|tx| {
                 tx.write_u64(self.header, network.iteration())?;
-                for (node_idx, layer_blobs) in sealed.iter().enumerate() {
-                    let node = self.layer_nodes[node_idx];
-                    for (j, blob) in layer_blobs.iter().enumerate() {
-                        let expected = self.sealed_lens[node_idx][j];
-                        if blob.len() != expected {
-                            return Err(plinius_romulus::RomulusError::Corrupted(format!(
-                                "sealed tensor length {} does not match allocation {expected}",
-                                blob.len()
-                            )));
-                        }
+                for (node_idx, node) in self.layer_nodes.iter().enumerate() {
+                    for j in 0..self.sealed_lens[node_idx].len() {
+                        let slot = slots.next().expect("one slot per tensor");
                         let tensor_ptr =
                             PmPtr::from_offset(tx.read_u64(node.add(16 + (j as u64) * 16))?);
-                        tx.write_bytes(tensor_ptr, blob)?;
+                        tx.write_bytes(
+                            tensor_ptr,
+                            &arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+                        )?;
                     }
                 }
                 Ok(())
@@ -328,6 +467,119 @@ impl MirrorModel {
             model_bytes,
             metadata_bytes: self.metadata_bytes(),
         })
+    }
+
+    /// Verifies that `network`'s trainable layers and tensor sizes match this mirror's
+    /// fixed layout (the staging buffers are sized at allocate/open time).
+    fn check_model_shape(&self, network: &Network) -> Result<(), PliniusError> {
+        let mut trainable = 0usize;
+        let mut slot_iter = self.slots.iter();
+        for layer in network.layers().iter() {
+            let Some(views) = layer.param_views() else {
+                continue;
+            };
+            trainable += 1;
+            for view in views {
+                match slot_iter.next() {
+                    Some(slot) if slot.plain_len == view.data.len() * 4 => {}
+                    Some(slot) => {
+                        return Err(PliniusError::MirrorMismatch(format!(
+                            "layer {}: tensor of {} bytes does not fit mirror slot of {} bytes",
+                            slot.layer,
+                            view.data.len() * 4,
+                            slot.plain_len
+                        )))
+                    }
+                    None => {
+                        return Err(PliniusError::MirrorMismatch(format!(
+                            "enclave model has {trainable} or more trainable layers, mirror has {}",
+                            self.layer_nodes.len()
+                        )))
+                    }
+                }
+            }
+        }
+        if trainable != self.layer_nodes.len() {
+            return Err(PliniusError::MirrorMismatch(format!(
+                "enclave model has {trainable} trainable layers, mirror has {}",
+                self.layer_nodes.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Phase-1 worker: stages every tensor's plaintext into the scratch and seals it
+    /// into the arena.
+    ///
+    /// * `threads <= 1`: fully serial, zero heap allocations after warm-up.
+    /// * many tensors: fan out across tensors (each tensor sealed serially on one
+    ///   worker) — the layout mirrors the seed's per-tensor parallelism.
+    /// * few large tensors: seal serially in slot order but fan the CTR keystream of
+    ///   each tensor out across threads (chunked at counter boundaries).
+    ///
+    /// All three produce bit-identical sealed bytes: the ciphertext of a tensor is a
+    /// pure function of `(key, IV, AAD, plaintext)` regardless of chunking.
+    fn stage_and_seal(
+        slots: &[TensorSlot],
+        scratch: &mut MirrorScratch,
+        network: &Network,
+        threads: usize,
+    ) -> Result<(), PliniusError> {
+        let MirrorScratch {
+            gcm,
+            plain,
+            arena,
+            ivs,
+            ..
+        } = scratch;
+        let mut slot_iter = slots.iter();
+        for layer in network.layers().iter() {
+            let Some(views) = layer.param_views() else {
+                continue;
+            };
+            for view in views {
+                let slot = slot_iter.next().expect("shape checked");
+                f32s_to_bytes_into(
+                    view.data,
+                    &mut plain[slot.plain_off..slot.plain_off + slot.plain_len],
+                );
+            }
+        }
+        let threads = threads.max(1);
+        if threads > 1 && slots.len() >= 2 * threads {
+            // Many tensors: one worker per tensor, disjoint arena slices.
+            let plain = &*plain;
+            par_slot_slices(
+                slots,
+                arena,
+                |s| s.sealed_len,
+                threads,
+                |idx, out| {
+                    let slot = &slots[idx];
+                    seal_into_with_threads(
+                        gcm,
+                        &plain[slot.plain_off..slot.plain_off + slot.plain_len],
+                        &slot.aad,
+                        &ivs[idx],
+                        out,
+                        1,
+                    )
+                },
+            )?;
+        } else {
+            // Serial over tensors; intra-tensor CTR fan-out when threads are offered.
+            for (idx, slot) in slots.iter().enumerate() {
+                seal_into_with_threads(
+                    gcm,
+                    &plain[slot.plain_off..slot.plain_off + slot.plain_len],
+                    &slot.aad,
+                    &ivs[idx],
+                    &mut arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+                    threads,
+                )?;
+            }
+        }
+        Ok(())
     }
 
     /// Mirror-in (Algorithm 3, `mirror_in`): reads the encrypted mirror from PM into the
@@ -344,66 +596,60 @@ impl MirrorModel {
         ctx: &PliniusContext,
         network: &mut Network,
     ) -> Result<MirrorInReport, PliniusError> {
-        let key = ctx.key()?;
         let clock = ctx.clock();
         let rom = ctx.romulus();
-        // Phase 1: read encrypted buffers from PM into enclave memory.
-        let (read_out, read) =
-            SimSpan::record(&clock, || -> Result<(u64, SealedModel), PliniusError> {
-                let iteration = rom.read_u64(self.header)?;
-                let mut all = Vec::with_capacity(self.layer_nodes.len());
-                for (node_idx, node) in self.layer_nodes.iter().enumerate() {
-                    let mut layer_blobs = Vec::with_capacity(TENSORS_PER_LAYER);
-                    for (j, sealed_len) in self.sealed_lens[node_idx].iter().enumerate() {
-                        let ptr = PmPtr::from_offset(rom.read_u64(node.add(16 + (j as u64) * 16))?);
-                        layer_blobs.push(rom.read_bytes(ptr, *sealed_len)?);
-                    }
-                    all.push(layer_blobs);
+        let mut guard = self.scratch.lock();
+        let scratch = self.ensure_scratch(ctx, &mut guard)?;
+        // Phase 1: read encrypted buffers from PM straight into the reusable arena —
+        // no per-tensor vectors, no blob clones.
+        let (read_out, read) = SimSpan::record(&clock, || -> Result<u64, PliniusError> {
+            let iteration = rom.read_u64(self.header)?;
+            let mut slot_iter = self.slots.iter();
+            for (node_idx, node) in self.layer_nodes.iter().enumerate() {
+                for j in 0..self.sealed_lens[node_idx].len() {
+                    let slot = slot_iter.next().expect("one slot per tensor");
+                    let ptr = PmPtr::from_offset(rom.read_u64(node.add(16 + (j as u64) * 16))?);
+                    rom.read_bytes_into(
+                        ptr,
+                        &mut scratch.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+                    )?;
                 }
-                Ok((iteration, all))
-            });
-        let (iteration, blobs) = read_out?;
+            }
+            Ok(iteration)
+        });
+        let iteration = read_out?;
         // Phase 2: in-enclave decryption (across threads — each tensor is an
-        // independent AES-GCM open) and serial installation into the enclave model.
+        // independent AES-GCM open on a borrowed [`SealedView`]) and serial
+        // installation into the enclave model.
         let (decrypt_result, decrypt) =
             SimSpan::record(&clock, || -> Result<usize, PliniusError> {
-                // Flatten to per-tensor decrypt tasks; charge the modeled crypto cost
-                // serially in task order so the simulated-time total matches the serial
-                // path for every thread count.
-                let tasks: Vec<(usize, usize, &Vec<u8>)> = blobs
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(i, layer_blobs)| {
-                        layer_blobs.iter().enumerate().map(move |(j, b)| (i, j, b))
-                    })
-                    .collect();
-                for (_, _, blob) in &tasks {
-                    ctx.enclave().charge_crypto(blob.len() as u64);
+                // Charge the modeled crypto cost serially in slot order so the
+                // simulated-time total matches the serial path for every thread count.
+                for slot in &self.slots {
+                    ctx.enclave().charge_crypto(slot.sealed_len as u64);
                 }
                 let threads = plinius_parallel::max_threads();
-                let opened = plinius_parallel::par_map(&tasks, threads, |_, (i, j, blob)| {
-                    let aad = format!("layer{i}-tensor{j}");
-                    let sealed = SealedBuffer::from_bytes((*blob).clone())?;
-                    let plaintext = sealed.open_with_aad(&key, aad.as_bytes())?;
-                    bytes_to_f32s(&plaintext)
-                });
+                Self::open_arena(&self.slots, scratch, threads)?;
                 // Install layer by layer in mirror order, surfacing errors exactly as
                 // the serial loop would (layer 0's failures before layer 1's).
-                let mut opened = opened.into_iter();
+                let mut slot_iter = self.slots.iter();
                 let mut model_bytes = 0usize;
                 let mut node_idx = 0usize;
                 for layer in network.layers_mut().iter_mut() {
                     if !layer.is_trainable() {
                         continue;
                     }
-                    if node_idx >= blobs.len() {
+                    if node_idx >= self.layer_nodes.len() {
                         return Err(PliniusError::MirrorMismatch(
                             "enclave model has more trainable layers than the mirror".into(),
                         ));
                     }
                     let mut tensors = Vec::with_capacity(TENSORS_PER_LAYER);
-                    for _ in 0..blobs[node_idx].len() {
-                        let tensor = opened.next().expect("one result per task")?;
+                    for _ in 0..self.sealed_lens[node_idx].len() {
+                        let slot = slot_iter.next().expect("one slot per tensor");
+                        let tensor = bytes_to_f32s(
+                            &scratch.plain[slot.plain_off..slot.plain_off + slot.plain_len],
+                        )?;
                         model_bytes += tensor.len() * 4;
                         tensors.push(tensor);
                     }
@@ -418,7 +664,7 @@ impl MirrorModel {
                     layer.set_params(&tensors);
                     node_idx += 1;
                 }
-                if node_idx != blobs.len() {
+                if node_idx != self.layer_nodes.len() {
                     return Err(PliniusError::MirrorMismatch(
                         "mirror holds more layers than the enclave model".into(),
                     ));
@@ -434,12 +680,54 @@ impl MirrorModel {
             model_bytes,
         })
     }
+
+    /// Phase-2 worker of mirror-in: authenticates and decrypts every sealed tensor of
+    /// the arena into the plaintext staging buffer, via borrowed [`SealedView`]s (no
+    /// blob copies). Errors surface in slot order. Mirrors the thread strategy of
+    /// [`MirrorModel::stage_and_seal`]; the plaintext is bit-identical for every
+    /// thread count.
+    fn open_arena(
+        slots: &[TensorSlot],
+        scratch: &mut MirrorScratch,
+        threads: usize,
+    ) -> Result<(), PliniusError> {
+        let MirrorScratch {
+            gcm, plain, arena, ..
+        } = scratch;
+        let threads = threads.max(1);
+        if threads > 1 && slots.len() >= 2 * threads {
+            let arena = &*arena;
+            par_slot_slices(
+                slots,
+                plain,
+                |s| s.plain_len,
+                threads,
+                |idx, out| {
+                    let slot = &slots[idx];
+                    SealedView::parse(&arena[slot.sealed_off..slot.sealed_off + slot.sealed_len])
+                        .and_then(|view| view.open_into(gcm, &slot.aad, out))
+                },
+            )?;
+        } else {
+            for slot in slots.iter() {
+                SealedView::parse(&arena[slot.sealed_off..slot.sealed_off + slot.sealed_len])?
+                    .open_into_with_threads(
+                        gcm,
+                        &slot.aad,
+                        &mut plain[slot.plain_off..slot.plain_off + slot.plain_len],
+                        threads,
+                    )?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plinius_crypto::Key;
+    use crate::f32s_to_bytes;
+    use plinius_crypto::{Key, SealedBuffer};
     use plinius_darknet::config::{build_network, mnist_cnn_config};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -545,6 +833,51 @@ mod tests {
         let report = mirror.mirror_in(&ctx, &mut restored).unwrap();
         assert_eq!(report.iteration, 5);
         assert_eq!(snapshot(&restored), snapshot(&net));
+    }
+
+    /// Pins the on-PM bytes to the seed's per-tensor formula: every sealed tensor must
+    /// equal `SealedBuffer::seal_with_aad_and_iv(key, le_bytes(tensor),
+    /// "layer{i}-tensor{j}", IvSequence(batch_seed).iv(flat_index))` — i.e. the
+    /// scratch/arena rewrite changed no ciphertext, IV or MAC byte.
+    #[test]
+    fn mirror_out_bytes_match_the_per_tensor_seal_formula() {
+        let (ctx, mut net) = (context_with_key(8 * 1024 * 1024), small_network(21));
+        net.set_iteration(3);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        mirror.mirror_out(&ctx, &net).unwrap();
+        let got = sealed_tensor_bytes(&ctx, &mirror);
+        // Twin deployment: identical pool size, enclave RNG stream and key, so the IV
+        // batch seed drawn below is the one the mirror-out above used.
+        let (ctx2, net2) = (context_with_key(8 * 1024 * 1024), small_network(21));
+        let _twin = MirrorModel::allocate(&ctx2, &net2).unwrap();
+        let key = ctx2.key().unwrap();
+        let ivs = IvSequence::from_rng(&mut ctx2.enclave_rng());
+        let mut flat = 0u64;
+        let mut expected: Vec<Vec<Vec<u8>>> = Vec::new();
+        for (i, layer) in net2
+            .layers()
+            .iter()
+            .filter(|l| l.is_trainable())
+            .enumerate()
+        {
+            let mut blobs = Vec::new();
+            for (j, param) in layer.params().iter().enumerate() {
+                let aad = format!("layer{i}-tensor{j}");
+                blobs.push(
+                    SealedBuffer::seal_with_aad_and_iv(
+                        &key,
+                        &f32s_to_bytes(param.data),
+                        aad.as_bytes(),
+                        &ivs.iv(flat),
+                    )
+                    .unwrap()
+                    .into_bytes(),
+                );
+                flat += 1;
+            }
+            expected.push(blobs);
+        }
+        assert_eq!(got, expected);
     }
 
     #[test]

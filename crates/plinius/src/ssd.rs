@@ -3,9 +3,10 @@
 //! read back with `fread` ocalls — "the state-of-the-art method for fault tolerance".
 
 use crate::{bytes_to_f32s, f32s_to_bytes, PliniusContext, PliniusError};
-use plinius_crypto::SealedBuffer;
+use plinius_crypto::SealedView;
 use plinius_darknet::Network;
 use plinius_storage::{CheckpointBlob, CheckpointCodec, SimFileSystem};
+use rand::RngCore;
 use sim_clock::SimSpan;
 
 /// Report of one SSD checkpoint save (encrypt + write-to-SSD).
@@ -92,6 +93,9 @@ impl SsdCheckpointer {
         network: &Network,
     ) -> Result<SsdSaveReport, PliniusError> {
         let key = ctx.key()?;
+        // Build the GCM context (key schedule + GHASH tables) once for the whole
+        // checkpoint instead of once per tensor.
+        let gcm = key.gcm();
         let clock = ctx.clock();
         let mut rng = ctx.enclave_rng();
         let mut model_bytes = 0usize;
@@ -111,15 +115,19 @@ impl SsdCheckpointer {
                         model_bytes += plaintext.len();
                         ctx.enclave().charge_crypto(plaintext.len() as u64);
                         let aad = format!("layer{i}-tensor{j}");
-                        tensors.push(
-                            SealedBuffer::seal_with_aad(
-                                &key,
-                                &plaintext,
-                                aad.as_bytes(),
-                                &mut rng,
-                            )?
-                            .into_bytes(),
-                        );
+                        // Fresh random IV per tensor, drawn exactly as
+                        // `SealedBuffer::seal_with_aad` would.
+                        let mut iv = [0u8; plinius_crypto::IV_LEN];
+                        rng.fill_bytes(&mut iv);
+                        let mut sealed = vec![0u8; plinius_crypto::sealed_len(plaintext.len())];
+                        plinius_crypto::seal_into(
+                            &gcm,
+                            &plaintext,
+                            aad.as_bytes(),
+                            &iv,
+                            &mut sealed,
+                        )?;
+                        tensors.push(sealed);
                     }
                     layers.push(tensors);
                 }
@@ -167,6 +175,8 @@ impl SsdCheckpointer {
             return Err(PliniusError::NoMirrorModel);
         }
         let key = ctx.key()?;
+        // One GCM context (key schedule + GHASH tables) for the whole restore.
+        let gcm = key.gcm();
         let clock = ctx.clock();
         // Phase 1: read the whole checkpoint from the SSD into enclave memory.
         let (encoded, read) = SimSpan::record(&clock, || -> Result<Vec<u8>, PliniusError> {
@@ -200,8 +210,12 @@ impl SsdCheckpointer {
                 for (j, enc) in tensors_enc.iter().enumerate() {
                     ctx.enclave().charge_crypto(enc.len() as u64);
                     let aad = format!("layer{node_idx}-tensor{j}");
-                    let plaintext = SealedBuffer::from_bytes(enc.clone())?
-                        .open_with_aad(&key, aad.as_bytes())?;
+                    // Borrowed view: decrypt straight out of the checkpoint blob
+                    // without cloning the sealed bytes, into a buffer of exactly the
+                    // plaintext size.
+                    let view = SealedView::parse(enc)?;
+                    let mut plaintext = vec![0u8; view.plaintext_len()];
+                    view.open_into(&gcm, aad.as_bytes(), &mut plaintext)?;
                     model_bytes += plaintext.len();
                     tensors.push(bytes_to_f32s(&plaintext)?);
                 }

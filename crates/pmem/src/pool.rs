@@ -17,7 +17,7 @@ use crate::{PmemError, PwbKind};
 use parking_lot::Mutex;
 use rand::Rng;
 use sim_clock::{ClockHandle, CostModel, StatsHandle};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -52,8 +52,12 @@ pub struct PoolStats {
 
 struct Inner {
     media: Vec<u8>,
-    /// Dirty cache lines: line index -> pending contents.
-    cache: BTreeMap<usize, [u8; CACHE_LINE]>,
+    /// Dirty cache lines: line index -> pending contents. A `HashMap` rather than an
+    /// ordered map: `remove` keeps the allocated capacity, so the steady-state
+    /// write→flush cycle of the mirror path performs no heap allocation once the map
+    /// has grown to the largest transaction's working set. Everything that iterates
+    /// the map sorts the keys first, so behaviour stays deterministic.
+    cache: HashMap<usize, [u8; CACHE_LINE]>,
     stats: PoolStats,
     backing: Option<PathBuf>,
 }
@@ -159,7 +163,7 @@ impl PmemPoolBuilder {
         Ok(PmemPool {
             inner: Arc::new(Mutex::new(Inner {
                 media,
-                cache: BTreeMap::new(),
+                cache: HashMap::new(),
                 stats: PoolStats::default(),
                 backing: self.backing,
             })),
@@ -226,19 +230,27 @@ impl PmemPool {
         let mut inner = self.inner.lock();
         check_range(inner.media.len(), offset, data.len())?;
         inner.stats.bytes_written += data.len() as u64;
-        let media_len = inner.media.len();
-        for (i, byte) in data.iter().enumerate() {
-            let addr = offset + i;
+        // One cache lookup and one bulk copy per overlapped line (the mirror path
+        // pushes megabytes through here every iteration; a per-byte map lookup would
+        // dominate the simulated write).
+        let inner = &mut *inner;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = offset + pos;
             let line = addr / CACHE_LINE;
             let line_start = line * CACHE_LINE;
+            let in_line = addr - line_start;
+            let take = (CACHE_LINE - in_line).min(data.len() - pos);
             // Load the line from media on first touch so untouched bytes stay intact.
-            if !inner.cache.contains_key(&line) {
+            let media = &inner.media;
+            let entry = inner.cache.entry(line).or_insert_with(|| {
                 let mut buf = [0u8; CACHE_LINE];
-                let end = (line_start + CACHE_LINE).min(media_len);
-                buf[..end - line_start].copy_from_slice(&inner.media[line_start..end]);
-                inner.cache.insert(line, buf);
-            }
-            inner.cache.get_mut(&line).expect("line inserted above")[addr - line_start] = *byte;
+                let end = (line_start + CACHE_LINE).min(media.len());
+                buf[..end - line_start].copy_from_slice(&media[line_start..end]);
+                buf
+            });
+            entry[in_line..in_line + take].copy_from_slice(&data[pos..pos + take]);
+            pos += take;
         }
         self.clock
             .advance_ns(self.cost.pm_write_ns(data.len() as u64));
@@ -257,13 +269,20 @@ impl PmemPool {
     pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<(), PmemError> {
         let mut inner = self.inner.lock();
         check_range(inner.media.len(), offset, buf.len())?;
-        for (i, out) in buf.iter_mut().enumerate() {
-            let addr = offset + i;
+        // Line-granular: one cache lookup and one bulk copy per overlapped line.
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = offset + pos;
             let line = addr / CACHE_LINE;
-            *out = match inner.cache.get(&line) {
-                Some(cached) => cached[addr % CACHE_LINE],
-                None => inner.media[addr],
-            };
+            let in_line = addr % CACHE_LINE;
+            let take = (CACHE_LINE - in_line).min(buf.len() - pos);
+            match inner.cache.get(&line) {
+                Some(cached) => {
+                    buf[pos..pos + take].copy_from_slice(&cached[in_line..in_line + take])
+                }
+                None => buf[pos..pos + take].copy_from_slice(&inner.media[addr..addr + take]),
+            }
+            pos += take;
         }
         inner.stats.bytes_read += buf.len() as u64;
         self.stats.counter("pm.bytes_read").add(buf.len() as u64);
@@ -333,7 +352,11 @@ impl PmemPool {
     /// Flushes every dirty line in the pool and fences — used on clean shutdown.
     pub fn flush_all(&self) {
         let mut inner = self.inner.lock();
-        let lines: Vec<usize> = inner.cache.keys().copied().collect();
+        // Sorted like every other cache iteration: the lines are disjoint so order is
+        // currently unobservable, but keeping the documented determinism invariant
+        // protects anyone adding per-line effects later.
+        let mut lines: Vec<usize> = inner.cache.keys().copied().collect();
+        lines.sort_unstable();
         let media_len = inner.media.len();
         for line in lines {
             if let Some(contents) = inner.cache.remove(&line) {
@@ -352,7 +375,10 @@ impl PmemPool {
     /// afterwards, so the next reads observe exactly what survived on the media.
     pub fn crash<R: Rng>(&self, rng: &mut R, mode: CrashMode) {
         let mut inner = self.inner.lock();
-        let lines: Vec<usize> = inner.cache.keys().copied().collect();
+        // Sorted so that the per-line eviction coin flips consume the RNG in a
+        // deterministic order regardless of the hash map's internal layout.
+        let mut lines: Vec<usize> = inner.cache.keys().copied().collect();
+        lines.sort_unstable();
         let media_len = inner.media.len();
         for line in lines {
             let persist_anyway = match mode {

@@ -157,6 +157,10 @@ pub struct Romulus {
     layout: Arc<Layout>,
     log: Arc<Mutex<RedoLog>>,
     failpoint: Arc<Mutex<Option<FailPoint>>>,
+    /// Reusable staging buffer for main→back / back→main range copies, so the commit
+    /// path stops allocating a fresh vector per logged range (it grows to the largest
+    /// range ever copied and stays there).
+    copy_scratch: Arc<Mutex<Vec<u8>>>,
 }
 
 impl std::fmt::Debug for Romulus {
@@ -210,6 +214,7 @@ impl Romulus {
             layout,
             log: Arc::new(Mutex::new(RedoLog::default())),
             failpoint: Arc::new(Mutex::new(None)),
+            copy_scratch: Arc::new(Mutex::new(Vec::new())),
         };
         // The volatile log lives in enclave memory for the SGX/SCONE flavours.
         engine.flavor.register_log_memory();
@@ -370,18 +375,21 @@ impl Romulus {
         if failpoint == Some(FailPoint::AfterCopyingState) {
             return Err(RomulusError::InjectedCrash);
         }
-        // Copy only the logged ranges into back.
-        let entries: Vec<LogEntry> = self.log.lock().entries.clone();
+        // Copy only the logged ranges into back. The log is iterated under its lock
+        // (the copies touch only the pool, never the log) so the commit path does not
+        // clone the entry list.
         let crash_after_copies = match failpoint {
             Some(FailPoint::AfterBackCopies(n)) => Some(n),
             _ => None,
         };
-        for (i, entry) in entries.iter().enumerate() {
+        let log = self.log.lock();
+        for (i, entry) in log.entries.iter().enumerate() {
             if crash_after_copies == Some(i) {
                 return Err(RomulusError::InjectedCrash);
             }
             self.copy_main_to_back(entry.offset, entry.len as usize)?;
         }
+        drop(log);
         // Fence #4: back is consistent; return to IDLE.
         self.pool.fence();
         self.flavor.charge_fence();
@@ -399,11 +407,24 @@ impl Romulus {
     ///
     /// Returns [`RomulusError::OutOfRegion`] if the range leaves the region.
     pub fn read_bytes(&self, ptr: PmPtr, len: usize) -> Result<Vec<u8>, RomulusError> {
-        self.check_range(ptr.offset(), len as u64)?;
-        self.flavor.charge_pm_read(len as u64);
-        Ok(self
-            .pool
-            .read_vec(self.layout.main_start + ptr.offset() as usize, len)?)
+        let mut buf = vec![0u8; len];
+        self.read_bytes_into(ptr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads `buf.len()` bytes at `ptr` from the consistent main region into a
+    /// caller-provided buffer — the allocation-free sibling of [`Romulus::read_bytes`]
+    /// used by the mirror-in arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RomulusError::OutOfRegion`] if the range leaves the region.
+    pub fn read_bytes_into(&self, ptr: PmPtr, buf: &mut [u8]) -> Result<(), RomulusError> {
+        self.check_range(ptr.offset(), buf.len() as u64)?;
+        self.flavor.charge_pm_read(buf.len() as u64);
+        self.pool
+            .read(self.layout.main_start + ptr.offset() as usize, buf)?;
+        Ok(())
     }
 
     /// Reads a `u64` stored at `ptr`.
@@ -412,8 +433,9 @@ impl Romulus {
     ///
     /// Returns [`RomulusError::OutOfRegion`] if the read leaves the region.
     pub fn read_u64(&self, ptr: PmPtr) -> Result<u64, RomulusError> {
-        let bytes = self.read_bytes(ptr, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let mut bytes = [0u8; 8];
+        self.read_bytes_into(ptr, &mut bytes)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads the persistent object root at `index`.
@@ -447,8 +469,9 @@ impl Romulus {
     }
 
     fn read_header_u64(&self, offset: usize) -> Result<u64, RomulusError> {
-        let bytes = self.pool.read_vec(offset, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let mut bytes = [0u8; 8];
+        self.pool.read(offset, &mut bytes)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn write_header_u64(&self, offset: usize, value: u64) -> Result<(), RomulusError> {
@@ -457,10 +480,10 @@ impl Romulus {
     }
 
     fn read_main_u64(&self, offset: u64) -> Result<u64, RomulusError> {
-        let bytes = self
-            .pool
-            .read_vec(self.layout.main_start + offset as usize, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let mut bytes = [0u8; 8];
+        self.pool
+            .read(self.layout.main_start + offset as usize, &mut bytes)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Writes to main with an interposed persistent write-back, without logging
@@ -474,11 +497,16 @@ impl Romulus {
     }
 
     fn copy_main_to_back(&self, offset: u64, len: usize) -> Result<(), RomulusError> {
-        let data = self
-            .pool
-            .read_vec(self.layout.main_start + offset as usize, len)?;
+        let mut scratch = self.copy_scratch.lock();
+        if scratch.len() < len {
+            scratch.resize(len, 0);
+        }
+        self.pool.read(
+            self.layout.main_start + offset as usize,
+            &mut scratch[..len],
+        )?;
         self.pool
-            .persist(self.layout.back_start + offset as usize, &data)?;
+            .persist(self.layout.back_start + offset as usize, &scratch[..len])?;
         Ok(())
     }
 
@@ -595,8 +623,7 @@ impl<'a> Tx<'a> {
     ///
     /// Same as [`Tx::read_bytes`].
     pub fn read_u64(&self, ptr: PmPtr) -> Result<u64, RomulusError> {
-        let bytes = self.read_bytes(ptr, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        self.engine.read_u64(ptr)
     }
 
     /// Publishes `ptr` as persistent object root `index`.
@@ -671,6 +698,29 @@ mod tests {
             .unwrap();
         assert_eq!(rom.root(0).unwrap(), ptr);
         assert_eq!(rom.read_bytes(ptr, 17).unwrap(), b"persisted payload");
+    }
+
+    #[test]
+    fn read_bytes_into_matches_read_bytes() {
+        let rom = engine(16 * 1024);
+        let ptr = rom
+            .transaction(|tx| {
+                let p = tx.alloc(64)?;
+                tx.write_bytes(p, b"zero-copy mirror-in payload")?;
+                Ok(p)
+            })
+            .unwrap();
+        let vec_read = rom.read_bytes(ptr, 27).unwrap();
+        let mut buf = [0u8; 27];
+        rom.read_bytes_into(ptr, &mut buf).unwrap();
+        assert_eq!(vec_read, buf);
+        assert_eq!(&buf, b"zero-copy mirror-in payload");
+        // Out-of-region reads are rejected the same way.
+        let mut big = vec![0u8; 32 * 1024];
+        assert!(matches!(
+            rom.read_bytes_into(ptr, &mut big).unwrap_err(),
+            RomulusError::OutOfRegion { .. }
+        ));
     }
 
     #[test]
