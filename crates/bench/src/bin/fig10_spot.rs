@@ -2,8 +2,8 @@
 //! (loss curve + instance state curve), with and without crash resilience.
 
 use plinius::{
-    spot_crash_schedule, train_with_crash_schedule, PersistenceBackend, TrainerConfig,
-    TrainingSetup,
+    spot_crash_schedule, train_with_crash_schedule, PersistenceBackend, PipelineMode,
+    TrainerConfig, TrainingSetup,
 };
 use plinius_bench::{cli, RunMode};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
@@ -51,6 +51,7 @@ fn main() {
             mirror_frequency: 1,
             encrypted_data: true,
             seed: 4,
+            pipeline: PipelineMode::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 6,

@@ -2,8 +2,8 @@
 //! model size, for both server profiles (sgx-emlPM and emlSGX-PM).
 
 use plinius_bench::{
-    aead_sweep, cli, mirroring_sweep, print_aead_sweep, RunMode, AEAD_SIZES, AEAD_SIZES_SMOKE,
-    FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
+    aead_sweep, cli, mirroring_sweep, pipeline_point, print_aead_sweep, print_pipeline_point,
+    RunMode, AEAD_SIZES, AEAD_SIZES_SMOKE, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
 };
 use sim_clock::CostModel;
 
@@ -18,6 +18,7 @@ fn main() {
         RunMode::Full => &AEAD_SIZES,
         _ => &AEAD_SIZES_SMOKE,
     };
+    let (pipeline_iters, pipeline_batch) = plinius_bench::pipeline_scale(mode);
     for cost in CostModel::both_servers() {
         println!("\nFigure 7 — {} (latencies in ms, simulated)", cost.profile);
         println!(
@@ -40,6 +41,12 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("sweep failed: {e}"),
+        }
+        // The pipeline companion: what the overlapped persistence engine buys on the
+        // same profile (simulated per-iteration overhead + wall-clock run time).
+        match pipeline_point(&cost, pipeline_iters, pipeline_batch) {
+            Ok(p) => print_pipeline_point(&cost.profile.to_string(), &p),
+            Err(e) => eprintln!("pipeline sweep failed: {e}"),
         }
     }
     // The figure's latencies above are simulated (cost-model driven); this appendix

@@ -3,8 +3,8 @@
 //! the PM encryption-metadata accounting of §VI (140 B per layer).
 
 use plinius_bench::{
-    aead_sweep, cli, mirroring_sweep, print_aead_sweep, table1, RunMode, AEAD_SIZES,
-    AEAD_SIZES_SMOKE, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
+    aead_sweep, cli, mirroring_sweep, pipeline_point, print_aead_sweep, table1, RunMode,
+    AEAD_SIZES, AEAD_SIZES_SMOKE, FIG7_SIZES_MB, FIG7_SIZES_QUICK_MB, FIG7_SIZES_SMOKE_MB,
 };
 use sim_clock::CostModel;
 
@@ -62,6 +62,23 @@ fn main() {
                 );
             }
             Err(e) => eprintln!("sweep failed: {e}"),
+        }
+        // (c) What the overlapped persistence engine buys on this profile: the save
+        // breakdown above is the Sync cost; pipelined, only the non-hidden share
+        // stays on the training critical path.
+        let (iters, batch) = plinius_bench::pipeline_scale(mode);
+        match pipeline_point(&cost, iters, batch) {
+            Ok(p) => {
+                println!("  (c) Pipelined mirroring ({iters} iters, batch {batch})");
+                println!(
+                    "      Overhead/iter: sync {:.3} ms, overlapped {:.3} ms ({:.2}x), compute {:.3} ms",
+                    p.sync_overhead_ms,
+                    p.overlapped_overhead_ms,
+                    p.overhead_ratio(),
+                    p.base_ms_per_iter
+                );
+            }
+            Err(e) => eprintln!("pipeline sweep failed: {e}"),
         }
     }
     println!("\nPM encryption metadata: 28 B per parameter buffer (12 B IV + 16 B MAC), 5 buffers per layer = 140 B per layer.");

@@ -1,9 +1,11 @@
 //! Shared command-line handling for the figure-reproduction binaries.
 //!
 //! Every `src/bin/*` binary accepts the same three scale flags (`--smoke`, `--quick`,
-//! `--full`) plus optional positional inputs (e.g. a spot-price CSV for `fig10_spot`).
-//! Unknown flags are an error: a typo like `--smokee` aborts the run instead of being
-//! silently ignored and launching a paper-scale sweep.
+//! `--full`), a worker-thread override (`--threads N`, the CLI face of the
+//! `PLINIUS_THREADS` environment variable) plus optional positional inputs (e.g. a
+//! spot-price CSV for `fig10_spot`). Unknown flags and malformed values are an error:
+//! a typo like `--smokee` aborts the run instead of being silently ignored and
+//! launching a paper-scale sweep.
 
 use std::fmt;
 
@@ -37,6 +39,9 @@ impl fmt::Display for RunMode {
 pub struct BenchArgs {
     /// The selected run scale.
     pub mode: RunMode,
+    /// Worker-thread override from `--threads N` (applied to the parallel kernels
+    /// via the `PLINIUS_THREADS` mechanism), if given.
+    pub threads: Option<usize>,
     /// Positional (non-flag) arguments, in order.
     pub inputs: Vec<String>,
 }
@@ -48,6 +53,15 @@ pub enum CliError {
     UnknownFlag(String),
     /// A positional argument given to a binary that does not take any.
     UnexpectedArgument(String),
+    /// A flag that requires a value was given none (e.g. a bare `--threads`).
+    MissingValue(String),
+    /// A flag value that does not parse (e.g. `--threads zero` or `--threads 0`).
+    InvalidValue {
+        /// The flag the value belongs to.
+        flag: String,
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -55,6 +69,13 @@ impl fmt::Display for CliError {
         match self {
             CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
             CliError::UnexpectedArgument(arg) => write!(f, "unexpected argument `{arg}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` requires a value"),
+            CliError::InvalidValue { flag, value } => {
+                write!(
+                    f,
+                    "invalid value `{value}` for `{flag}` (expected a positive integer)"
+                )
+            }
         }
     }
 }
@@ -66,39 +87,61 @@ impl std::error::Error for CliError {}
 fn usage(accepts_inputs: bool) -> String {
     let files = if accepts_inputs { " [FILE]" } else { "" };
     format!(
-        "usage: <binary> [--smoke | --quick | --full]{files}\n\
+        "usage: <binary> [--smoke | --quick | --full] [--threads N]{files}\n\
         \n\
-        --smoke   tiny bitrot-guard configuration (used by the smoke tests)\n\
-        --quick   reduced sweep for interactive runs\n\
-        --full    paper-scale run\n\
+        --smoke      tiny bitrot-guard configuration (used by the smoke tests)\n\
+        --quick      reduced sweep for interactive runs\n\
+        --full       paper-scale run\n\
+        --threads N  worker-thread count for the parallel kernels (N >= 1; the\n\
+        \u{20}            same override as the PLINIUS_THREADS environment variable)\n\
         \n\
         With none of the flags the binary runs at its default scale. `--smoke` wins\n\
         over `--quick`, which wins over `--full`."
     )
 }
 
+/// Parses a `--threads` value: a positive integer.
+fn parse_threads(flag: &str, value: Option<String>) -> Result<usize, CliError> {
+    let value = value.ok_or_else(|| CliError::MissingValue(flag.to_owned()))?;
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(CliError::InvalidValue {
+            flag: flag.to_owned(),
+            value,
+        }),
+    }
+}
+
 /// Parses the arguments of a bench binary (without the program name).
 ///
 /// `--smoke` wins over `--quick`, which wins over `--full`; with none of the flags
-/// present the binary runs at its default scale. Anything else starting with `-` is an
-/// error; remaining arguments are collected as positional inputs.
+/// present the binary runs at its default scale. `--threads N` (or `--threads=N`)
+/// takes a positive integer. Anything else starting with `-` is an error; remaining
+/// arguments are collected as positional inputs.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::UnknownFlag`] for any unrecognised flag.
+/// Returns [`CliError::UnknownFlag`] for any unrecognised flag,
+/// [`CliError::MissingValue`]/[`CliError::InvalidValue`] for a malformed `--threads`.
 pub fn parse<I>(args: I) -> Result<BenchArgs, CliError>
 where
     I: IntoIterator,
     I::Item: Into<String>,
 {
     let (mut smoke, mut quick, mut full) = (false, false, false);
+    let mut threads = None;
     let mut inputs = Vec::new();
-    for arg in args {
-        let arg: String = arg.into();
+    let mut iter = args.into_iter().map(Into::into);
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--quick" => quick = true,
             "--full" => full = true,
+            "--threads" => threads = Some(parse_threads("--threads", iter.next())?),
+            s if s.starts_with("--threads=") => {
+                let value = s["--threads=".len()..].to_owned();
+                threads = Some(parse_threads("--threads", Some(value))?);
+            }
             s if s.starts_with('-') => return Err(CliError::UnknownFlag(arg)),
             _ => inputs.push(arg),
         }
@@ -112,16 +155,22 @@ where
     } else {
         RunMode::Default
     };
-    Ok(BenchArgs { mode, inputs })
+    Ok(BenchArgs {
+        mode,
+        threads,
+        inputs,
+    })
 }
 
 /// Like [`parse`], for binaries that take no positional inputs: a stray argument (e.g.
 /// `smoke` with its dashes forgotten) is an error instead of being silently dropped.
+/// Returns the run scale and the `--threads` override, if any.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::UnknownFlag`] or [`CliError::UnexpectedArgument`].
-pub fn parse_mode<I>(args: I) -> Result<RunMode, CliError>
+/// Returns [`CliError::UnknownFlag`], [`CliError::UnexpectedArgument`], or a
+/// `--threads` value error.
+pub fn parse_mode<I>(args: I) -> Result<(RunMode, Option<usize>), CliError>
 where
     I: IntoIterator,
     I::Item: Into<String>,
@@ -129,7 +178,7 @@ where
     let parsed = parse(args)?;
     match parsed.inputs.into_iter().next() {
         Some(stray) => Err(CliError::UnexpectedArgument(stray)),
-        None => Ok(parsed.mode),
+        None => Ok((parsed.mode, parsed.threads)),
     }
 }
 
@@ -138,8 +187,9 @@ where
 ///
 /// # Errors
 ///
-/// Returns [`CliError::UnknownFlag`] or [`CliError::UnexpectedArgument`].
-pub fn parse_single_input<I>(args: I) -> Result<(RunMode, Option<String>), CliError>
+/// Returns [`CliError::UnknownFlag`], [`CliError::UnexpectedArgument`], or a
+/// `--threads` value error.
+pub fn parse_single_input<I>(args: I) -> Result<(RunMode, Option<usize>, Option<String>), CliError>
 where
     I: IntoIterator,
     I::Item: Into<String>,
@@ -149,21 +199,36 @@ where
     let first = inputs.next();
     match inputs.next() {
         Some(extra) => Err(CliError::UnexpectedArgument(extra)),
-        None => Ok((parsed.mode, first)),
+        None => Ok((parsed.mode, parsed.threads, first)),
+    }
+}
+
+/// Applies a `--threads` override to this process: the parallel kernels read their
+/// worker budget from the `PLINIUS_THREADS` environment variable, so the flag simply
+/// sets it before any kernel runs (the binaries are single-threaded at startup).
+fn apply_thread_override(threads: Option<usize>) {
+    if let Some(n) = threads {
+        std::env::set_var(plinius_parallel::THREADS_ENV, n.to_string());
     }
 }
 
 /// Parses `std::env::args()` for a binary taking one optional positional input,
-/// printing usage and exiting on `--help`/`-h` (status 0), an unknown flag or a second
-/// positional (status 2).
+/// printing usage and exiting on `--help`/`-h` (status 0), an unknown flag, a bad
+/// `--threads` value or a second positional (status 2). A `--threads` override is
+/// applied to the process before returning.
 pub fn parse_args_single_input() -> (RunMode, Option<String>) {
-    exit_on_error(parse_single_input(help_checked_args(true)), true)
+    let (mode, threads, input) = exit_on_error(parse_single_input(help_checked_args(true)), true);
+    apply_thread_override(threads);
+    (mode, input)
 }
 
 /// Parses `std::env::args()` for a binary that takes no positional inputs, rejecting
-/// stray arguments as well as unknown flags (status 2).
+/// stray arguments as well as unknown flags (status 2). A `--threads` override is
+/// applied to the process before returning.
 pub fn parse_args_mode_only() -> RunMode {
-    exit_on_error(parse_mode(help_checked_args(false)), false)
+    let (mode, threads) = exit_on_error(parse_mode(help_checked_args(false)), false);
+    apply_thread_override(threads);
+    mode
 }
 
 /// `std::env::args()` minus the program name, after handling `--help`/`-h`.
@@ -241,7 +306,7 @@ mod tests {
 
     #[test]
     fn mode_only_parsing_rejects_stray_positionals() {
-        assert_eq!(parse_mode(["--smoke"]).unwrap(), RunMode::Smoke);
+        assert_eq!(parse_mode(["--smoke"]).unwrap(), (RunMode::Smoke, None));
         assert_eq!(
             parse_mode(["smoke"]),
             Err(CliError::UnexpectedArgument("smoke".to_owned()))
@@ -256,11 +321,11 @@ mod tests {
     fn single_input_parsing_allows_one_positional_at_most() {
         assert_eq!(
             parse_single_input(["--smoke"]).unwrap(),
-            (RunMode::Smoke, None)
+            (RunMode::Smoke, None, None)
         );
         assert_eq!(
             parse_single_input(["trace.csv", "--full"]).unwrap(),
-            (RunMode::Full, Some("trace.csv".to_owned()))
+            (RunMode::Full, None, Some("trace.csv".to_owned()))
         );
         assert_eq!(
             parse_single_input(["trace.csv", "smoke"]),
@@ -269,10 +334,60 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_space_and_equals_forms() {
+        assert_eq!(parse_strs(&["--threads", "4"]).unwrap().threads, Some(4));
+        assert_eq!(parse_strs(&["--threads=2"]).unwrap().threads, Some(2));
+        assert_eq!(parse_strs(&["--smoke"]).unwrap().threads, None);
+        assert_eq!(
+            parse_mode(["--smoke", "--threads", "8"]).unwrap(),
+            (RunMode::Smoke, Some(8))
+        );
+        assert_eq!(
+            parse_single_input(["--threads", "3", "trace.csv"]).unwrap(),
+            (RunMode::Default, Some(3), Some("trace.csv".to_owned()))
+        );
+    }
+
+    #[test]
+    fn threads_flag_rejects_missing_and_invalid_values() {
+        assert_eq!(
+            parse_strs(&["--threads"]),
+            Err(CliError::MissingValue("--threads".to_owned()))
+        );
+        assert_eq!(
+            parse_strs(&["--threads", "0"]),
+            Err(CliError::InvalidValue {
+                flag: "--threads".to_owned(),
+                value: "0".to_owned()
+            })
+        );
+        assert_eq!(
+            parse_strs(&["--threads", "many"]),
+            Err(CliError::InvalidValue {
+                flag: "--threads".to_owned(),
+                value: "many".to_owned()
+            })
+        );
+        assert_eq!(
+            parse_strs(&["--threads="]),
+            Err(CliError::InvalidValue {
+                flag: "--threads".to_owned(),
+                value: String::new()
+            })
+        );
+        // The error messages name the flag.
+        let msg = parse_strs(&["--threads"]).unwrap_err().to_string();
+        assert!(msg.contains("--threads"));
+        let msg = parse_strs(&["--threads", "-1"]).unwrap_err().to_string();
+        assert!(msg.contains("--threads"), "{msg}");
+    }
+
+    #[test]
     fn usage_advertises_inputs_only_where_accepted() {
         assert!(usage(true).contains("[FILE]"));
         assert!(!usage(false).contains("FILE"));
         assert!(usage(false).starts_with("usage:"));
+        assert!(usage(false).contains("--threads"));
     }
 
     #[test]

@@ -6,7 +6,10 @@ pub mod cli;
 
 pub use cli::{BenchArgs, RunMode};
 
-use plinius::{MirrorModel, PliniusContext, PliniusError, PmDataset, SsdCheckpointer};
+use plinius::{
+    MirrorModel, PersistStats, PersistenceBackend, PipelineMode, PliniusBuilder, PliniusContext,
+    PliniusError, PmDataset, SsdCheckpointer, TrainerConfig, TrainingSetup,
+};
 use plinius_crypto::Key;
 use plinius_darknet::config::{build_network, mnist_cnn_config, sized_model_config};
 use plinius_darknet::synthetic_mnist;
@@ -66,8 +69,9 @@ pub fn mirror_point(cost: &CostModel, target_mb: usize) -> Result<MirrorPoint, P
     let mut rng = StdRng::seed_from_u64(target_mb as u64);
     let network = build_network(&sized_model_config(target_mb, 2), &mut rng)?;
     let model_bytes = network.model_bytes();
-    // PM pool: twin regions, each holding the sealed model plus slack.
-    let pool_bytes = model_bytes * 3 + (4 << 20);
+    // PM pool: twin Romulus regions, each holding the two epoch slots (A/B) of the
+    // sealed model plus slack.
+    let pool_bytes = model_bytes * 5 + (4 << 20);
     let ctx = PliniusContext::create(cost.clone(), pool_bytes)?;
     ctx.provision_key_directly(Key::generate_128(&mut rng));
     // The enclave model + training buffers occupy trusted memory (drives the EPC knee).
@@ -262,6 +266,158 @@ pub fn iteration_sweep(
         });
     }
     Ok(out)
+}
+
+/// Sync-vs-Overlapped comparison of the same training job: the Fig. 7 companion
+/// showing what the pipelined persistence engine buys per iteration.
+///
+/// Three local deployments run the identical job (same model, data, seeds — so the
+/// loss curves and final weights are bit-identical): one without persistence (the
+/// pure compute + data-pipeline baseline), one mirroring synchronously every
+/// iteration, one mirroring through the overlapped snapshot/publish pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinePoint {
+    /// Iterations each run executed.
+    pub iterations: u64,
+    /// Batch size per iteration.
+    pub batch: usize,
+    /// Per-iteration simulated cost without any persistence (ms).
+    pub base_ms_per_iter: f64,
+    /// Per-iteration mirroring overhead of the Sync engine (ms, simulated).
+    pub sync_overhead_ms: f64,
+    /// Per-iteration mirroring overhead of the Overlapped engine (ms, simulated).
+    pub overlapped_overhead_ms: f64,
+    /// Total simulated time the training lane waited for background publishes (ms) —
+    /// the part of the sealing the compute could not hide.
+    pub overlap_wait_ms: f64,
+    /// Wall-clock seconds of the Sync training run (this host).
+    pub sync_wall_s: f64,
+    /// Wall-clock seconds of the Overlapped training run (this host).
+    pub overlapped_wall_s: f64,
+}
+
+impl PipelinePoint {
+    /// Overlapped overhead as a fraction of the Sync overhead (the pipeline win:
+    /// ≤ 0.5 once compute covers the sealing, since only the PM write remains).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.overlapped_overhead_ms / self.sync_overhead_ms
+    }
+}
+
+/// Runs one training job of the pipeline comparison and reports `(simulated ns of
+/// the run, wall-clock seconds of the run, persistence counters)`.
+fn pipeline_run(
+    setup: &TrainingSetup,
+    backend: PersistenceBackend,
+    mode: PipelineMode,
+) -> Result<(u64, f64, PersistStats), PliniusError> {
+    let mut setup = setup.clone();
+    setup.backend = backend;
+    setup.trainer.pipeline = mode;
+    let mut trainer = PliniusBuilder::new(setup).build()?;
+    let start = std::time::Instant::now();
+    let report = trainer.run()?;
+    Ok((
+        report.simulated_ns,
+        start.elapsed().as_secs_f64(),
+        trainer.persist_stats(),
+    ))
+}
+
+/// The `(iterations, batch)` scale of the Sync-vs-Overlapped comparison for one run
+/// mode — shared by `fig7_mirroring` and `table1_breakdown` so both report the
+/// pipeline numbers from the same configuration.
+pub fn pipeline_scale(mode: RunMode) -> (u64, usize) {
+    match mode {
+        RunMode::Smoke => (4, 32),
+        RunMode::Quick => (10, 64),
+        _ => (25, 96),
+    }
+}
+
+/// Runs the Sync-vs-Overlapped comparison for one server profile on the standard
+/// MNIST network of the Fig. 8 experiment (5 LReLU-convolutional layers), mirroring
+/// every iteration.
+///
+/// # Errors
+///
+/// Propagates deployment and training errors.
+pub fn pipeline_point(
+    cost: &CostModel,
+    iterations: u64,
+    batch: usize,
+) -> Result<PipelinePoint, PliniusError> {
+    let mut rng = StdRng::seed_from_u64(55);
+    let model_config = mnist_cnn_config(5, 16, 1);
+    let model_bytes = build_network(&model_config, &mut rng)?.model_bytes();
+    let dataset = synthetic_mnist(192, &mut rng);
+    let dataset_bytes = dataset.len() * (dataset.inputs() + dataset.classes() + 16) * 4;
+    let setup = TrainingSetup {
+        cost: cost.clone(),
+        // Twin Romulus regions, each holding the PM dataset, both epoch slots of the
+        // sealed model, and slack.
+        pm_bytes: dataset_bytes * 3 + model_bytes * 5 + (8 << 20),
+        model_config,
+        dataset,
+        trainer: TrainerConfig {
+            batch,
+            max_iterations: iterations,
+            mirror_frequency: 1,
+            encrypted_data: true,
+            seed: 5,
+            pipeline: PipelineMode::Sync,
+        },
+        backend: PersistenceBackend::PmMirror,
+        model_seed: 12,
+    };
+    let (base_ns, _, _) = pipeline_run(&setup, PersistenceBackend::None, PipelineMode::Sync)?;
+    let (sync_ns, sync_wall_s, _) =
+        pipeline_run(&setup, PersistenceBackend::PmMirror, PipelineMode::Sync)?;
+    let (over_ns, overlapped_wall_s, stats) = pipeline_run(
+        &setup,
+        PersistenceBackend::PmMirror,
+        PipelineMode::Overlapped,
+    )?;
+    let per_iter_ms = |ns: u64| ns as f64 / iterations as f64 / 1e6;
+    Ok(PipelinePoint {
+        iterations,
+        batch,
+        base_ms_per_iter: per_iter_ms(base_ns),
+        sync_overhead_ms: per_iter_ms(sync_ns.saturating_sub(base_ns)),
+        overlapped_overhead_ms: per_iter_ms(over_ns.saturating_sub(base_ns)),
+        overlap_wait_ms: stats.overlap_wait_ns as f64 / 1e6,
+        sync_wall_s,
+        overlapped_wall_s,
+    })
+}
+
+/// Prints one profile's Sync-vs-Overlapped comparison in the shared fig7/table1
+/// format.
+pub fn print_pipeline_point(profile: &str, p: &PipelinePoint) {
+    println!(
+        "\nPipelined mirroring — {} ({} iters, batch {}): per-iteration overhead vs no persistence",
+        profile, p.iterations, p.batch
+    );
+    println!(
+        "{:>12} | {:>12} {:>14} {:>8} | {:>14} | {:>12} {:>14}",
+        "compute ms",
+        "sync ms",
+        "overlapped ms",
+        "ratio",
+        "wait total ms",
+        "sync wall s",
+        "overlap wall s"
+    );
+    println!(
+        "{:>12.3} | {:>12.3} {:>14.3} {:>7.2}x | {:>14.3} | {:>12.2} {:>14.2}",
+        p.base_ms_per_iter,
+        p.sync_overhead_ms,
+        p.overlapped_overhead_ms,
+        p.overhead_ratio(),
+        p.overlap_wait_ms,
+        p.sync_wall_s,
+        p.overlapped_wall_s
+    );
 }
 
 /// One point of the wall-clock AEAD-engine sweep: the table-driven fast path
@@ -511,6 +667,32 @@ mod tests {
         }
         // Iteration time grows with batch size.
         assert!(pts[1].encrypted_s > pts[0].encrypted_s);
+    }
+
+    #[test]
+    fn overlapped_pipeline_halves_the_mirroring_overhead_when_compute_covers_it() {
+        // The Fig. 7 acceptance bar: on the standard MNIST network, with compute ≥
+        // mirror cost, the overlapped engine's per-iteration mirroring overhead must
+        // be at most half the synchronous one (the sealing hides behind compute and
+        // only the PM write remains on the critical path).
+        let p = pipeline_point(&CostModel::sgx_eml_pm(), 6, 96).unwrap();
+        assert!(
+            p.base_ms_per_iter >= p.sync_overhead_ms,
+            "configuration must keep compute ({:.3} ms) >= mirror cost ({:.3} ms)",
+            p.base_ms_per_iter,
+            p.sync_overhead_ms
+        );
+        assert!(
+            p.overlapped_overhead_ms < p.sync_overhead_ms,
+            "overlapped overhead {:.3} ms must be strictly below sync {:.3} ms",
+            p.overlapped_overhead_ms,
+            p.sync_overhead_ms
+        );
+        assert!(
+            p.overhead_ratio() <= 0.5,
+            "overlapped overhead must be <= 0.5x sync, got {:.2}x",
+            p.overhead_ratio()
+        );
     }
 
     #[test]

@@ -79,6 +79,46 @@ fn stray_positionals_abort_binaries_that_take_no_inputs() {
 }
 
 #[test]
+fn threads_flag_is_accepted_by_the_smoke_run() {
+    // `--threads N` replaces the PLINIUS_THREADS env-var dance for the bench bins:
+    // the binary must run normally with an explicit worker count.
+    run_smoke(
+        env!("CARGO_BIN_EXE_fig7_mirroring"),
+        &["--smoke", "--threads", "2"],
+    );
+    run_smoke(env!("CARGO_BIN_EXE_fig6_sps"), &["--smoke", "--threads=1"]);
+}
+
+#[test]
+fn threads_flag_without_a_value_aborts() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+        .args(["--smoke", "--threads"])
+        .output()
+        .expect("failed to spawn fig7_mirroring");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--threads") && stderr.contains("usage:"),
+        "stderr did not explain the missing value:\n{stderr}"
+    );
+    assert!(output.stdout.is_empty(), "a rejected run must not start");
+}
+
+#[test]
+fn threads_flag_with_an_invalid_value_aborts() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+        .args(["--smoke", "--threads", "0"])
+        .output()
+        .expect("failed to spawn fig7_mirroring");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("invalid value") && stderr.contains("--threads"),
+        "stderr did not explain the invalid value:\n{stderr}"
+    );
+}
+
+#[test]
 fn help_flag_prints_usage_and_exits_cleanly() {
     let output = Command::new(env!("CARGO_BIN_EXE_fig9_crash"))
         .arg("--help")

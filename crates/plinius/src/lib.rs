@@ -67,7 +67,7 @@ pub mod ssd;
 pub mod trainer;
 pub mod workflow;
 
-pub use mirror::{MirrorInReport, MirrorModel, MirrorOutReport};
+pub use mirror::{MirrorInReport, MirrorModel, MirrorOutReport, PublishReport, SnapshotReport};
 pub use persist::{
     shared_ssd, FaultInjectingBackend, HybridTieredBackend, ModelPersistence, NoOpBackend,
     PersistStats, PersistenceBackend, PmMirrorBackend, SsdCheckpointBackend,
@@ -75,8 +75,8 @@ pub use persist::{
 pub use pmdata::PmDataset;
 pub use ssd::SsdCheckpointer;
 pub use trainer::{
-    spot_crash_schedule, train_with_crash_schedule, CrashRunReport, PliniusBuilder, PliniusTrainer,
-    TrainerConfig, TrainingReport, TrainingSetup,
+    spot_crash_schedule, train_with_crash_schedule, CrashRunReport, PipelineMode, PliniusBuilder,
+    PliniusTrainer, TrainerConfig, TrainingReport, TrainingSetup,
 };
 pub use workflow::{run_full_workflow, WorkflowReport};
 
@@ -111,6 +111,8 @@ pub enum PliniusError {
     /// A deliberately injected persistence fault (testing only, see
     /// [`persist::FaultInjectingBackend`]).
     InjectedFault(String),
+    /// The background publish pipeline failed (worker died or was misused).
+    Pipeline(String),
 }
 
 impl fmt::Display for PliniusError {
@@ -134,6 +136,7 @@ impl fmt::Display for PliniusError {
             PliniusError::MirrorMismatch(msg) => write!(f, "mirror model mismatch: {msg}"),
             PliniusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PliniusError::InjectedFault(msg) => write!(f, "injected fault: {msg}"),
+            PliniusError::Pipeline(msg) => write!(f, "publish pipeline error: {msg}"),
         }
     }
 }

@@ -3,15 +3,41 @@
 //!
 //! The mirror model is represented on PM as a linked list of persistent layer nodes (so
 //! that layers can later be added or removed without relocating the whole model, as the
-//! paper notes). Every trainable layer node carries pointers to the five encrypted
-//! parameter buffers of that layer; every buffer is an AES-GCM sealed blob whose 12-byte
-//! IV and 16-byte MAC account for the paper's 140 bytes of PM metadata per layer.
+//! paper notes). Every trainable layer node carries pointers to **two** encrypted
+//! buffers — slot A and slot B — for each of its five parameter tensors; every buffer is
+//! an AES-GCM sealed blob whose 12-byte IV and 16-byte MAC account for the paper's 140
+//! bytes of PM metadata per layer.
 //!
-//! A *mirror-out* (model save) encrypts the parameters inside the enclave and writes them
-//! to the mirror within a single Romulus durable transaction, together with the iteration
-//! counter; a crash therefore always leaves either the previous or the new model version.
-//! A *mirror-in* (model restore) reads the encrypted buffers from PM into the enclave and
-//! decrypts them into the enclave model.
+//! # Epoch-committed double buffering
+//!
+//! The mirror header carries an *epoch counter* and the index of the *active slot*.
+//! Every mirror-out seals the model and bulk-publishes it into the **inactive** slot
+//! with unlogged direct twin writes ([`plinius_romulus::Romulus::publish_region`]),
+//! then commits `[iteration, epoch+1, flip-active-slot]` in one tiny Romulus durable
+//! transaction. A crash at *any* point of the publish — including between tensor
+//! writes — therefore recovers the previous **complete** epoch: the header still
+//! points at the untouched slot until the flip commits atomically.
+//!
+//! # Pipelined mirror-out
+//!
+//! A mirror-out splits into two phases:
+//!
+//! * **snapshot** — cheap: copy the parameters (and draw the per-tensor IVs) into one
+//!   of two pre-allocated staging slots;
+//! * **publish** — expensive: AES-GCM-seal the staged plaintext and commit it to the
+//!   inactive PM slot.
+//!
+//! [`MirrorModel::mirror_out`] runs both phases synchronously.
+//! [`MirrorModel::snapshot_out`] runs only the snapshot and hands the publish to a
+//! background worker ([`plinius_parallel::Pipeline`]); [`MirrorModel::drain`] joins it
+//! at the next pipeline point, crediting the sealing time that was hidden behind the
+//! compute charged in between ([`SimSpan::overlap`]), so the steady-state simulated
+//! overhead approaches `max(compute, mirror)` instead of `compute + mirror`. Sealed
+//! bytes, committed epochs and restored weights are bit-identical between the two
+//! paths; only timing differs.
+//!
+//! A *mirror-in* (model restore) reads the active slot's encrypted buffers from PM
+//! into the enclave and decrypts them into the enclave model.
 
 use crate::{bytes_to_f32s, f32s_to_bytes_into, PliniusContext, PliniusError, MODEL_KEY_NAME};
 use parking_lot::Mutex;
@@ -19,8 +45,10 @@ use plinius_crypto::{
     seal_into_with_threads, AesGcm, CryptoError, IvSequence, SealedView, IV_LEN, SEAL_OVERHEAD,
 };
 use plinius_darknet::Network;
+use plinius_parallel::Pipeline;
 use plinius_romulus::PmPtr;
 use sim_clock::SimSpan;
+use std::sync::Arc;
 
 /// Root-directory slot holding the mirror-model header.
 pub const ROOT_MODEL: usize = 0;
@@ -28,12 +56,19 @@ pub const ROOT_MODEL: usize = 0;
 /// Number of encrypted parameter buffers per mirrored layer.
 const TENSORS_PER_LAYER: usize = plinius_darknet::PARAM_TENSORS_PER_LAYER;
 
-/// Byte size of the persistent model header: `[iteration][num_layers][first_layer_ptr]`.
-const HEADER_BYTES: usize = 24;
+/// Byte size of the persistent model header:
+/// `[iteration][num_layers][first_layer_ptr][epoch][active_slot]`.
+const HEADER_BYTES: usize = 40;
+
+/// Header offset of the epoch counter.
+const HDR_EPOCH: u64 = 24;
+
+/// Header offset of the active A/B slot index (0 or 1).
+const HDR_ACTIVE: u64 = 32;
 
 /// Byte size of one persistent layer node:
-/// `[next_ptr][num_tensors]` + `TENSORS_PER_LAYER x [tensor_ptr][sealed_len]`.
-const NODE_BYTES: usize = 16 + TENSORS_PER_LAYER * 16;
+/// `[next_ptr][num_tensors]` + `TENSORS_PER_LAYER x [ptr_slot_a][ptr_slot_b][sealed_len]`.
+const NODE_BYTES: usize = 16 + TENSORS_PER_LAYER * 24;
 
 /// Report of one mirror-out (model save): the Fig. 7 "Save" breakdown.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +110,43 @@ impl MirrorInReport {
     }
 }
 
+/// Report of the snapshot phase of a pipelined mirror-out: the cheap in-enclave copy
+/// that decouples the training loop from the expensive seal + PM publish.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotReport {
+    /// Simulated time of the staging copy (parameters → staging slot).
+    pub staged: SimSpan,
+    /// Plaintext model bytes staged.
+    pub model_bytes: usize,
+}
+
+/// Report of one committed publish (the expensive half of a pipelined mirror-out,
+/// joined by [`MirrorModel::drain`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishReport {
+    /// Training iteration recorded in the committed epoch.
+    pub iteration: u64,
+    /// The epoch number this publish committed.
+    pub epoch: u64,
+    /// Join of the background sealing lane: the span's length is the *residual*
+    /// simulated sealing time that was **not** hidden behind the work charged to the
+    /// clock since the snapshot (see [`SimSpan::overlap`]). Zero when compute fully
+    /// covered the sealing.
+    pub seal_join: SimSpan,
+    /// Simulated time of the bulk slot publish + epoch-flip transaction.
+    pub write: SimSpan,
+    /// Plaintext model bytes published.
+    pub model_bytes: usize,
+}
+
+impl PublishReport {
+    /// Simulated mirroring overhead this publish added to the training timeline, in
+    /// milliseconds: the non-overlapped sealing residual plus the durable write.
+    pub fn overhead_ms(&self) -> f64 {
+        self.seal_join.millis() + self.write.millis()
+    }
+}
+
 /// Position of one parameter tensor inside the mirror's reusable staging buffers, plus
 /// everything that is constant per tensor across iterations (the AAD in particular,
 /// which the seed code re-`format!`ted for every tensor of every iteration).
@@ -112,6 +184,51 @@ struct MirrorScratch {
     ivs: Vec<[u8; IV_LEN]>,
 }
 
+/// One set of pre-allocated staging buffers of the pipelined mirror-out: the snapshot
+/// phase fills `plain` + `ivs`, the background worker seals into `arena`. Two sets
+/// rotate (one possibly in flight, one spare), so the steady state allocates nothing.
+struct SealBuffers {
+    plain: Vec<u8>,
+    arena: Vec<u8>,
+    ivs: Vec<[u8; IV_LEN]>,
+}
+
+/// A staged snapshot travelling to the background sealing worker.
+struct SealJob {
+    bufs: SealBuffers,
+}
+
+/// A sealed snapshot travelling back: the buffers are always returned (even on error)
+/// so they can be reused as the next spare set.
+struct SealDone {
+    bufs: SealBuffers,
+    result: Result<(), CryptoError>,
+}
+
+/// Bookkeeping of one enqueued-but-not-yet-committed publish.
+struct InflightPublish {
+    /// Iteration counter the staged snapshot belongs to.
+    iteration: u64,
+    /// Simulated time at which the sealing lane forked off the training timeline.
+    fork_ns: u64,
+    /// Modeled simulated cost of the sealing lane (charged at the overlap join).
+    seal_lane_ns: u64,
+    /// Plaintext bytes staged.
+    model_bytes: usize,
+}
+
+/// The lazily built background-publish machinery of one mirror handle.
+struct MirrorPipeline {
+    /// Single background worker sealing staged snapshots.
+    worker: Pipeline<SealJob, SealDone>,
+    /// Raw bytes of the key the worker's GCM context was built for.
+    key_bytes: Vec<u8>,
+    /// The staging-buffer set not currently in flight.
+    spare: Option<SealBuffers>,
+    /// The publish currently in flight, if any (the pipeline is depth-1).
+    inflight: Option<InflightPublish>,
+}
+
 /// Handle to the persistent mirror of one enclave model.
 pub struct MirrorModel {
     header: PmPtr,
@@ -120,9 +237,13 @@ pub struct MirrorModel {
     sealed_lens: Vec<Vec<usize>>,
     /// Flat per-tensor layout (layer-major), fixed at allocate/open time.
     slots: Vec<TensorSlot>,
+    /// The two PM buffers (slot A, slot B) of every tensor, in `slots` order.
+    tensor_ptrs: Vec<[PmPtr; 2]>,
     /// Lazily built reusable scratch; `Mutex` keeps `mirror_out(&self)` callable from
     /// the existing persistence backends while the buffers are reused in place.
     scratch: Mutex<Option<MirrorScratch>>,
+    /// Lazily built background-publish pipeline (overlapped mode only).
+    pipeline: Mutex<Option<MirrorPipeline>>,
 }
 
 impl std::fmt::Debug for MirrorModel {
@@ -137,13 +258,15 @@ impl std::fmt::Debug for MirrorModel {
 
 impl Clone for MirrorModel {
     fn clone(&self) -> Self {
-        // The scratch is per-handle working memory, not state: a clone starts cold.
+        // The scratch and pipeline are per-handle working state: a clone starts cold.
         MirrorModel {
             header: self.header,
             layer_nodes: self.layer_nodes.clone(),
             sealed_lens: self.sealed_lens.clone(),
             slots: self.slots.clone(),
+            tensor_ptrs: self.tensor_ptrs.clone(),
             scratch: Mutex::new(None),
+            pipeline: Mutex::new(None),
         }
     }
 }
@@ -218,8 +341,9 @@ impl MirrorModel {
     }
 
     /// Allocates the persistent mirror for `network` (Algorithm 3, `alloc_mirror_model`):
-    /// one header, one node per trainable layer, and space for every encrypted tensor.
-    /// All allocations happen in a single durable transaction.
+    /// one header (with epoch counter and active-slot index), one node per trainable
+    /// layer, and **two** buffers (slot A / slot B) for every encrypted tensor. All
+    /// allocations happen in a single durable transaction.
     ///
     /// # Errors
     ///
@@ -239,20 +363,28 @@ impl MirrorModel {
         let num_layers = layer_tensor_lens.len() as u64;
         let mut header = PmPtr::NULL;
         let mut layer_nodes = Vec::new();
+        let mut tensor_ptrs: Vec<[PmPtr; 2]> = Vec::new();
         ctx.romulus().transaction(|tx| {
             header = tx.alloc(HEADER_BYTES)?;
             tx.write_u64(header, 0)?; // iteration
             tx.write_u64(header.add(8), num_layers)?;
+            tx.write_u64(header.add(HDR_EPOCH), 0)?;
+            tx.write_u64(header.add(HDR_ACTIVE), 0)?;
             // Allocate nodes front to back, linking as we go.
             let mut nodes: Vec<PmPtr> = Vec::with_capacity(layer_tensor_lens.len());
+            let mut ptrs: Vec<[PmPtr; 2]> = Vec::new();
             for tensor_lens in &layer_tensor_lens {
                 let node = tx.alloc(NODE_BYTES)?;
                 tx.write_u64(node, 0)?; // next (patched below)
                 tx.write_u64(node.add(8), tensor_lens.len() as u64)?;
                 for (j, sealed_len) in tensor_lens.iter().enumerate() {
-                    let tensor = tx.alloc(*sealed_len)?;
-                    tx.write_u64(node.add(16 + (j as u64) * 16), tensor.offset())?;
-                    tx.write_u64(node.add(16 + (j as u64) * 16 + 8), *sealed_len as u64)?;
+                    let slot_a = tx.alloc(*sealed_len)?;
+                    let slot_b = tx.alloc(*sealed_len)?;
+                    let field = node.add(16 + (j as u64) * 24);
+                    tx.write_u64(field, slot_a.offset())?;
+                    tx.write_u64(field.add(8), slot_b.offset())?;
+                    tx.write_u64(field.add(16), *sealed_len as u64)?;
+                    ptrs.push([slot_a, slot_b]);
                 }
                 if let Some(prev) = nodes.last() {
                     tx.write_u64(*prev, node.offset())?;
@@ -263,6 +395,7 @@ impl MirrorModel {
             tx.write_u64(header.add(16), first)?;
             tx.set_root(ROOT_MODEL, header)?;
             layer_nodes = nodes;
+            tensor_ptrs = ptrs;
             Ok(())
         })?;
         let slots = build_slots(&layer_tensor_lens)?;
@@ -271,7 +404,9 @@ impl MirrorModel {
             layer_nodes,
             sealed_lens: layer_tensor_lens,
             slots,
+            tensor_ptrs,
             scratch: Mutex::new(None),
+            pipeline: Mutex::new(None),
         })
     }
 
@@ -289,12 +424,17 @@ impl MirrorModel {
         let num_layers = rom.read_u64(header.add(8))? as usize;
         let mut layer_nodes = Vec::with_capacity(num_layers);
         let mut sealed_lens = Vec::with_capacity(num_layers);
+        let mut tensor_ptrs: Vec<[PmPtr; 2]> = Vec::new();
         let mut cursor = PmPtr::from_offset(rom.read_u64(header.add(16))?);
         while !cursor.is_null() {
             let num_tensors = rom.read_u64(cursor.add(8))? as usize;
             let mut lens = Vec::with_capacity(num_tensors);
             for j in 0..num_tensors {
-                lens.push(rom.read_u64(cursor.add(16 + (j as u64) * 16 + 8))? as usize);
+                let field = cursor.add(16 + (j as u64) * 24);
+                let slot_a = PmPtr::from_offset(rom.read_u64(field)?);
+                let slot_b = PmPtr::from_offset(rom.read_u64(field.add(8))?);
+                lens.push(rom.read_u64(field.add(16))? as usize);
+                tensor_ptrs.push([slot_a, slot_b]);
             }
             layer_nodes.push(cursor);
             sealed_lens.push(lens);
@@ -312,7 +452,9 @@ impl MirrorModel {
             layer_nodes,
             sealed_lens,
             slots,
+            tensor_ptrs,
             scratch: Mutex::new(None),
+            pipeline: Mutex::new(None),
         })
     }
 
@@ -379,6 +521,56 @@ impl MirrorModel {
         Ok(ctx.romulus().read_u64(self.header)?)
     }
 
+    /// The epoch counter of the last committed publish (0 before the first
+    /// mirror-out). Each committed mirror-out — synchronous or pipelined — increments
+    /// it by exactly one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Romulus read errors.
+    pub fn epoch(&self, ctx: &PliniusContext) -> Result<u64, PliniusError> {
+        Ok(ctx.romulus().read_u64(self.header.add(HDR_EPOCH))?)
+    }
+
+    /// Index (0 = A, 1 = B) of the currently active tensor slot.
+    fn active_slot(&self, ctx: &PliniusContext) -> Result<usize, PliniusError> {
+        let raw = ctx.romulus().read_u64(self.header.add(HDR_ACTIVE))?;
+        match raw {
+            0 | 1 => Ok(raw as usize),
+            other => Err(PliniusError::MirrorMismatch(format!(
+                "invalid active-slot index {other} in the mirror header"
+            ))),
+        }
+    }
+
+    /// Publishes the sealed arena into the **inactive** tensor slot with direct twin
+    /// writes, then atomically commits `[iteration, epoch+1, flip]` in one small
+    /// Romulus transaction. A crash before or inside the flip recovers the previous
+    /// complete epoch. Returns the committed epoch number.
+    fn commit_arena(
+        &self,
+        ctx: &PliniusContext,
+        arena: &[u8],
+        iteration: u64,
+    ) -> Result<u64, PliniusError> {
+        let rom = ctx.romulus();
+        let active = self.active_slot(ctx)?;
+        let epoch = rom.read_u64(self.header.add(HDR_EPOCH))?;
+        let target = active ^ 1;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            rom.publish_region(
+                self.tensor_ptrs[idx][target],
+                &arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+            )?;
+        }
+        rom.transaction(|tx| {
+            tx.write_u64(self.header, iteration)?;
+            tx.write_u64(self.header.add(HDR_EPOCH), epoch + 1)?;
+            tx.write_u64(self.header.add(HDR_ACTIVE), target as u64)
+        })?;
+        Ok(epoch + 1)
+    }
+
     /// Mirror-out (Algorithm 3, `mirror_out`): encrypts the enclave model's parameters
     /// and synchronises the PM mirror within one durable transaction, recording the
     /// iteration counter.
@@ -439,26 +631,11 @@ impl MirrorModel {
             Self::stage_and_seal(&self.slots, scratch, network, threads)
         });
         seal_result?;
-        // Phase 2: durable write of the encrypted buffers + iteration counter to PM,
-        // straight from the arena.
+        // Phase 2: bulk-publish the sealed arena into the inactive slot and commit
+        // the epoch flip durably.
         let arena = &scratch.arena;
-        let mut slots = self.slots.iter();
         let (write_result, write) = SimSpan::record(&clock, || {
-            ctx.romulus().transaction(|tx| {
-                tx.write_u64(self.header, network.iteration())?;
-                for (node_idx, node) in self.layer_nodes.iter().enumerate() {
-                    for j in 0..self.sealed_lens[node_idx].len() {
-                        let slot = slots.next().expect("one slot per tensor");
-                        let tensor_ptr =
-                            PmPtr::from_offset(tx.read_u64(node.add(16 + (j as u64) * 16))?);
-                        tx.write_bytes(
-                            tensor_ptr,
-                            &arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
-                        )?;
-                    }
-                }
-                Ok(())
-            })
+            self.commit_arena(ctx, arena, network.iteration())
         });
         write_result?;
         Ok(MirrorOutReport {
@@ -508,6 +685,24 @@ impl MirrorModel {
         Ok(())
     }
 
+    /// Copies every trainable tensor's parameters into the staging buffer, in slot
+    /// order. The caller has already verified the model shape.
+    fn stage_plaintext(slots: &[TensorSlot], plain: &mut [u8], network: &Network) {
+        let mut slot_iter = slots.iter();
+        for layer in network.layers().iter() {
+            let Some(views) = layer.param_views() else {
+                continue;
+            };
+            for view in views {
+                let slot = slot_iter.next().expect("shape checked");
+                f32s_to_bytes_into(
+                    view.data,
+                    &mut plain[slot.plain_off..slot.plain_off + slot.plain_len],
+                );
+            }
+        }
+    }
+
     /// Phase-1 worker: stages every tensor's plaintext into the scratch and seals it
     /// into the arena.
     ///
@@ -532,19 +727,7 @@ impl MirrorModel {
             ivs,
             ..
         } = scratch;
-        let mut slot_iter = slots.iter();
-        for layer in network.layers().iter() {
-            let Some(views) = layer.param_views() else {
-                continue;
-            };
-            for view in views {
-                let slot = slot_iter.next().expect("shape checked");
-                f32s_to_bytes_into(
-                    view.data,
-                    &mut plain[slot.plain_off..slot.plain_off + slot.plain_len],
-                );
-            }
-        }
+        Self::stage_plaintext(slots, plain, network);
         let threads = threads.max(1);
         if threads > 1 && slots.len() >= 2 * threads {
             // Many tensors: one worker per tensor, disjoint arena slices.
@@ -600,20 +783,16 @@ impl MirrorModel {
         let rom = ctx.romulus();
         let mut guard = self.scratch.lock();
         let scratch = self.ensure_scratch(ctx, &mut guard)?;
-        // Phase 1: read encrypted buffers from PM straight into the reusable arena —
-        // no per-tensor vectors, no blob clones.
+        // Phase 1: read the active slot's encrypted buffers from PM straight into the
+        // reusable arena — no per-tensor vectors, no blob clones.
         let (read_out, read) = SimSpan::record(&clock, || -> Result<u64, PliniusError> {
             let iteration = rom.read_u64(self.header)?;
-            let mut slot_iter = self.slots.iter();
-            for (node_idx, node) in self.layer_nodes.iter().enumerate() {
-                for j in 0..self.sealed_lens[node_idx].len() {
-                    let slot = slot_iter.next().expect("one slot per tensor");
-                    let ptr = PmPtr::from_offset(rom.read_u64(node.add(16 + (j as u64) * 16))?);
-                    rom.read_bytes_into(
-                        ptr,
-                        &mut scratch.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
-                    )?;
-                }
+            let active = self.active_slot(ctx)?;
+            for (idx, slot) in self.slots.iter().enumerate() {
+                rom.read_bytes_into(
+                    self.tensor_ptrs[idx][active],
+                    &mut scratch.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+                )?;
             }
             Ok(iteration)
         });
@@ -721,6 +900,205 @@ impl MirrorModel {
         }
         Ok(())
     }
+
+    // --------------------------------------------------------- pipelined mirror-out
+
+    /// Returns the warm publish pipeline, (re)building the background worker if
+    /// absent, if the enclave's model key changed, or if the previous worker died
+    /// (its staging buffers are gone with it — `spare == None` with nothing in
+    /// flight is exactly that post-failure state, since every live idle pipeline
+    /// holds its spare set). Must only be called with no publish in flight (the
+    /// caller joins first), so a rebuild never drops work.
+    fn ensure_pipeline<'a>(
+        &self,
+        ctx: &PliniusContext,
+        guard: &'a mut Option<MirrorPipeline>,
+    ) -> Result<&'a mut MirrorPipeline, PliniusError> {
+        let stale = match guard.as_ref() {
+            Some(p) => {
+                p.spare.is_none()
+                    || !ctx
+                        .enclave()
+                        .with_key(MODEL_KEY_NAME, |k| k.as_bytes() == p.key_bytes.as_slice())
+                        .ok_or(PliniusError::KeyNotProvisioned)?
+            }
+            None => true,
+        };
+        if stale {
+            let key = ctx.key()?;
+            let gcm = key.gcm();
+            let slots: Arc<[TensorSlot]> = self.slots.clone().into();
+            let worker = Pipeline::spawn("plinius-mirror-seal", move |job: SealJob| {
+                let SealJob { mut bufs } = job;
+                let mut result = Ok(());
+                // Serial in slot order: the worker thread *is* the parallel lane; the
+                // sealed bytes are a pure function of (key, IV, AAD, plaintext), so
+                // they match the synchronous path bit for bit.
+                for (idx, slot) in slots.iter().enumerate() {
+                    if let Err(e) = seal_into_with_threads(
+                        &gcm,
+                        &bufs.plain[slot.plain_off..slot.plain_off + slot.plain_len],
+                        &slot.aad,
+                        &bufs.ivs[idx],
+                        &mut bufs.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+                        1,
+                    ) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                SealDone { bufs, result }
+            });
+            // Reuse the previous staging buffers across a key rotation; allocate them
+            // once on first use.
+            let spare = match guard.take().and_then(|old| old.spare) {
+                Some(bufs) => bufs,
+                None => SealBuffers {
+                    plain: vec![0u8; self.slots.iter().map(|s| s.plain_len).sum()],
+                    arena: vec![0u8; self.slots.iter().map(|s| s.sealed_len).sum()],
+                    ivs: vec![[0u8; IV_LEN]; self.slots.len()],
+                },
+            };
+            *guard = Some(MirrorPipeline {
+                worker,
+                key_bytes: key.as_bytes().to_vec(),
+                spare: Some(spare),
+                inflight: None,
+            });
+        }
+        Ok(guard.as_mut().expect("pipeline built above"))
+    }
+
+    /// Joins the in-flight publish, if any: waits for the background sealing to
+    /// finish, credits the sealing time hidden behind the main lane
+    /// ([`SimSpan::overlap`]), and durably commits the sealed snapshot as the next
+    /// epoch.
+    fn join_inflight(
+        &self,
+        ctx: &PliniusContext,
+        guard: &mut Option<MirrorPipeline>,
+    ) -> Result<Option<PublishReport>, PliniusError> {
+        let Some(state) = guard.as_mut() else {
+            return Ok(None);
+        };
+        let Some(meta) = state.inflight.take() else {
+            return Ok(None);
+        };
+        let clock = ctx.clock();
+        let done = state
+            .worker
+            .recv()
+            .map_err(|e| PliniusError::Pipeline(format!("seal worker join failed: {e}")))?;
+        let SealDone { bufs, result } = done;
+        // Always hand the buffers back for reuse, even when the publish fails.
+        state.spare = Some(bufs);
+        // The sealing lane forked at snapshot time and ran in parallel with whatever
+        // the training loop charged since; only its residual shows up here.
+        let seal_join = SimSpan::overlap(&clock, meta.fork_ns, meta.seal_lane_ns);
+        result.map_err(PliniusError::Crypto)?;
+        let arena = &state.spare.as_ref().expect("buffers returned above").arena;
+        let (commit_result, write) =
+            SimSpan::record(&clock, || self.commit_arena(ctx, arena, meta.iteration));
+        let epoch = commit_result?;
+        Ok(Some(PublishReport {
+            iteration: meta.iteration,
+            epoch,
+            seal_join,
+            write,
+            model_bytes: meta.model_bytes,
+        }))
+    }
+
+    /// Snapshot phase of a pipelined mirror-out: joins any previous in-flight publish
+    /// (the pipeline is depth-1), stages the model's parameters and per-tensor IVs
+    /// into a pre-allocated staging slot, and hands the expensive seal + PM publish
+    /// to the background worker. Returns the snapshot report together with the
+    /// publish report of the *previous* snapshot, if one was still in flight.
+    ///
+    /// The IVs are drawn on the calling thread, at the same position of the enclave's
+    /// `sgx_read_rand` stream as a synchronous [`MirrorModel::mirror_out`] would draw
+    /// them — so a pipelined run leaves bit-identical sealed bytes on PM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::KeyNotProvisioned`] without a model key,
+    /// [`PliniusError::MirrorMismatch`] if the model shape changed, or any error of
+    /// the joined previous publish.
+    pub fn snapshot_out(
+        &self,
+        ctx: &PliniusContext,
+        network: &Network,
+    ) -> Result<(SnapshotReport, Option<PublishReport>), PliniusError> {
+        let clock = ctx.clock();
+        self.check_model_shape(network)?;
+        let mut guard = self.pipeline.lock();
+        let prior = self.join_inflight(ctx, &mut guard)?;
+        let state = self.ensure_pipeline(ctx, &mut guard)?;
+        let mut bufs = state.spare.take().expect("spare buffers present when idle");
+        let ivs = IvSequence::from_rng(&mut ctx.enclave_rng());
+        for (idx, iv) in bufs.ivs.iter_mut().enumerate() {
+            *iv = ivs.iv(idx as u64);
+        }
+        let model_bytes = bufs.plain.len();
+        let ((), staged) = SimSpan::record(&clock, || {
+            Self::stage_plaintext(&self.slots, &mut bufs.plain, network);
+        });
+        // The sealing lane's modeled cost is computed now (stats recorded) but
+        // charged at the join, where the overlap with the interleaved compute is
+        // known.
+        let seal_lane_ns = ctx.enclave().charge_crypto_offline(model_bytes as u64);
+        let fork_ns = clock.now_ns();
+        let iteration = network.iteration();
+        state
+            .worker
+            .send(SealJob { bufs })
+            .map_err(|e| PliniusError::Pipeline(format!("seal worker dispatch failed: {e}")))?;
+        state.inflight = Some(InflightPublish {
+            iteration,
+            fork_ns,
+            seal_lane_ns,
+            model_bytes,
+        });
+        Ok((
+            SnapshotReport {
+                staged,
+                model_bytes,
+            },
+            prior,
+        ))
+    }
+
+    /// Joins and commits the in-flight publish, if any — the pipeline's *drain*
+    /// point. Called by the overlapped persistence backend before restores, at the
+    /// end of a training run, and on shutdown; a no-op when nothing is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sealing, PM-write and worker errors of the joined publish.
+    pub fn drain(&self, ctx: &PliniusContext) -> Result<Option<PublishReport>, PliniusError> {
+        let mut guard = self.pipeline.lock();
+        self.join_inflight(ctx, &mut guard)
+    }
+
+    /// Whether a snapshot is currently sealing/publishing in the background.
+    pub fn has_inflight(&self) -> bool {
+        self.pipeline
+            .lock()
+            .as_ref()
+            .is_some_and(|p| p.inflight.is_some())
+    }
+
+    /// Test hook: replaces the live seal worker with one that dies on its first job,
+    /// so the worker-death recovery path (one surfaced error, then a rebuilt
+    /// pipeline) can be exercised without a real sealing bug.
+    #[cfg(test)]
+    fn kill_seal_worker_for_test(&self) {
+        if let Some(state) = self.pipeline.lock().as_mut() {
+            state.worker = Pipeline::spawn("plinius-mirror-seal-dying", |_job: SealJob| {
+                panic!("seal worker killed for test");
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -782,26 +1160,25 @@ mod tests {
         assert_eq!(report.model_bytes, out.model_bytes);
     }
 
-    /// Reads every sealed tensor blob back out of PM, in layer/tensor order.
+    /// Reads every sealed tensor blob of the committed (active) slot back out of PM,
+    /// in layer/tensor order.
     fn sealed_tensor_bytes(ctx: &PliniusContext, mirror: &MirrorModel) -> Vec<Vec<Vec<u8>>> {
         let rom = ctx.romulus();
-        mirror
-            .layer_nodes
-            .iter()
-            .enumerate()
-            .map(|(li, node)| {
-                mirror.sealed_lens[li]
-                    .iter()
-                    .enumerate()
-                    .map(|(j, len)| {
-                        let ptr = PmPtr::from_offset(
-                            rom.read_u64(node.add(16 + (j as u64) * 16)).unwrap(),
-                        );
-                        rom.read_bytes(ptr, *len).unwrap()
-                    })
-                    .collect()
-            })
-            .collect()
+        let active = mirror.active_slot(ctx).unwrap();
+        let mut out = Vec::new();
+        let mut flat = 0usize;
+        for lens in &mirror.sealed_lens {
+            let mut layer = Vec::new();
+            for len in lens {
+                layer.push(
+                    rom.read_bytes(mirror.tensor_ptrs[flat][active], *len)
+                        .unwrap(),
+                );
+                flat += 1;
+            }
+            out.push(layer);
+        }
+        out
     }
 
     #[test]
@@ -878,6 +1255,184 @@ mod tests {
             expected.push(blobs);
         }
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn epochs_alternate_slots_and_count_up() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(30);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        assert_eq!(mirror.epoch(&ctx).unwrap(), 0);
+        assert_eq!(mirror.active_slot(&ctx).unwrap(), 0);
+        for i in 1..=4u64 {
+            net.set_iteration(i);
+            mirror.mirror_out(&ctx, &net).unwrap();
+            assert_eq!(mirror.epoch(&ctx).unwrap(), i);
+            assert_eq!(mirror.active_slot(&ctx).unwrap(), (i % 2) as usize);
+            assert_eq!(mirror.iteration(&ctx).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn pipelined_mirror_out_matches_the_sync_path_bit_for_bit() {
+        // Twin deployments, same enclave RNG stream: one saves synchronously, the
+        // other through snapshot_out + drain. Committed epoch contents, header state
+        // and restored weights must be identical; only timing may differ.
+        let run_sync = || {
+            let ctx = context_with_key(8 * 1024 * 1024);
+            let mut net = small_network(40);
+            net.set_iteration(9);
+            let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+            mirror.mirror_out(&ctx, &net).unwrap();
+            (sealed_tensor_bytes(&ctx, &mirror), ctx, mirror)
+        };
+        let run_pipelined = || {
+            let ctx = context_with_key(8 * 1024 * 1024);
+            let mut net = small_network(40);
+            net.set_iteration(9);
+            let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+            let (snap, prior) = mirror.snapshot_out(&ctx, &net).unwrap();
+            assert!(prior.is_none());
+            assert_eq!(snap.model_bytes, net.model_bytes());
+            assert!(mirror.has_inflight());
+            let report = mirror.drain(&ctx).unwrap().expect("one publish in flight");
+            assert!(!mirror.has_inflight());
+            assert_eq!(report.iteration, 9);
+            assert_eq!(report.epoch, 1);
+            assert_eq!(report.model_bytes, net.model_bytes());
+            // Nothing left: drain is idempotent.
+            assert!(mirror.drain(&ctx).unwrap().is_none());
+            (sealed_tensor_bytes(&ctx, &mirror), ctx, mirror)
+        };
+        let (sync_bytes, _ctx_a, _mirror_a) = run_sync();
+        let (pipe_bytes, ctx_b, mirror_b) = run_pipelined();
+        assert_eq!(sync_bytes, pipe_bytes);
+        assert_eq!(mirror_b.epoch(&ctx_b).unwrap(), 1);
+        // And the pipelined image restores exactly.
+        let mut restored = small_network(41);
+        let report = mirror_b.mirror_in(&ctx_b, &mut restored).unwrap();
+        assert_eq!(report.iteration, 9);
+        assert_eq!(snapshot(&restored), snapshot(&small_network(40)));
+    }
+
+    #[test]
+    fn overlap_join_hides_seal_time_behind_interleaved_charges() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(50);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        // First cycle: nothing charged between snapshot and drain — the whole
+        // modeled sealing cost surfaces at the join.
+        net.set_iteration(1);
+        mirror.snapshot_out(&ctx, &net).unwrap();
+        let serial = mirror.drain(&ctx).unwrap().unwrap();
+        let seal_ns = ctx
+            .cost_model()
+            .crypto_ns(net.model_bytes() as u64, ctx.enclave().working_set());
+        assert_eq!(serial.seal_join.nanos(), seal_ns);
+        // Second cycle: charge more than the sealing lane between snapshot and
+        // drain — the join must be free (fully hidden), the write still paid.
+        net.set_iteration(2);
+        mirror.snapshot_out(&ctx, &net).unwrap();
+        ctx.clock().advance_ns(seal_ns * 3);
+        let overlapped = mirror.drain(&ctx).unwrap().unwrap();
+        assert_eq!(overlapped.seal_join.nanos(), 0);
+        assert!(overlapped.write.nanos() > 0);
+        assert_eq!(overlapped.epoch, 2);
+    }
+
+    #[test]
+    fn a_dead_seal_worker_surfaces_an_error_then_the_pipeline_recovers() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(70);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        net.set_iteration(1);
+        mirror.snapshot_out(&ctx, &net).unwrap();
+        mirror.drain(&ctx).unwrap();
+        // Kill the worker while idle: the next snapshot's seal job dies with it
+        // (taking the in-flight staging buffers along).
+        mirror.kill_seal_worker_for_test();
+        net.set_iteration(2);
+        mirror.snapshot_out(&ctx, &net).unwrap();
+        let err = mirror.drain(&ctx).unwrap_err();
+        assert!(matches!(err, PliniusError::Pipeline(_)), "{err}");
+        // The failure must be an error, not a poisoned handle: the next snapshot
+        // rebuilds the worker and fresh buffers, and publishing resumes.
+        net.set_iteration(3);
+        mirror.snapshot_out(&ctx, &net).unwrap();
+        let report = mirror.drain(&ctx).unwrap().expect("publish in flight");
+        assert_eq!(report.iteration, 3);
+        assert_eq!(report.epoch, 2, "the lost publish committed nothing");
+        assert_eq!(mirror.iteration(&ctx).unwrap(), 3);
+    }
+
+    #[test]
+    fn crash_mid_publish_recovers_the_previous_complete_epoch() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(60);
+        net.set_iteration(1);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        mirror.mirror_out(&ctx, &net).unwrap();
+        let epoch1_bytes = sealed_tensor_bytes(&ctx, &mirror);
+        // Crash in the middle of the bulk slot publish of the *next* mirror-out
+        // (after 3 of the tensor writes, before the epoch flip).
+        net.set_iteration(2);
+        let err = {
+            ctx.romulus()
+                .inject_failure(plinius_romulus::FailPoint::AfterDirectPublishes(3));
+            mirror.mirror_out(&ctx, &net).unwrap_err()
+        };
+        assert!(matches!(
+            err,
+            PliniusError::Romulus(plinius_romulus::RomulusError::InjectedCrash)
+        ));
+        // Power failure + restart over the surviving pool.
+        let key = ctx.key().unwrap();
+        let pool = ctx.pool().clone();
+        drop((ctx, mirror));
+        let mut rng = StdRng::seed_from_u64(7);
+        pool.crash(&mut rng, plinius_pmem::CrashMode::ArbitraryEviction);
+        let ctx2 = PliniusContext::open(pool, sim_clock::CostModel::sgx_eml_pm()).unwrap();
+        ctx2.provision_key_directly(key);
+        let mirror2 = MirrorModel::open(&ctx2).unwrap();
+        // The previous complete epoch is intact — header, iteration and bytes.
+        assert_eq!(mirror2.epoch(&ctx2).unwrap(), 1);
+        assert_eq!(mirror2.iteration(&ctx2).unwrap(), 1);
+        assert_eq!(sealed_tensor_bytes(&ctx2, &mirror2), epoch1_bytes);
+        let mut restored = small_network(61);
+        let report = mirror2.mirror_in(&ctx2, &mut restored).unwrap();
+        assert_eq!(report.iteration, 1);
+        assert_eq!(snapshot(&restored), snapshot(&small_network(60)));
+        // And mirroring continues cleanly after recovery.
+        restored.set_iteration(2);
+        mirror2.mirror_out(&ctx2, &restored).unwrap();
+        assert_eq!(mirror2.epoch(&ctx2).unwrap(), 2);
+    }
+
+    #[test]
+    fn crash_inside_the_epoch_flip_recovers_the_previous_epoch() {
+        let ctx = context_with_key(8 * 1024 * 1024);
+        let mut net = small_network(62);
+        net.set_iteration(1);
+        let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        mirror.mirror_out(&ctx, &net).unwrap();
+        let epoch1_bytes = sealed_tensor_bytes(&ctx, &mirror);
+        // Crash after the first store of the flip transaction (iteration written,
+        // epoch/active not yet): Romulus recovery must roll the header back.
+        net.set_iteration(2);
+        ctx.romulus()
+            .inject_failure(plinius_romulus::FailPoint::AfterStores(1));
+        assert!(mirror.mirror_out(&ctx, &net).is_err());
+        let key = ctx.key().unwrap();
+        let pool = ctx.pool().clone();
+        drop((ctx, mirror));
+        let mut rng = StdRng::seed_from_u64(8);
+        pool.crash(&mut rng, plinius_pmem::CrashMode::DropUnflushed);
+        let ctx2 = PliniusContext::open(pool, sim_clock::CostModel::sgx_eml_pm()).unwrap();
+        ctx2.provision_key_directly(key);
+        let mirror2 = MirrorModel::open(&ctx2).unwrap();
+        assert_eq!(mirror2.epoch(&ctx2).unwrap(), 1);
+        assert_eq!(mirror2.iteration(&ctx2).unwrap(), 1);
+        assert_eq!(sealed_tensor_bytes(&ctx2, &mirror2), epoch1_bytes);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! plus a [`PliniusBuilder::backend`](crate::PliniusBuilder::backend) call — no trainer
 //! changes required.
 
-use crate::mirror::MirrorModel;
+use crate::mirror::{MirrorModel, PublishReport};
 use crate::ssd::SsdCheckpointer;
 use crate::{PliniusContext, PliniusError};
 use plinius_darknet::Network;
@@ -32,7 +32,8 @@ use std::sync::{Arc, Mutex, OnceLock, Weak};
 /// Cumulative activity counters of one [`ModelPersistence`] backend.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PersistStats {
-    /// Number of successful `persist` calls.
+    /// Number of committed persist operations (synchronous `persist` calls plus
+    /// pipelined publishes committed at a drain point).
     pub persists: u64,
     /// Number of successful `restore` calls.
     pub restores: u64,
@@ -40,6 +41,17 @@ pub struct PersistStats {
     pub persisted_bytes: u64,
     /// Plaintext model bytes read back across all restores.
     pub restored_bytes: u64,
+    /// Number of snapshot phases staged by [`ModelPersistence::persist_async`]
+    /// (zero for backends without a pipelined path).
+    pub snapshots: u64,
+    /// Number of publish phases committed (every synchronous persist publishes
+    /// immediately; a pipelined snapshot publishes at the next join).
+    pub publishes: u64,
+    /// Simulated nanoseconds the training lane had to *wait* for background
+    /// publishes at their join points — the part of the sealing work that was not
+    /// hidden behind compute. Zero in synchronous mode and when compute fully
+    /// covers the mirror cost.
+    pub overlap_wait_ns: u64,
 }
 
 impl PersistStats {
@@ -50,6 +62,9 @@ impl PersistStats {
             restores: self.restores + other.restores,
             persisted_bytes: self.persisted_bytes + other.persisted_bytes,
             restored_bytes: self.restored_bytes + other.restored_bytes,
+            snapshots: self.snapshots + other.snapshots,
+            publishes: self.publishes + other.publishes,
+            overlap_wait_ns: self.overlap_wait_ns + other.overlap_wait_ns,
         }
     }
 }
@@ -157,6 +172,39 @@ pub trait ModelPersistence: std::fmt::Debug {
         network: &Network,
         iteration: u64,
     ) -> Result<(), PliniusError>;
+
+    /// Pipelined persist: stage a cheap snapshot of `network` now and let the
+    /// expensive publish run in the background, to be committed at the next
+    /// `persist_async` or [`drain`](ModelPersistence::drain) call.
+    ///
+    /// The default implementation simply falls back to the synchronous
+    /// [`persist`](ModelPersistence::persist), so backends without a pipelined path
+    /// (SSD checkpoints, no-op, custom backends) keep working unchanged under
+    /// [`PipelineMode::Overlapped`](crate::PipelineMode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates staging errors, plus any error of a previously enqueued publish
+    /// that is joined by this call.
+    fn persist_async(
+        &mut self,
+        ctx: &PliniusContext,
+        network: &Network,
+        iteration: u64,
+    ) -> Result<(), PliniusError> {
+        self.persist(ctx, network, iteration)
+    }
+
+    /// Joins and commits any in-flight background publish. Called by the trainer at
+    /// the end of a run (and before restores); a no-op for synchronous backends —
+    /// which is also the default implementation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the joined publish.
+    fn drain(&mut self, _ctx: &PliniusContext) -> Result<(), PliniusError> {
+        Ok(())
+    }
 
     /// Cumulative activity counters since this backend was created.
     fn persist_stats(&self) -> PersistStats;
@@ -318,6 +366,14 @@ impl PmMirrorBackend {
         }
         Ok(self.mirror.as_ref().expect("mirror just set"))
     }
+
+    /// Books one committed publish (synchronous or joined from the pipeline).
+    fn record_publish(&mut self, report: &PublishReport) {
+        self.stats.persists += 1;
+        self.stats.publishes += 1;
+        self.stats.persisted_bytes += report.model_bytes as u64;
+        self.stats.overlap_wait_ns += report.seal_join.nanos();
+    }
 }
 
 impl ModelPersistence for PmMirrorBackend {
@@ -339,6 +395,8 @@ impl ModelPersistence for PmMirrorBackend {
         ctx: &PliniusContext,
         network: &mut Network,
     ) -> Result<u64, PliniusError> {
+        // A pending background publish must reach PM before the mirror is read back.
+        self.drain(ctx)?;
         if self.mirror.is_none() {
             self.mirror = Some(MirrorModel::open(ctx)?);
         }
@@ -357,7 +415,31 @@ impl ModelPersistence for PmMirrorBackend {
     ) -> Result<(), PliniusError> {
         let report = self.mirror(ctx, network)?.mirror_out(ctx, network)?;
         self.stats.persists += 1;
+        self.stats.publishes += 1;
         self.stats.persisted_bytes += report.model_bytes as u64;
+        Ok(())
+    }
+
+    fn persist_async(
+        &mut self,
+        ctx: &PliniusContext,
+        network: &Network,
+        _iteration: u64,
+    ) -> Result<(), PliniusError> {
+        let (_, prior) = self.mirror(ctx, network)?.snapshot_out(ctx, network)?;
+        self.stats.snapshots += 1;
+        if let Some(report) = prior {
+            self.record_publish(&report);
+        }
+        Ok(())
+    }
+
+    fn drain(&mut self, ctx: &PliniusContext) -> Result<(), PliniusError> {
+        if let Some(mirror) = self.mirror.as_ref() {
+            if let Some(report) = mirror.drain(ctx)? {
+                self.record_publish(&report);
+            }
+        }
         Ok(())
     }
 
@@ -515,6 +597,22 @@ impl HybridTieredBackend {
     pub fn filesystem(&self) -> Option<&SimFileSystem> {
         self.ssd.filesystem()
     }
+
+    /// Demotes an encrypted checkpoint to the SSD if the demotion interval elapsed.
+    fn demote_if_due(
+        &mut self,
+        ctx: &PliniusContext,
+        network: &Network,
+        iteration: u64,
+    ) -> Result<(), PliniusError> {
+        if self.demote_every > 0 && iteration.saturating_sub(self.last_demoted) >= self.demote_every
+        {
+            self.ssd.persist(ctx, network, iteration)?;
+            self.demotions += 1;
+            self.last_demoted = iteration;
+        }
+        Ok(())
+    }
 }
 
 impl ModelPersistence for HybridTieredBackend {
@@ -558,13 +656,22 @@ impl ModelPersistence for HybridTieredBackend {
         iteration: u64,
     ) -> Result<(), PliniusError> {
         self.mirror.persist(ctx, network, iteration)?;
-        if self.demote_every > 0 && iteration.saturating_sub(self.last_demoted) >= self.demote_every
-        {
-            self.ssd.persist(ctx, network, iteration)?;
-            self.demotions += 1;
-            self.last_demoted = iteration;
-        }
-        Ok(())
+        self.demote_if_due(ctx, network, iteration)
+    }
+
+    fn persist_async(
+        &mut self,
+        ctx: &PliniusContext,
+        network: &Network,
+        iteration: u64,
+    ) -> Result<(), PliniusError> {
+        // The PM tier pipelines; the (much rarer) SSD demotion stays synchronous.
+        self.mirror.persist_async(ctx, network, iteration)?;
+        self.demote_if_due(ctx, network, iteration)
+    }
+
+    fn drain(&mut self, ctx: &PliniusContext) -> Result<(), PliniusError> {
+        self.mirror.drain(ctx)
     }
 
     fn persist_stats(&self) -> PersistStats {
@@ -649,6 +756,20 @@ impl FaultInjectingBackend {
         self.fail_restore_at = Some(n);
         self
     }
+
+    /// Books one persist attempt against the shared 1-based fail-nth schedule —
+    /// `persist` and `persist_async` count on the same sequence, so a wrapper
+    /// behaves identically in both pipeline modes.
+    fn check_persist_fault(&mut self, iteration: u64) -> Result<(), PliniusError> {
+        self.persist_calls += 1;
+        if self.fail_persist_at == Some(self.persist_calls) {
+            return Err(PliniusError::InjectedFault(format!(
+                "injected persist fault (call {}, iteration {iteration})",
+                self.persist_calls
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl ModelPersistence for FaultInjectingBackend {
@@ -685,14 +806,22 @@ impl ModelPersistence for FaultInjectingBackend {
         network: &Network,
         iteration: u64,
     ) -> Result<(), PliniusError> {
-        self.persist_calls += 1;
-        if self.fail_persist_at == Some(self.persist_calls) {
-            return Err(PliniusError::InjectedFault(format!(
-                "injected persist fault (call {}, iteration {iteration})",
-                self.persist_calls
-            )));
-        }
+        self.check_persist_fault(iteration)?;
         self.inner.persist(ctx, network, iteration)
+    }
+
+    fn persist_async(
+        &mut self,
+        ctx: &PliniusContext,
+        network: &Network,
+        iteration: u64,
+    ) -> Result<(), PliniusError> {
+        self.check_persist_fault(iteration)?;
+        self.inner.persist_async(ctx, network, iteration)
+    }
+
+    fn drain(&mut self, ctx: &PliniusContext) -> Result<(), PliniusError> {
+        self.inner.drain(ctx)
     }
 
     fn persist_stats(&self) -> PersistStats {
@@ -921,6 +1050,138 @@ mod tests {
             0,
             "the SSD registry leaked a strong reference to the deployment clock"
         );
+    }
+
+    #[test]
+    fn pipelined_persist_counts_snapshots_and_publishes() {
+        let key = test_key(70);
+        let ctx = context_with_key(&key);
+        let mut net = small_network(71);
+        let mut backend = PmMirrorBackend::new();
+        backend.prepare(&ctx, &net).unwrap();
+        for i in 1..=4u64 {
+            net.set_iteration(i);
+            backend.persist_async(&ctx, &net, i).unwrap();
+        }
+        // Three of the four snapshots have been joined by the next persist_async;
+        // the fourth is still in flight.
+        let mid = backend.persist_stats();
+        assert_eq!(mid.snapshots, 4);
+        assert_eq!(mid.publishes, 3);
+        assert_eq!(mid.persists, 3);
+        backend.drain(&ctx).unwrap();
+        let done = backend.persist_stats();
+        assert_eq!(done.snapshots, 4);
+        assert_eq!(done.publishes, 4);
+        assert_eq!(done.persists, 4);
+        assert_eq!(done.persisted_bytes, 4 * net.model_bytes() as u64);
+        // Draining twice is a no-op.
+        backend.drain(&ctx).unwrap();
+        assert_eq!(backend.persist_stats(), done);
+        // The drained state restores the last iteration.
+        let mut restored = small_network(72);
+        let iteration = backend.restore(&ctx, &mut restored).unwrap();
+        assert_eq!(iteration, 4);
+        assert_eq!(weights(&restored), weights(&net));
+    }
+
+    #[test]
+    fn restore_joins_a_pending_publish_first() {
+        let key = test_key(73);
+        let ctx = context_with_key(&key);
+        let mut net = small_network(74);
+        let mut backend = PmMirrorBackend::new();
+        backend.prepare(&ctx, &net).unwrap();
+        net.set_iteration(6);
+        backend.persist_async(&ctx, &net, 6).unwrap();
+        // No explicit drain: restore must see iteration 6, not the empty mirror.
+        let mut restored = small_network(75);
+        let iteration = backend.restore(&ctx, &mut restored).unwrap();
+        assert_eq!(iteration, 6);
+        assert_eq!(weights(&restored), weights(&net));
+        assert_eq!(backend.persist_stats().publishes, 1);
+    }
+
+    #[test]
+    fn synchronous_persists_count_as_publishes_without_snapshots() {
+        let key = test_key(76);
+        let ctx = context_with_key(&key);
+        let mut net = small_network(77);
+        let mut backend = PmMirrorBackend::new();
+        backend.prepare(&ctx, &net).unwrap();
+        net.set_iteration(1);
+        backend.persist(&ctx, &net, 1).unwrap();
+        let stats = backend.persist_stats();
+        assert_eq!(stats.persists, 1);
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(stats.snapshots, 0);
+        assert_eq!(stats.overlap_wait_ns, 0);
+    }
+
+    #[test]
+    fn persist_async_falls_back_to_sync_for_plain_backends() {
+        // Backends that do not override the pipelined path keep working under
+        // Overlapped mode via the default sync fallback.
+        let key = test_key(78);
+        let ctx = context_with_key(&key);
+        let fs = shared_ssd(&ctx);
+        let mut net = small_network(79);
+        let mut backend = SsdCheckpointBackend::on_filesystem(fs.clone(), "fallback.ckpt");
+        net.set_iteration(3);
+        backend.persist_async(&ctx, &net, 3).unwrap();
+        backend.drain(&ctx).unwrap();
+        let stats = backend.persist_stats();
+        assert_eq!(stats.persists, 1);
+        assert_eq!(stats.snapshots, 0);
+        assert_eq!(stats.publishes, 0);
+        assert!(fs.exists("fallback.ckpt"));
+    }
+
+    #[test]
+    fn merged_stats_cover_the_pipeline_counters() {
+        let a = PersistStats {
+            persists: 1,
+            snapshots: 2,
+            publishes: 3,
+            overlap_wait_ns: 10,
+            ..PersistStats::default()
+        };
+        let b = PersistStats {
+            restores: 4,
+            snapshots: 1,
+            publishes: 1,
+            overlap_wait_ns: 5,
+            ..PersistStats::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.persists, 1);
+        assert_eq!(m.restores, 4);
+        assert_eq!(m.snapshots, 3);
+        assert_eq!(m.publishes, 4);
+        assert_eq!(m.overlap_wait_ns, 15);
+    }
+
+    #[test]
+    fn hybrid_pipelines_the_mirror_and_demotes_synchronously() {
+        let key = test_key(80);
+        let ctx = context_with_key(&key);
+        let fs = shared_ssd(&ctx);
+        let mut net = small_network(81);
+        let mut backend = HybridTieredBackend::on_filesystem(fs.clone(), "tier-async.ckpt", 2);
+        backend.prepare(&ctx, &net).unwrap();
+        for i in 1..=4u64 {
+            net.set_iteration(i);
+            backend.persist_async(&ctx, &net, i).unwrap();
+        }
+        backend.drain(&ctx).unwrap();
+        assert_eq!(backend.demotions(), 2);
+        let stats = backend.persist_stats();
+        assert_eq!(stats.snapshots, 4);
+        // 4 pipelined mirror publishes + 2 synchronous SSD demotions.
+        assert_eq!(stats.persists, 6);
+        assert_eq!(stats.publishes, 4);
+        assert!(fs.exists("tier-async.ckpt"));
+        assert!(MirrorModel::exists(&ctx));
     }
 
     #[test]

@@ -16,6 +16,49 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_clock::CostModel;
 
+/// How the per-iteration persist is scheduled relative to the training compute.
+///
+/// Model weights, sealed PM epoch contents and loss curves are **bit-identical**
+/// between the two modes (and for every `PLINIUS_THREADS` value); only timing —
+/// simulated and wall-clock — differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelineMode {
+    /// The paper's Algorithm 2: every persist seals and writes the mirror inline, so
+    /// an iteration costs `compute + mirror`.
+    #[default]
+    Sync,
+    /// Two-phase pipelined persistence: a cheap snapshot is staged inline and the
+    /// seal + PM publish runs on a background worker, overlapping the next
+    /// iteration's compute. Steady-state cost approaches `max(compute, mirror)`;
+    /// the committed PM state trails by at most one in-flight publish, which is
+    /// joined at the end of the run (and before every restore).
+    Overlapped,
+}
+
+impl PipelineMode {
+    /// Environment variable that picks the default pipeline mode
+    /// (`sync`/`overlapped`); unset or unrecognised values mean [`PipelineMode::Sync`].
+    /// CI uses this to run the whole suite in both modes.
+    pub const ENV: &'static str = "PLINIUS_PIPELINE";
+
+    /// The mode selected by the [`PipelineMode::ENV`] environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var(Self::ENV) {
+            Ok(v) if v.trim().eq_ignore_ascii_case("overlapped") => PipelineMode::Overlapped,
+            _ => PipelineMode::Sync,
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineMode::Sync => f.write_str("sync"),
+            PipelineMode::Overlapped => f.write_str("overlapped"),
+        }
+    }
+}
+
 /// Numeric knobs of a training run. Persistence policy is *not* part of this struct:
 /// the medium is a [`ModelPersistence`] backend chosen on the [`PliniusBuilder`] (or
 /// declaratively via [`TrainingSetup::backend`]).
@@ -32,6 +75,9 @@ pub struct TrainerConfig {
     pub encrypted_data: bool,
     /// RNG seed for batch sampling.
     pub seed: u64,
+    /// Whether persists run inline ([`PipelineMode::Sync`]) or overlapped with the
+    /// next iteration's compute ([`PipelineMode::Overlapped`]).
+    pub pipeline: PipelineMode,
 }
 
 impl Default for TrainerConfig {
@@ -42,6 +88,7 @@ impl Default for TrainerConfig {
             mirror_frequency: 1,
             encrypted_data: true,
             seed: 0xBEEF,
+            pipeline: PipelineMode::from_env(),
         }
     }
 }
@@ -136,12 +183,32 @@ impl PliniusTrainer {
             self.network.train_batch(&images, &labels, batch)
         })??;
         // Persist according to the configured frequency — the trainer does not know
-        // (or care) which medium the backend writes to.
+        // (or care) which medium the backend writes to. In overlapped mode the
+        // backend stages a cheap snapshot and publishes it in the background while
+        // the next iteration computes; `drain` joins the tail publish.
         let iteration = self.network.iteration();
         if iteration.is_multiple_of(self.config.mirror_frequency) {
-            self.backend.persist(&self.ctx, &self.network, iteration)?;
+            match self.config.pipeline {
+                PipelineMode::Sync => self.backend.persist(&self.ctx, &self.network, iteration)?,
+                PipelineMode::Overlapped => {
+                    self.backend
+                        .persist_async(&self.ctx, &self.network, iteration)?
+                }
+            }
         }
         Ok(loss)
+    }
+
+    /// Joins and commits any in-flight background publish of the persistence backend.
+    /// [`PliniusTrainer::run`]/[`PliniusTrainer::run_at_most`] call this on every
+    /// exit path; it is needed explicitly only when driving [`PliniusTrainer::step`]
+    /// by hand in overlapped mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the joined publish.
+    pub fn drain(&mut self) -> Result<(), PliniusError> {
+        self.backend.drain(&self.ctx)
     }
 
     /// Runs until `max_iterations` is reached (the full Algorithm 2 loop).
@@ -162,11 +229,22 @@ impl PliniusTrainer {
         let start_ns = self.ctx.clock().now_ns();
         let mut losses = Vec::new();
         let mut executed = 0u64;
+        let mut result = Ok(());
         while !self.is_done() && executed < limit {
-            let loss = self.step()?;
-            losses.push((self.network.iteration(), loss));
+            match self.step() {
+                Ok(loss) => losses.push((self.network.iteration(), loss)),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
             executed += 1;
         }
+        // Join the tail publish on every exit path, so the committed PM state is
+        // up to date when the run returns (successfully or not).
+        let drained = self.backend.drain(&self.ctx);
+        result?;
+        drained?;
         Ok(TrainingReport {
             losses,
             final_iteration: self.network.iteration(),
@@ -217,6 +295,7 @@ impl TrainingSetup {
                 mirror_frequency: 1,
                 encrypted_data: true,
                 seed: 1,
+                pipeline: PipelineMode::from_env(),
             },
             backend: PersistenceBackend::PmMirror,
             model_seed: 3,
@@ -325,6 +404,15 @@ impl PliniusBuilder {
     /// Selects encrypted PM training data (the Plinius path) or the plaintext baseline.
     pub fn encrypted_data(mut self, encrypted: bool) -> Self {
         self.setup.trainer.encrypted_data = encrypted;
+        self
+    }
+
+    /// Selects how persists are scheduled: inline ([`PipelineMode::Sync`], the
+    /// default) or overlapped with the next iteration's compute
+    /// ([`PipelineMode::Overlapped`]). Results are bit-identical either way; only
+    /// timing differs.
+    pub fn pipeline_mode(mut self, mode: PipelineMode) -> Self {
+        self.setup.trainer.pipeline = mode;
         self
     }
 

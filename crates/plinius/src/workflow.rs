@@ -6,7 +6,7 @@
 
 use crate::persist::PersistStats;
 use crate::pmdata::PmDataset;
-use crate::trainer::{PliniusBuilder, TrainingSetup};
+use crate::trainer::{PipelineMode, PliniusBuilder, TrainingSetup};
 use crate::{PliniusContext, PliniusError};
 use plinius_crypto::Key;
 use plinius_sgx::{AttestationService, DataOwner};
@@ -30,8 +30,20 @@ pub struct WorkflowReport {
     pub simulated_ns: u64,
     /// Label of the persistence backend that protected the model.
     pub backend: String,
-    /// Activity counters of the persistence backend.
+    /// How persists were scheduled (inline or overlapped with compute).
+    pub pipeline: PipelineMode,
+    /// Activity counters of the persistence backend, including the pipeline's
+    /// snapshot/publish counts and the simulated overlap wait.
     pub persist_stats: PersistStats,
+}
+
+impl WorkflowReport {
+    /// Simulated milliseconds the training lane spent waiting for background
+    /// publishes (zero in [`PipelineMode::Sync`], or when compute fully hides the
+    /// sealing).
+    pub fn overlap_wait_ms(&self) -> f64 {
+        self.persist_stats.overlap_wait_ns as f64 / 1e6
+    }
 }
 
 /// Runs the complete Fig. 5 workflow for the given setup:
@@ -87,6 +99,7 @@ pub fn run_full_workflow(setup: &TrainingSetup) -> Result<WorkflowReport, Pliniu
         pm_dataset_bytes,
         simulated_ns: clock.now_ns(),
         backend: trainer.backend().label().to_owned(),
+        pipeline: setup.trainer.pipeline,
         persist_stats: trainer.persist_stats(),
     })
 }
@@ -110,8 +123,17 @@ mod tests {
         assert!(report.pm_dataset_bytes > 0);
         assert!(report.simulated_ns > 0);
         assert_eq!(report.backend, "pm-mirror");
+        assert_eq!(report.pipeline, setup.trainer.pipeline);
         assert_eq!(report.persist_stats.persists, 15);
         assert!(report.persist_stats.persisted_bytes > 0);
+        // In overlapped mode every persist goes through a snapshot; in sync mode
+        // none does. Either way the committed publish count matches the persists.
+        assert_eq!(report.persist_stats.publishes, 15);
+        match report.pipeline {
+            PipelineMode::Sync => assert_eq!(report.persist_stats.snapshots, 0),
+            PipelineMode::Overlapped => assert_eq!(report.persist_stats.snapshots, 15),
+        }
+        assert!(report.overlap_wait_ms() >= 0.0);
     }
 
     #[test]

@@ -103,6 +103,52 @@ fn steady_state_threaded_mirror_out_allocates_only_dispatch_buffers() {
 }
 
 #[test]
+fn steady_state_snapshot_phase_performs_zero_heap_allocations() {
+    // The cheap half of an overlapped mirror-out: staging the parameters + IV batch
+    // into a pre-allocated slot and dispatching the seal job must not touch the heap
+    // once the pipeline (worker, two buffer sets, stats counters) is warm. The job
+    // *moves* through the pipeline's single exchange slot, so even the dispatch is
+    // allocation-free on the calling thread.
+    let (ctx, net, mirror) = mirror_fixture();
+    for _ in 0..3 {
+        mirror.snapshot_out(&ctx, &net).unwrap();
+        mirror.drain(&ctx).unwrap();
+    }
+    let before = thread_allocs();
+    mirror.snapshot_out(&ctx, &net).unwrap();
+    let allocs = thread_allocs() - before;
+    mirror.drain(&ctx).unwrap();
+    assert_eq!(
+        allocs, 0,
+        "steady-state snapshot phase must not touch the heap"
+    );
+}
+
+#[test]
+fn steady_state_overlapped_cycle_performs_zero_heap_allocations_on_the_training_thread() {
+    // A full overlapped persist cycle — snapshot, background seal, join, bulk slot
+    // publish, epoch flip — seen from the training thread. The background worker's
+    // own allocations (if any) land on its thread and are bounded by the sealing
+    // scratch, exactly as in the threaded sync variant; the training thread itself
+    // must stay off the heap.
+    let (ctx, net, mirror) = mirror_fixture();
+    // Warm-up: three cycles cover both A/B slots' pmem cache lines, the Romulus
+    // copy scratch and every stats counter.
+    for _ in 0..3 {
+        mirror.snapshot_out(&ctx, &net).unwrap();
+        mirror.drain(&ctx).unwrap();
+    }
+    let before = thread_allocs();
+    mirror.snapshot_out(&ctx, &net).unwrap();
+    mirror.drain(&ctx).unwrap();
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state overlapped mirror_out path must not touch the heap on the training thread"
+    );
+}
+
+#[test]
 fn mirror_out_still_round_trips_under_the_counting_allocator() {
     // Sanity: the instrumented binary still produces a restorable mirror.
     let (ctx, net, mirror) = mirror_fixture();

@@ -1,0 +1,248 @@
+//! End-to-end guarantees of the pipelined (overlapped) training engine:
+//!
+//! * a full Overlapped run produces **bit-identical** model weights, loss curves and
+//!   committed mirror epochs to the Sync run — only timing differs (and the
+//!   Overlapped simulated total is strictly smaller);
+//! * crash/resume twin runs with crashes injected **mid-publish** (between the bulk
+//!   slot writes, and inside the epoch-flip transaction) resume bit-exactly from the
+//!   last *committed* epoch.
+
+use plinius::{
+    MirrorModel, PipelineMode, PliniusBuilder, PliniusContext, PliniusError, PmDataset,
+    TrainingSetup,
+};
+use plinius_crypto::Key;
+use plinius_pmem::CrashMode;
+use plinius_romulus::{FailPoint, RomulusError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small momentum-free setup: with momentum 0 the entire training state lives in
+/// the persisted tensors, so resume from the mirror is bit-for-bit deterministic.
+fn stable_setup(max_iterations: u64) -> TrainingSetup {
+    let mut setup = TrainingSetup::small_test();
+    setup.model_config = plinius_darknet::mnist_cnn_config_with_momentum(2, 4, 8, 0.0);
+    setup.trainer.max_iterations = max_iterations;
+    setup
+}
+
+/// Deploys a fresh context for `setup` with the given key: pool created, key
+/// provisioned, dataset loaded into PM.
+fn deploy(setup: &TrainingSetup, key: &Key) -> PliniusContext {
+    let ctx = PliniusContext::create(setup.cost.clone(), setup.pm_bytes).unwrap();
+    ctx.provision_key_directly(key.clone());
+    PmDataset::load(&ctx, &setup.dataset).unwrap();
+    ctx
+}
+
+fn test_key(seed: u64) -> Key {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Key::generate_128(&mut rng)
+}
+
+fn weights(net: &plinius_darknet::Network) -> Vec<Vec<f32>> {
+    net.layers()
+        .iter()
+        .filter(|l| l.is_trainable())
+        .flat_map(|l| {
+            l.params()
+                .iter()
+                .map(|p| p.data.to_vec())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn overlapped_run_is_bit_identical_to_sync_and_strictly_faster_simulated() {
+    let setup = stable_setup(12);
+    let key = test_key(100);
+    let run = |mode: PipelineMode| {
+        let ctx = deploy(&setup, &key);
+        let mut trainer = PliniusBuilder::new(setup.clone())
+            .context(ctx)
+            .pipeline_mode(mode)
+            .build()
+            .unwrap();
+        let report = trainer.run().unwrap();
+        let final_weights = weights(trainer.network());
+        let ctx = trainer.context().clone();
+        let stats = trainer.persist_stats();
+        drop(trainer);
+        // Read back what actually got committed to PM.
+        let mirror = MirrorModel::open(&ctx).unwrap();
+        let epoch = mirror.epoch(&ctx).unwrap();
+        let mirror_iteration = mirror.iteration(&ctx).unwrap();
+        let mut restored = setup.build_network().unwrap();
+        mirror.mirror_in(&ctx, &mut restored).unwrap();
+        (
+            report,
+            final_weights,
+            weights(&restored),
+            epoch,
+            mirror_iteration,
+            stats,
+        )
+    };
+    let (sync_report, sync_w, sync_mirror_w, sync_epoch, sync_iter, sync_stats) =
+        run(PipelineMode::Sync);
+    let (over_report, over_w, over_mirror_w, over_epoch, over_iter, over_stats) =
+        run(PipelineMode::Overlapped);
+    // Functionally bit-identical: weights, loss curve, committed epoch state.
+    assert_eq!(sync_w, over_w);
+    assert_eq!(sync_report.losses, over_report.losses);
+    assert_eq!(sync_mirror_w, over_mirror_w);
+    assert_eq!(sync_mirror_w, sync_w, "mirror must hold the final weights");
+    assert_eq!((sync_epoch, sync_iter), (over_epoch, over_iter));
+    assert_eq!(sync_epoch, 12, "one committed epoch per iteration");
+    assert_eq!(sync_stats.persists, over_stats.persists);
+    assert_eq!(over_stats.snapshots, 12);
+    assert_eq!(over_stats.publishes, 12);
+    assert_eq!(sync_stats.snapshots, 0);
+    // Only timing differs — and the pipeline must win (here compute covers most of
+    // the sealing, so the hidden crypto time is pure profit).
+    assert!(
+        over_report.simulated_ns < sync_report.simulated_ns,
+        "overlapped {} ns should beat sync {} ns",
+        over_report.simulated_ns,
+        sync_report.simulated_ns
+    );
+}
+
+/// Drives an Overlapped run that crashes at the armed Romulus failpoint while
+/// publishing (after `crash_after_steps` clean steps), then resumes over the
+/// surviving pool and finishes. Returns the final weights and the iteration the
+/// resumed trainer started from.
+fn crash_resume_overlapped(
+    setup: &TrainingSetup,
+    key: &Key,
+    crash_after_steps: u64,
+    failpoint: FailPoint,
+) -> (Vec<Vec<f32>>, u64) {
+    let ctx = deploy(setup, key);
+    let pool = ctx.pool().clone();
+    let mut trainer = PliniusBuilder::new(setup.clone())
+        .context(ctx)
+        .pipeline_mode(PipelineMode::Overlapped)
+        .build()
+        .unwrap();
+    // Clean steps first (driven by hand so no drain happens in between), then arm
+    // the crash point: the next step's publish join dies mid-publish.
+    for _ in 0..crash_after_steps {
+        trainer.step().unwrap();
+    }
+    trainer.context().romulus().inject_failure(failpoint);
+    let err = trainer.step().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PliniusError::Romulus(RomulusError::InjectedCrash) | PliniusError::Pipeline(_)
+        ),
+        "unexpected error: {err}"
+    );
+    drop(trainer);
+    // Power failure: volatile state (including the in-flight snapshot) is lost.
+    let mut crash_rng = StdRng::seed_from_u64(4242);
+    pool.crash(&mut crash_rng, CrashMode::ArbitraryEviction);
+    // Restart over the surviving pool and finish the run.
+    let ctx2 = PliniusContext::open(pool, setup.cost.clone()).unwrap();
+    ctx2.provision_key_directly(key.clone());
+    let mut resumed = PliniusBuilder::new(setup.clone())
+        .context(ctx2)
+        .pipeline_mode(PipelineMode::Overlapped)
+        .build()
+        .unwrap();
+    let resumed_from = resumed.iteration();
+    resumed.run().unwrap();
+    (weights(resumed.network()), resumed_from)
+}
+
+#[test]
+fn crash_between_slot_publishes_resumes_bit_exactly_from_the_committed_epoch() {
+    let setup = stable_setup(10);
+    let key = test_key(200);
+    // Reference: one uninterrupted overlapped run.
+    let ctx = deploy(&setup, &key);
+    let mut reference = PliniusBuilder::new(setup.clone())
+        .context(ctx)
+        .pipeline_mode(PipelineMode::Overlapped)
+        .build()
+        .unwrap();
+    reference.run().unwrap();
+    let reference_weights = weights(reference.network());
+    drop(reference);
+    // Crash after 3 tensor slot writes of a bulk publish (before the epoch flip):
+    // the committed epoch must be the previous complete one.
+    let (final_weights, resumed_from) =
+        crash_resume_overlapped(&setup, &key, 4, FailPoint::AfterDirectPublishes(3));
+    // Snapshots were staged at iterations 1..=4; the joins during steps 2..=4
+    // committed epochs for iterations 1..=3, and the crashed join (inside step 5)
+    // died publishing iteration 4 — so the last *committed* epoch is iteration 3,
+    // and the finished run must still match the uninterrupted one bit-exactly.
+    assert_eq!(resumed_from, 3, "resume point is the last committed epoch");
+    assert_eq!(final_weights, reference_weights);
+}
+
+#[test]
+fn crash_inside_the_epoch_flip_resumes_bit_exactly() {
+    let setup = stable_setup(10);
+    let key = test_key(300);
+    let ctx = deploy(&setup, &key);
+    let mut reference = PliniusBuilder::new(setup.clone())
+        .context(ctx)
+        .pipeline_mode(PipelineMode::Overlapped)
+        .build()
+        .unwrap();
+    reference.run().unwrap();
+    let reference_weights = weights(reference.network());
+    drop(reference);
+    // Crash after the first store of the flip transaction: iteration already
+    // written to main, epoch/active not — recovery must roll the header back.
+    // After 3 clean steps the joins committed iterations 1..=2; the crashed join
+    // (inside step 4) died flipping iteration 3's epoch.
+    let (final_weights, resumed_from) =
+        crash_resume_overlapped(&setup, &key, 3, FailPoint::AfterStores(1));
+    assert_eq!(resumed_from, 2, "resume point is the last committed epoch");
+    assert_eq!(final_weights, reference_weights);
+}
+
+#[test]
+fn sync_and_overlapped_crash_resume_land_on_the_same_weights() {
+    // The same mid-publish crash schedule driven through the *sync* path (where the
+    // publish happens inline) must land on the same final weights as the overlapped
+    // runs above — mode never leaks into the model.
+    let setup = stable_setup(10);
+    let key = test_key(200);
+    let ctx = deploy(&setup, &key);
+    let pool = ctx.pool().clone();
+    let mut trainer = PliniusBuilder::new(setup.clone())
+        .context(ctx)
+        .pipeline_mode(PipelineMode::Sync)
+        .build()
+        .unwrap();
+    for _ in 0..4 {
+        trainer.step().unwrap();
+    }
+    trainer
+        .context()
+        .romulus()
+        .inject_failure(FailPoint::AfterDirectPublishes(3));
+    assert!(trainer.step().is_err());
+    drop(trainer);
+    let mut crash_rng = StdRng::seed_from_u64(4242);
+    pool.crash(&mut crash_rng, CrashMode::ArbitraryEviction);
+    let ctx2 = PliniusContext::open(pool, setup.cost.clone()).unwrap();
+    ctx2.provision_key_directly(key.clone());
+    let mut resumed = PliniusBuilder::new(setup.clone())
+        .context(ctx2)
+        .pipeline_mode(PipelineMode::Sync)
+        .build()
+        .unwrap();
+    // Sync: iterations 1..=4 committed inline; the crashed 5th step died publishing.
+    assert_eq!(resumed.iteration(), 4);
+    resumed.run().unwrap();
+    let sync_weights = weights(resumed.network());
+    let (overlapped_weights, _) =
+        crash_resume_overlapped(&setup, &key, 4, FailPoint::AfterDirectPublishes(3));
+    assert_eq!(sync_weights, overlapped_weights);
+}

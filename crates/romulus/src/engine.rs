@@ -115,6 +115,10 @@ pub enum FailPoint {
     AfterCopyingState,
     /// Crash after copying the first `n` logged ranges into the back region.
     AfterBackCopies(usize),
+    /// Crash after the first `n` [`Romulus::publish_region`] calls (direct twin
+    /// writes outside any transaction) — models a power failure in the middle of a
+    /// double-buffered bulk publish, before the epoch-flip transaction runs.
+    AfterDirectPublishes(usize),
 }
 
 /// A volatile redo-log entry: one modified range of the main region.
@@ -321,7 +325,19 @@ impl Romulus {
         &self,
         body: impl FnOnce(&mut Tx<'_>) -> Result<R, RomulusError>,
     ) -> Result<R, RomulusError> {
-        let failpoint = self.failpoint.lock().take();
+        let failpoint = {
+            let mut armed = self.failpoint.lock();
+            // Direct-publish crash points belong to `publish_region`, not to
+            // transactions: leave them armed for the next publish instead of
+            // consuming them here.
+            match armed.take() {
+                Some(FailPoint::AfterDirectPublishes(n)) => {
+                    *armed = Some(FailPoint::AfterDirectPublishes(n));
+                    None
+                }
+                other => other,
+            }
+        };
         self.log.lock().clear();
         // Fence #1: publish MUTATING before any user store reaches main.
         self.write_header_u64(8, State::Mutating as u64)?;
@@ -436,6 +452,55 @@ impl Romulus {
         let mut bytes = [0u8; 8];
         self.read_bytes_into(ptr, &mut bytes)?;
         Ok(u64::from_le_bytes(bytes))
+    }
+
+    // ------------------------------------------------------------- direct publishes
+
+    /// Persists `data` at `ptr` in **both** twin regions, outside any transaction and
+    /// without touching the redo log — the bulk-write half of a double-buffered
+    /// publish protocol.
+    ///
+    /// # Consistency contract
+    ///
+    /// The written range must be *unreachable* from any committed pointer until a
+    /// subsequent **transaction** publishes a pointer/epoch referring to it (the
+    /// "flip"). Under that discipline every crash is safe:
+    ///
+    /// * a crash during the publish leaves torn bytes only in a range nothing points
+    ///   to — the previously committed state is untouched in both regions;
+    /// * because main and back receive identical bytes, the full-region
+    ///   back→main/main→back copies of Romulus recovery (and of a logical abort)
+    ///   cannot resurrect stale data into a published range.
+    ///
+    /// Compared to streaming the same bytes through [`Tx::write_bytes`], this skips
+    /// the per-store redo-log bookkeeping and the read-back main→back copy at commit
+    /// while still paying the twin write (Romulus' inherent 2× write amplification).
+    ///
+    /// May not be called from inside a transaction body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RomulusError::OutOfRegion`] if the range leaves the region, and
+    /// [`RomulusError::InjectedCrash`] once an armed
+    /// [`FailPoint::AfterDirectPublishes`] triggers.
+    pub fn publish_region(&self, ptr: PmPtr, data: &[u8]) -> Result<(), RomulusError> {
+        {
+            let mut armed = self.failpoint.lock();
+            if let Some(FailPoint::AfterDirectPublishes(n)) = *armed {
+                if n == 0 {
+                    armed.take();
+                    return Err(RomulusError::InjectedCrash);
+                }
+                *armed = Some(FailPoint::AfterDirectPublishes(n - 1));
+            }
+        }
+        self.check_range(ptr.offset(), data.len() as u64)?;
+        self.flavor.charge_pm_write(data.len() as u64);
+        self.pool
+            .persist(self.layout.main_start + ptr.offset() as usize, data)?;
+        self.pool
+            .persist(self.layout.back_start + ptr.offset() as usize, data)?;
+        Ok(())
     }
 
     /// Reads the persistent object root at `index`.
@@ -876,6 +941,78 @@ mod tests {
             .crash(&mut rng, plinius_pmem::CrashMode::DropUnflushed);
         rom.recover().unwrap();
         assert_eq!(rom.read_u64(p).unwrap(), 8);
+    }
+
+    #[test]
+    fn publish_region_survives_every_recovery_path() {
+        let rom = engine(16 * 1024);
+        // Commit a pointer to an allocation, then publish fresh bytes into a second,
+        // not-yet-referenced allocation (the double-buffer pattern).
+        let (committed, staged) = rom
+            .transaction(|tx| {
+                let a = tx.alloc(32)?;
+                tx.write_bytes(a, b"epoch-0 payload")?;
+                tx.set_root(0, a)?;
+                let b = tx.alloc(32)?;
+                Ok((a, b))
+            })
+            .unwrap();
+        rom.publish_region(staged, b"epoch-1 payload").unwrap();
+        // The direct write is durable and readable in main immediately.
+        assert_eq!(rom.read_bytes(staged, 15).unwrap(), b"epoch-1 payload");
+        // A later *aborted* transaction restores main from back wholesale; the
+        // published range must not revert (main and back hold identical bytes).
+        let err = rom.transaction(|tx| -> Result<(), RomulusError> {
+            tx.write_bytes(committed, b"discard")?;
+            Err(RomulusError::Corrupted("user abort".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(rom.read_bytes(staged, 15).unwrap(), b"epoch-1 payload");
+        assert_eq!(rom.read_bytes(committed, 15).unwrap(), b"epoch-0 payload");
+        // A crash in MUTATING (back→main recovery) must not revert it either.
+        rom.inject_failure(FailPoint::AfterStores(0));
+        let err = rom.transaction(|tx| tx.write_bytes(committed, b"also discarded"));
+        assert_eq!(err.unwrap_err(), RomulusError::InjectedCrash);
+        let mut rng = StdRng::seed_from_u64(77);
+        rom.pool()
+            .crash(&mut rng, plinius_pmem::CrashMode::DropUnflushed);
+        rom.recover().unwrap();
+        assert_eq!(rom.read_bytes(staged, 15).unwrap(), b"epoch-1 payload");
+        assert_eq!(rom.read_bytes(committed, 15).unwrap(), b"epoch-0 payload");
+    }
+
+    #[test]
+    fn publish_region_rejects_out_of_region_ranges() {
+        let rom = engine(8192);
+        assert!(matches!(
+            rom.publish_region(PmPtr::from_offset(8190), &[0u8; 16])
+                .unwrap_err(),
+            RomulusError::OutOfRegion { .. }
+        ));
+    }
+
+    #[test]
+    fn direct_publish_failpoint_fires_after_n_publishes() {
+        let rom = engine(16 * 1024);
+        let ptr = rom
+            .transaction(|tx| {
+                let p = tx.alloc(256)?;
+                tx.set_root(0, p)?;
+                Ok(p)
+            })
+            .unwrap();
+        rom.inject_failure(FailPoint::AfterDirectPublishes(2));
+        // The armed direct-publish crash point must survive an interposed
+        // transaction (it belongs to publish_region, not to transactions).
+        rom.transaction(|tx| tx.write_u64(ptr, 9)).unwrap();
+        assert!(rom.publish_region(ptr.add(64), b"one").is_ok());
+        assert!(rom.publish_region(ptr.add(128), b"two").is_ok());
+        assert_eq!(
+            rom.publish_region(ptr.add(192), b"three").unwrap_err(),
+            RomulusError::InjectedCrash
+        );
+        // Disarmed after firing.
+        assert!(rom.publish_region(ptr.add(192), b"three").is_ok());
     }
 
     #[test]

@@ -320,6 +320,20 @@ impl Enclave {
         self.maybe_count_paging(bytes);
     }
 
+    /// The simulated cost of AES-GCM work over `bytes` *without* advancing the clock;
+    /// the statistics are still recorded exactly as [`Enclave::charge_crypto`] would.
+    ///
+    /// Used by the pipelined mirror: the sealing runs on a background worker and its
+    /// lane cost is charged at the overlap join (`SimSpan::overlap`) instead of
+    /// inline, so the simulated total reflects `max(compute, seal)` rather than
+    /// their sum.
+    pub fn charge_crypto_offline(&self, bytes: u64) -> u64 {
+        let ns = self.inner.cost.crypto_ns(bytes, self.working_set());
+        self.inner.stats.counter("sgx.crypto_bytes").add(bytes);
+        self.maybe_count_paging(bytes);
+        ns
+    }
+
     /// Charges the cost of copying `bytes` from PM into enclave memory.
     pub fn charge_pm_read(&self, bytes: u64) {
         let ns = self.inner.cost.pm_read_ns(bytes, self.working_set());

@@ -76,6 +76,30 @@ impl SimClock {
         self.ns.load(Ordering::Relaxed)
     }
 
+    /// Advances the clock to `target_ns` if it is still behind that instant, and
+    /// returns the (possibly unchanged) current time. The clock never moves backwards:
+    /// a target in the past is a no-op.
+    ///
+    /// This is the building block of parallel-lane accounting (see
+    /// [`SimSpan::overlap`]): a lane that forked at `f` and consumed `d` simulated
+    /// nanoseconds joins with `advance_to(f + d)`, charging only the part of the lane
+    /// that was *not* hidden behind work already charged to the clock.
+    pub fn advance_to(&self, target_ns: u64) -> u64 {
+        let mut current = self.ns.load(Ordering::Relaxed);
+        while current < target_ns {
+            match self.ns.compare_exchange_weak(
+                current,
+                target_ns,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return target_ns,
+                Err(observed) => current = observed,
+            }
+        }
+        current
+    }
+
     /// Returns the current simulated time as a [`Duration`].
     pub fn now(&self) -> Duration {
         Duration::from_nanos(self.now_ns())
@@ -123,6 +147,26 @@ impl SimSpan {
         let out = f();
         let end_ns = clock.now_ns();
         (out, SimSpan { start_ns, end_ns })
+    }
+
+    /// Parallel-lane accounting: joins a lane that forked from the main timeline at
+    /// `fork_ns` and consumed `lane_ns` of simulated time *in parallel* with whatever
+    /// has been charged to `clock` since the fork.
+    ///
+    /// The clock is advanced to `fork_ns + lane_ns` only if it is still behind that
+    /// instant — i.e. the join charges `max(main lane, parallel lane)` rather than
+    /// their sum, which is exactly the overlap model of a pipelined save: work hidden
+    /// behind compute costs nothing, and only the *residual* (the part of the lane
+    /// that outlived the main-lane work) shows up as simulated time.
+    ///
+    /// The returned span covers the join itself; its [`SimSpan::nanos`] is the
+    /// residual charge (zero when the lane was fully hidden). The accounting is
+    /// deterministic: it depends only on `fork_ns`, `lane_ns` and the charges made to
+    /// the clock between fork and join, never on wall-clock thread scheduling.
+    pub fn overlap(clock: &SimClock, fork_ns: u64, lane_ns: u64) -> SimSpan {
+        let start_ns = clock.now_ns();
+        let end_ns = clock.advance_to(fork_ns.saturating_add(lane_ns));
+        SimSpan { start_ns, end_ns }
     }
 
     /// Span length in nanoseconds.
@@ -203,6 +247,53 @@ mod tests {
         assert_eq!(span.end_ns, 350);
         assert_eq!(span.nanos(), 250);
         assert!((span.millis() - 0.00025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let clock = SimClock::new();
+        clock.advance_ns(100);
+        // Target in the future: the clock jumps to it.
+        assert_eq!(clock.advance_to(250), 250);
+        assert_eq!(clock.now_ns(), 250);
+        // Target in the past: no-op, never rewinds.
+        assert_eq!(clock.advance_to(50), 250);
+        assert_eq!(clock.now_ns(), 250);
+        // Target at the present: no-op.
+        assert_eq!(clock.advance_to(250), 250);
+    }
+
+    #[test]
+    fn overlap_charges_only_the_residual_lane_time() {
+        // Lane forks at 100 with 300 ns of work; the main lane charges 200 ns before
+        // the join. The join must add only the 100 ns the lane was NOT hidden.
+        let clock = SimClock::new();
+        clock.advance_ns(100);
+        let fork = clock.now_ns();
+        clock.advance_ns(200); // main-lane work between fork and join
+        let span = SimSpan::overlap(&clock, fork, 300);
+        assert_eq!(span.nanos(), 100);
+        assert_eq!(clock.now_ns(), 400); // fork + max(200, 300)
+    }
+
+    #[test]
+    fn overlap_is_free_when_the_lane_is_fully_hidden() {
+        let clock = SimClock::new();
+        let fork = clock.now_ns();
+        clock.advance_ns(500); // main lane dominates
+        let span = SimSpan::overlap(&clock, fork, 300);
+        assert_eq!(span.nanos(), 0);
+        assert_eq!(clock.now_ns(), 500); // max(500, 300), not 800
+    }
+
+    #[test]
+    fn overlap_with_no_main_lane_work_charges_the_whole_lane() {
+        let clock = SimClock::new();
+        clock.advance_ns(42);
+        let fork = clock.now_ns();
+        let span = SimSpan::overlap(&clock, fork, 1_000);
+        assert_eq!(span.nanos(), 1_000);
+        assert_eq!(clock.now_ns(), 1_042);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --example crash_resilient_training`
 
-use plinius::{train_with_crash_schedule, PersistenceBackend, TrainerConfig, TrainingSetup};
+use plinius::{
+    train_with_crash_schedule, PersistenceBackend, PipelineMode, TrainerConfig, TrainingSetup,
+};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mirror_frequency: 1,
             encrypted_data: true,
             seed: 2,
+            pipeline: PipelineMode::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 9,

@@ -13,8 +13,8 @@
 //! Run with: `cargo run --example hybrid_tiered_training`
 
 use plinius::{
-    shared_ssd, HybridTieredBackend, PersistenceBackend, PliniusBuilder, PliniusContext, PmDataset,
-    TrainerConfig, TrainingSetup,
+    shared_ssd, HybridTieredBackend, PersistenceBackend, PipelineMode, PliniusBuilder,
+    PliniusContext, PmDataset, TrainerConfig, TrainingSetup,
 };
 use plinius_crypto::Key;
 use rand::rngs::StdRng;
@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mirror_frequency: 1,
             encrypted_data: true,
             seed: 6,
+            pipeline: PipelineMode::from_env(),
         },
         backend: PersistenceBackend::HybridTiered {
             ssd_path: "tier.ckpt".into(),

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use plinius::{run_full_workflow, PersistenceBackend, TrainerConfig, TrainingSetup};
+use plinius::{run_full_workflow, PersistenceBackend, PipelineMode, TrainerConfig, TrainingSetup};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mirror_frequency: 1,
             encrypted_data: true,
             seed: 7,
+            pipeline: PipelineMode::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 3,

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example secure_inference`
 
-use plinius::{PersistenceBackend, PliniusBuilder, TrainerConfig, TrainingSetup};
+use plinius::{PersistenceBackend, PipelineMode, PliniusBuilder, TrainerConfig, TrainingSetup};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mirror_frequency: 10,
             encrypted_data: true,
             seed: 33,
+            pipeline: PipelineMode::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 8,
