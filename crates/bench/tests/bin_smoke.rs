@@ -40,6 +40,7 @@ smoke_test! {
     fig9_crash_runs => "fig9_crash",
     fig10_spot_runs => "fig10_spot",
     inference_accuracy_runs => "inference_accuracy",
+    serve_bench_runs => "serve_bench",
     table1_breakdown_runs => "table1_breakdown",
     tcb_report_runs => "tcb_report",
 }

@@ -63,6 +63,7 @@ use std::sync::Arc;
 pub mod mirror;
 pub mod persist;
 pub mod pmdata;
+pub mod serve;
 pub mod ssd;
 pub mod trainer;
 pub mod workflow;
@@ -73,6 +74,7 @@ pub use persist::{
     PersistStats, PersistenceBackend, PmMirrorBackend, SsdCheckpointBackend,
 };
 pub use pmdata::PmDataset;
+pub use serve::{InferenceServer, ServeConfig, ServeReport, ServeSession};
 pub use ssd::SsdCheckpointer;
 pub use trainer::{
     spot_crash_schedule, train_with_crash_schedule, CrashRunReport, PipelineMode, PliniusBuilder,
@@ -102,6 +104,10 @@ pub enum PliniusError {
     KeyNotProvisioned,
     /// No mirror model exists in PM (nothing to restore).
     NoMirrorModel,
+    /// The mirror exists but no epoch has been committed yet (the active slot holds
+    /// uninitialised bytes until the first mirror-out flips to it), so there is
+    /// nothing consistent to serve.
+    NoCommittedEpoch,
     /// No training dataset has been loaded into PM.
     NoPmDataset,
     /// The persisted mirror is structurally incompatible with the enclave model.
@@ -129,6 +135,12 @@ impl fmt::Display for PliniusError {
             }
             PliniusError::NoMirrorModel => {
                 write!(f, "no mirror model present in persistent memory")
+            }
+            PliniusError::NoCommittedEpoch => {
+                write!(
+                    f,
+                    "the mirror has not committed any epoch yet (train first)"
+                )
             }
             PliniusError::NoPmDataset => {
                 write!(f, "no training dataset present in persistent memory")

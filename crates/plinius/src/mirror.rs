@@ -38,6 +38,19 @@
 //!
 //! A *mirror-in* (model restore) reads the active slot's encrypted buffers from PM
 //! into the enclave and decrypts them into the enclave model.
+//!
+//! # Consistent snapshot reads
+//!
+//! A reader concurrent with a publish flip (an inference server hot-loading epochs
+//! while the trainer keeps mirroring, or a recovering process racing a surviving
+//! writer) must never mix tensors of one epoch with the iteration tag of another.
+//! [`MirrorModel::mirror_in`] therefore performs a seqlock-style read: load the full
+//! header `[iteration, epoch, active_slot]`, read the active slot's sealed buffers,
+//! re-read the header, and retry if anything moved. The epoch counter is strictly
+//! monotonic (every commit increments it by exactly one), so an unchanged header
+//! brackets an untouched slot — publishes only ever write the *inactive* slot, and
+//! reaching the active slot again requires at least one more epoch flip. Retries are
+//! counted in the `mirror.torn_read_retries` statistic.
 
 use crate::{bytes_to_f32s, f32s_to_bytes_into, PliniusContext, PliniusError, MODEL_KEY_NAME};
 use parking_lot::Mutex;
@@ -99,6 +112,9 @@ pub struct MirrorInReport {
     pub decrypt: SimSpan,
     /// Training iteration recovered from the mirror.
     pub iteration: u64,
+    /// Committed epoch the restored tensors belong to (0 before the first
+    /// mirror-out).
+    pub epoch: u64,
     /// Plaintext model bytes restored.
     pub model_bytes: usize,
 }
@@ -229,6 +245,24 @@ struct MirrorPipeline {
     inflight: Option<InflightPublish>,
 }
 
+/// Fault-injection hook of the seqlock read: fired with the 0-based attempt index
+/// between the header snapshot and the slot reads of [`MirrorModel::mirror_in`].
+type TornReadHook = Box<dyn FnMut(u64) + Send>;
+
+/// One atomic-enough view of the mirror header, compared before/after a slot read
+/// in the seqlock protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeaderSnapshot {
+    iteration: u64,
+    epoch: u64,
+    active: usize,
+}
+
+/// Give up after this many torn-read retries: the header moving this often during
+/// one restore means the writer publishes faster than the reader can read, which
+/// only fault injection can sustain.
+const MAX_TORN_READ_RETRIES: u64 = 64;
+
 /// Handle to the persistent mirror of one enclave model.
 pub struct MirrorModel {
     header: PmPtr,
@@ -244,6 +278,9 @@ pub struct MirrorModel {
     scratch: Mutex<Option<MirrorScratch>>,
     /// Lazily built background-publish pipeline (overlapped mode only).
     pipeline: Mutex<Option<MirrorPipeline>>,
+    /// Torn-read fault injection (tests only); see
+    /// [`MirrorModel::set_torn_read_hook`].
+    torn_read_hook: Mutex<Option<TornReadHook>>,
 }
 
 impl std::fmt::Debug for MirrorModel {
@@ -258,7 +295,8 @@ impl std::fmt::Debug for MirrorModel {
 
 impl Clone for MirrorModel {
     fn clone(&self) -> Self {
-        // The scratch and pipeline are per-handle working state: a clone starts cold.
+        // The scratch, pipeline and fault hook are per-handle working state: a clone
+        // starts cold.
         MirrorModel {
             header: self.header,
             layer_nodes: self.layer_nodes.clone(),
@@ -267,6 +305,7 @@ impl Clone for MirrorModel {
             tensor_ptrs: self.tensor_ptrs.clone(),
             scratch: Mutex::new(None),
             pipeline: Mutex::new(None),
+            torn_read_hook: Mutex::new(None),
         }
     }
 }
@@ -407,6 +446,7 @@ impl MirrorModel {
             tensor_ptrs,
             scratch: Mutex::new(None),
             pipeline: Mutex::new(None),
+            torn_read_hook: Mutex::new(None),
         })
     }
 
@@ -455,6 +495,7 @@ impl MirrorModel {
             tensor_ptrs,
             scratch: Mutex::new(None),
             pipeline: Mutex::new(None),
+            torn_read_hook: Mutex::new(None),
         })
     }
 
@@ -541,6 +582,31 @@ impl MirrorModel {
                 "invalid active-slot index {other} in the mirror header"
             ))),
         }
+    }
+
+    /// One consistent load of the full mirror header, the unit of the seqlock
+    /// protocol: two equal snapshots bracketing a slot read prove the slot was not
+    /// republished in between (the epoch is strictly monotonic, so an unchanged
+    /// header cannot be a different publish that wrapped around).
+    fn header_snapshot(&self, ctx: &PliniusContext) -> Result<HeaderSnapshot, PliniusError> {
+        Ok(HeaderSnapshot {
+            iteration: ctx.romulus().read_u64(self.header)?,
+            epoch: ctx.romulus().read_u64(self.header.add(HDR_EPOCH))?,
+            active: self.active_slot(ctx)?,
+        })
+    }
+
+    /// Installs (or clears) a fault-injection hook fired between the header snapshot
+    /// and the slot reads of [`MirrorModel::mirror_in`] — the exact window in which
+    /// a concurrent publish flip makes the read torn. The hook receives the 0-based
+    /// retry attempt index.
+    ///
+    /// Test scaffolding (like [`plinius_romulus::Romulus::inject_failure`]): a hook
+    /// that publishes must do so through a **separate cloned handle** — `mirror_in`
+    /// holds this handle's scratch lock while the hook runs, so publishing through
+    /// the same handle would deadlock.
+    pub fn set_torn_read_hook(&self, hook: Option<Box<dyn FnMut(u64) + Send>>) {
+        *self.torn_read_hook.lock() = hook;
     }
 
     /// Publishes the sealed arena into the **inactive** tensor slot with direct twin
@@ -769,6 +835,12 @@ impl MirrorModel {
     /// enclave, decrypts it and installs the parameters into the enclave model, restoring
     /// the iteration counter.
     ///
+    /// The read is a consistent snapshot (see the module docs): the header
+    /// `[iteration, epoch, active_slot]` is loaded before and after the slot's
+    /// buffers, and the read retries whenever a concurrent publish moved the header
+    /// in between — the restored tensors, iteration and [`MirrorInReport::epoch`]
+    /// always belong to exactly one committed epoch.
+    ///
     /// # Errors
     ///
     /// Returns [`PliniusError::KeyNotProvisioned`] without a model key, authentication
@@ -783,20 +855,37 @@ impl MirrorModel {
         let rom = ctx.romulus();
         let mut guard = self.scratch.lock();
         let scratch = self.ensure_scratch(ctx, &mut guard)?;
-        // Phase 1: read the active slot's encrypted buffers from PM straight into the
-        // reusable arena — no per-tensor vectors, no blob clones.
-        let (read_out, read) = SimSpan::record(&clock, || -> Result<u64, PliniusError> {
-            let iteration = rom.read_u64(self.header)?;
-            let active = self.active_slot(ctx)?;
-            for (idx, slot) in self.slots.iter().enumerate() {
-                rom.read_bytes_into(
-                    self.tensor_ptrs[idx][active],
-                    &mut scratch.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
-                )?;
-            }
-            Ok(iteration)
-        });
-        let iteration = read_out?;
+        // Phase 1: seqlock read of the active slot's encrypted buffers from PM
+        // straight into the reusable arena — no per-tensor vectors, no blob clones.
+        let (read_out, read) =
+            SimSpan::record(&clock, || -> Result<HeaderSnapshot, PliniusError> {
+                let mut attempt = 0u64;
+                loop {
+                    let before = self.header_snapshot(ctx)?;
+                    if let Some(hook) = self.torn_read_hook.lock().as_mut() {
+                        hook(attempt);
+                    }
+                    for (idx, slot) in self.slots.iter().enumerate() {
+                        rom.read_bytes_into(
+                            self.tensor_ptrs[idx][before.active],
+                            &mut scratch.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+                        )?;
+                    }
+                    if self.header_snapshot(ctx)? == before {
+                        return Ok(before);
+                    }
+                    ctx.stats().counter("mirror.torn_read_retries").incr();
+                    attempt += 1;
+                    if attempt > MAX_TORN_READ_RETRIES {
+                        return Err(PliniusError::MirrorMismatch(format!(
+                            "mirror header kept moving during {MAX_TORN_READ_RETRIES} \
+                             snapshot-read retries"
+                        )));
+                    }
+                }
+            });
+        let header = read_out?;
+        let iteration = header.iteration;
         // Phase 2: in-enclave decryption (across threads — each tensor is an
         // independent AES-GCM open on a borrowed [`SealedView`]) and serial
         // installation into the enclave model.
@@ -856,6 +945,7 @@ impl MirrorModel {
             read,
             decrypt,
             iteration,
+            epoch: header.epoch,
             model_bytes,
         })
     }

@@ -208,6 +208,15 @@ pub trait ModelPersistence: std::fmt::Debug {
 
     /// Cumulative activity counters since this backend was created.
     fn persist_stats(&self) -> PersistStats;
+
+    /// The live PM mirror behind this backend, if it has one (bound by
+    /// [`prepare`](ModelPersistence::prepare) or the first persist/restore).
+    /// [`None`] for backends without a PM mirror — the default. The serving tier
+    /// clones the returned handle to hot-load committed epochs while training
+    /// continues.
+    fn mirror_model(&self) -> Option<&MirrorModel> {
+        None
+    }
 }
 
 // `ModelPersistence` must stay object-safe: the trainer owns a `Box<dyn ModelPersistence>`.
@@ -446,6 +455,10 @@ impl ModelPersistence for PmMirrorBackend {
     fn persist_stats(&self) -> PersistStats {
         self.stats
     }
+
+    fn mirror_model(&self) -> Option<&MirrorModel> {
+        self.mirror.as_ref()
+    }
 }
 
 /// The baseline as a [`ModelPersistence`] backend: encrypted model checkpoints on a
@@ -676,6 +689,10 @@ impl ModelPersistence for HybridTieredBackend {
 
     fn persist_stats(&self) -> PersistStats {
         self.mirror.persist_stats().merged(self.ssd.persist_stats())
+    }
+
+    fn mirror_model(&self) -> Option<&MirrorModel> {
+        self.mirror.mirror_model()
     }
 }
 

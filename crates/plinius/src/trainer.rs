@@ -4,6 +4,7 @@
 //! Trainers are constructed through the fluent [`PliniusBuilder`]; the persistence
 //! medium is any [`ModelPersistence`] implementation (see [`crate::persist`]).
 
+use crate::mirror::MirrorModel;
 use crate::persist::{ModelPersistence, NoOpBackend, PersistStats, PersistenceBackend};
 use crate::pmdata::PmDataset;
 use crate::{PliniusContext, PliniusError};
@@ -142,6 +143,15 @@ impl PliniusTrainer {
     /// Activity counters of the persistence backend.
     pub fn persist_stats(&self) -> PersistStats {
         self.backend.persist_stats()
+    }
+
+    /// A cold clone of the backend's live PM mirror handle — same persistent model,
+    /// own scratch buffers — or [`None`] when the backend has no mirror (or has not
+    /// bound one yet). This is how an [`InferenceServer`](crate::InferenceServer)
+    /// attaches to a trainer: the clone reads committed epochs through the seqlock
+    /// snapshot protocol without ever contending on the trainer's staging buffers.
+    pub fn mirror_handle(&self) -> Option<MirrorModel> {
+        self.backend.mirror_model().cloned()
     }
 
     /// The model's current iteration counter.

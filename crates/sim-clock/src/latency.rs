@@ -1,0 +1,325 @@
+//! Latency percentile accounting for simulated request streams.
+//!
+//! Serving benchmarks record one latency sample per request — potentially millions
+//! per run — so storing every sample and sorting is out of the question. The
+//! [`LatencyHistogram`] uses HdrHistogram-style log-linear buckets: values below
+//! [`SUBBUCKETS`] are counted exactly, and every power-of-two range above that is
+//! split into `SUBBUCKETS / 2` linear sub-buckets, bounding the relative
+//! quantisation error of any reported percentile to `2 / SUBBUCKETS` (≈ 3 %)
+//! while keeping the whole structure a few KiB, allocation-free after construction
+//! and strictly deterministic (bucket placement depends only on the recorded
+//! value, never on insertion order or thread timing).
+
+use std::fmt;
+
+/// Size of the exact linear head; each power-of-two range above it holds
+/// `SUBBUCKETS / 2` sub-buckets, so the relative quantisation error of a
+/// percentile is at most `2 / SUBBUCKETS`.
+pub const SUBBUCKETS: u64 = 64;
+
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+
+/// Number of log-linear ranges above the linear head that cover the full `u64`
+/// nanosecond domain (the top bit position is 63, the head covers bits below
+/// `SUB_BITS`).
+const RANGES: usize = (64 - SUB_BITS) as usize;
+
+/// Total bucket count: the linear head (`SUBBUCKETS`) plus `SUBBUCKETS / 2` per
+/// log-linear range.
+const BUCKETS: usize = (RANGES + 2) * (SUBBUCKETS as usize / 2);
+
+/// A log-linear histogram of nanosecond latency samples with percentile queries.
+///
+/// # Example
+///
+/// ```
+/// use sim_clock::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ns in 1..=1000u64 {
+///     h.record(ns);
+/// }
+/// let summary = h.summary();
+/// assert_eq!(summary.count, 1000);
+/// assert_eq!(summary.max_ns, 1000);
+/// // Percentile bounds are exact to one sub-bucket (~3 % relative error).
+/// assert!(summary.p50_ns >= 500 && summary.p50_ns <= 508);
+/// assert!(summary.p99_ns >= 990 && summary.p99_ns <= 1008);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `BUCKETS` counts; values below `SUBBUCKETS` land in the linear head
+    /// exactly, larger values in their log-linear bucket.
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket covering `ns`. Values in `[0, SUBBUCKETS)` map linearly;
+/// beyond that, the high bit picks the power-of-two range and the next
+/// `SUB_BITS - 1` bits pick the sub-bucket within it, so each range holds
+/// `SUBBUCKETS / 2` buckets of width `2^range`.
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUBBUCKETS {
+        return ns as usize;
+    }
+    let range = (63 - ns.leading_zeros()) - SUB_BITS + 1;
+    let sub = (ns >> range) - SUBBUCKETS / 2;
+    (range as usize + 1) * (SUBBUCKETS as usize / 2) + sub as usize
+}
+
+/// Inclusive upper bound of the values mapping to bucket index `bucket` (the
+/// value a percentile query reports).
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    let b = bucket as u64;
+    if b < SUBBUCKETS {
+        return b;
+    }
+    let range = b / (SUBBUCKETS / 2) - 1;
+    let sub = b % (SUBBUCKETS / 2) + SUBBUCKETS / 2;
+    ((sub + 1) << range) - 1
+}
+
+impl LatencyHistogram {
+    /// An empty histogram covering the full `u64` nanosecond range.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0u64; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded samples, zero when empty.
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.total_ns / self.count as u128) as u64
+        }
+    }
+
+    /// Smallest recorded sample, zero when empty.
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample (exact, not quantised).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The value at or below which `quantile` (in `[0, 1]`) of the samples fall:
+    /// the upper bound of the first bucket whose cumulative count reaches
+    /// `ceil(quantile * count)`. Zero when the histogram is empty. The reported
+    /// bound is within one sub-bucket (`2 / SUBBUCKETS` relative) of the exact
+    /// order statistic, and never above the recorded maximum.
+    pub fn percentile(&self, quantile: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((quantile.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one (used to aggregate per-rate runs).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The fixed percentile digest reported by the serving benchmarks.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.mean_ns(),
+            min_ns: self.min_ns(),
+            p50_ns: self.percentile(0.50),
+            p90_ns: self.percentile(0.90),
+            p99_ns: self.percentile(0.99),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+/// Percentile digest of a latency distribution (all values in simulated
+/// nanoseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ns: u64,
+    /// Minimum latency.
+    pub min_ns: u64,
+    /// Median latency (upper bucket bound).
+    pub p50_ns: u64,
+    /// 90th-percentile latency (upper bucket bound).
+    pub p90_ns: u64,
+    /// 99th-percentile latency (upper bucket bound).
+    pub p99_ns: u64,
+    /// Maximum latency (exact).
+    pub max_ns: u64,
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms ({} samples)",
+            self.p50_ns as f64 / 1e6,
+            self.p90_ns as f64 / 1e6,
+            self.p99_ns as f64 / 1e6,
+            self.max_ns as f64 / 1e6,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Values below SUBBUCKETS land in dedicated linear buckets: percentiles
+        // of a small-value distribution are exact order statistics.
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.percentile(1.0), 10);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.min_ns(), 1);
+        assert_eq!(h.max_ns(), 10);
+        assert_eq!(h.mean_ns(), 5);
+    }
+
+    #[test]
+    fn bucket_round_trip_bounds_every_value() {
+        // Every value maps to a bucket whose upper bound is >= the value and
+        // within 2/SUBBUCKETS relative error.
+        for shift in 0..60 {
+            for base in [1u64, 3, 7] {
+                let v = base << shift;
+                let ub = bucket_upper_bound(bucket_index(v));
+                assert!(ub >= v, "upper bound {ub} < value {v}");
+                assert!(
+                    (ub - v) as f64 <= (2.0 * v as f64 / SUBBUCKETS as f64) + 1.0,
+                    "bucket too coarse: value {v}, bound {ub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotonic() {
+        let mut last = 0usize;
+        let mut checked = 0u64;
+        for v in (0..1_000_000u64).step_by(997) {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket index regressed at {v}");
+            last = b;
+            checked += 1;
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn percentiles_are_within_one_subbucket_of_exact() {
+        let mut h = LatencyHistogram::new();
+        let samples: Vec<u64> = (0..10_000u64).map(|i| 1_000 + i * 137).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let exact = samples[((q * samples.len() as f64).ceil() as usize - 1).min(9999)];
+            let got = h.percentile(q);
+            assert!(got >= exact, "q{q}: {got} < exact {exact}");
+            assert!(
+                (got - exact) as f64 <= 2.0 * exact as f64 / SUBBUCKETS as f64 + 1.0,
+                "q{q}: {got} too far above exact {exact}"
+            );
+        }
+        // The tail never exceeds the true maximum.
+        assert_eq!(h.percentile(1.0), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = 10 + i * 31;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), whole.summary());
+    }
+
+    #[test]
+    fn summary_display_mentions_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(2_000_000);
+        let s = h.summary().to_string();
+        assert!(s.contains("p50") && s.contains("p99"), "{s}");
+    }
+}

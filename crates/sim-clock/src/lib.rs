@@ -36,9 +36,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub mod cost;
+pub mod latency;
 pub mod stats;
 
 pub use cost::{CostModel, DeviceKind, ServerProfile};
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use stats::{Counter, StatsHandle, StatsRegistry};
 
 /// A monotonically increasing simulated nanosecond counter.

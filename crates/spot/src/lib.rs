@@ -57,12 +57,27 @@ pub struct SpotTrace {
 impl SpotTrace {
     /// Wraps a price series.
     ///
+    /// Every price must be finite and non-negative: a NaN price would make every
+    /// bid comparison (`max_bid > price`) false, so preempted minutes would
+    /// silently count as available in [`SpotSimulator::state_curve`] and
+    /// [`SpotSimulator::availability`].
+    ///
     /// # Errors
     ///
-    /// Returns [`SpotError::EmptyTrace`] if `prices` is empty.
+    /// Returns [`SpotError::EmptyTrace`] if `prices` is empty, or
+    /// [`SpotError::Parse`] (with the 1-based index of the offending price) if any
+    /// price is NaN, infinite, or negative.
     pub fn new(prices: Vec<f64>) -> Result<Self, SpotError> {
         if prices.is_empty() {
             return Err(SpotError::EmptyTrace);
+        }
+        for (i, &p) in prices.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(SpotError::Parse {
+                    line: i + 1,
+                    content: format!("invalid price {p}"),
+                });
+            }
         }
         Ok(SpotTrace { prices })
     }
@@ -72,7 +87,8 @@ impl SpotTrace {
     ///
     /// # Errors
     ///
-    /// Returns [`SpotError::Parse`] for malformed lines or [`SpotError::EmptyTrace`].
+    /// Returns [`SpotError::Parse`] for malformed lines — including NaN, infinite,
+    /// or negative prices — or [`SpotError::EmptyTrace`].
     pub fn parse_csv(text: &str) -> Result<Self, SpotError> {
         let mut prices = Vec::new();
         for (i, raw) in text.lines().enumerate() {
@@ -85,14 +101,27 @@ impl SpotTrace {
                 line: i + 1,
                 content: raw.to_owned(),
             })?;
+            if !price.is_finite() || price < 0.0 {
+                return Err(SpotError::Parse {
+                    line: i + 1,
+                    content: raw.to_owned(),
+                });
+            }
             prices.push(price);
         }
-        SpotTrace::new(prices)
+        if prices.is_empty() {
+            return Err(SpotError::EmptyTrace);
+        }
+        Ok(SpotTrace { prices })
     }
 
     /// Generates a synthetic trace of `steps` points resembling the paper's traces: a
     /// mean-reverting random walk around `base_price` with occasional demand spikes that
     /// push the price above typical bids.
+    ///
+    /// A trace can never be empty, so `steps` is clamped to a minimum of 1:
+    /// `synthetic(0, ..)` returns a one-point trace (and consumes the same amount
+    /// of randomness as `synthetic(1, ..)`).
     pub fn synthetic<R: Rng>(steps: usize, base_price: f64, rng: &mut R) -> Self {
         let mut prices = Vec::with_capacity(steps.max(1));
         let mut price = base_price;
@@ -249,6 +278,37 @@ mod tests {
             SpotError::EmptyTrace
         );
         assert_eq!(SpotTrace::new(vec![]).unwrap_err(), SpotError::EmptyTrace);
+    }
+
+    #[test]
+    fn non_finite_and_negative_prices_are_rejected() {
+        // Regression: a NaN price makes `max_bid > price` false, so preempted
+        // minutes silently counted as available before validation existed.
+        for bad in ["NaN", "inf", "-inf", "-0.09"] {
+            let text = format!("0,0.09\n5,{bad}\n");
+            match SpotTrace::parse_csv(&text) {
+                Err(SpotError::Parse { line: 2, .. }) => {}
+                other => panic!("price {bad} not rejected: {other:?}"),
+            }
+        }
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.01] {
+            match SpotTrace::new(vec![0.09, bad, 0.09]) {
+                Err(SpotError::Parse { line: 2, .. }) => {}
+                other => panic!("price {bad} not rejected: {other:?}"),
+            }
+        }
+        // Zero is a valid (free) price; positive prices still parse.
+        assert_eq!(SpotTrace::new(vec![0.0, 0.09]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn synthetic_zero_steps_yields_the_documented_minimum_one_point_trace() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let zero = SpotTrace::synthetic(0, 0.09, &mut rng);
+        assert_eq!(zero.len(), 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let one = SpotTrace::synthetic(1, 0.09, &mut rng);
+        assert_eq!(zero, one);
     }
 
     #[test]

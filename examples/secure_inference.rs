@@ -1,13 +1,19 @@
 //! Secure inference (§VI): train a CNN inside the enclave on encrypted PM data, then
-//! classify a held-out test set with the trained in-enclave model.
+//! serve a held-out test set through the batched `InferenceServer` tier.
 //!
 //! The trainer is assembled through `PliniusBuilder`: with no explicit context it
 //! performs a local deployment (fresh PM pool, seed-derived key, dataset loaded into
-//! PM) — the shortest path from a dataset to a training enclave.
+//! PM) — the shortest path from a dataset to a training enclave. The server then
+//! attaches to the live mirror via `mirror_handle()`, restores the committed epoch
+//! with a torn-read-free snapshot read, and answers an open-loop request stream,
+//! reporting accuracy alongside latency percentiles and throughput.
 //!
 //! Run with: `cargo run --release --example secure_inference`
 
-use plinius::{PersistenceBackend, PipelineMode, PliniusBuilder, TrainerConfig, TrainingSetup};
+use plinius::{
+    InferenceServer, PersistenceBackend, PipelineMode, PliniusBuilder, ServeConfig, ServeSession,
+    TrainerConfig, TrainingSetup,
+};
 use plinius_darknet::{mnist_cnn_config, synthetic_mnist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         backend: PersistenceBackend::PmMirror,
         model_seed: 8,
     };
+    let template = setup.build_network()?;
     let mut trainer = PliniusBuilder::new(setup).build()?;
     let report = trainer.run()?;
     println!(
@@ -46,11 +53,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trainer.persist_stats().persists,
         trainer.persist_stats().persisted_bytes / 1024
     );
-    let accuracy = trainer.accuracy(&test);
+
+    // Serve the held-out set from the committed epoch: the server never reads the
+    // trainer's in-enclave weights, only the sealed PM mirror.
+    let server = InferenceServer::new(
+        trainer.context(),
+        trainer
+            .mirror_handle()
+            .expect("the PM-mirror backend always carries a mirror"),
+        &template,
+    )?;
     println!(
-        "Secure inference accuracy on {} held-out samples: {:.1}%",
-        test.len(),
-        accuracy * 100.0
+        "Serving epoch {} (iteration {}) from the PM mirror",
+        server.epoch(),
+        server.iteration()
+    );
+    let mut session = ServeSession::new(
+        server,
+        test,
+        ServeConfig {
+            batch: 16,
+            arrival_ns: 50_000, // 20k requests/s offered load
+            requests: 400,
+            seed: 99,
+        },
+    )?;
+    let serve_report = session.run()?;
+    println!(
+        "Secure inference accuracy on {} served requests: {:.1}%",
+        serve_report.served,
+        serve_report.accuracy() * 100.0
+    );
+    println!(
+        "Throughput {:.0} req/s over {} batches ({} hot swaps); latency {}",
+        serve_report.throughput_rps(),
+        serve_report.batches,
+        serve_report.swaps,
+        serve_report.latency
     );
     Ok(())
 }
