@@ -33,6 +33,7 @@ fn main() {
             encrypted_data: true,
             seed: 9,
             pipeline: PipelineMode::from_env(),
+            ring_depth: plinius::ring_depth_from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 5,

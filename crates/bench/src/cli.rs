@@ -2,7 +2,8 @@
 //!
 //! Every `src/bin/*` binary accepts the same three scale flags (`--smoke`, `--quick`,
 //! `--full`), a worker-thread override (`--threads N`, the CLI face of the
-//! `PLINIUS_THREADS` environment variable) plus optional positional inputs (e.g. a
+//! `PLINIUS_THREADS` environment variable), an epoch-ring-depth override (`--ring N`,
+//! the CLI face of `PLINIUS_RING`) plus optional positional inputs (e.g. a
 //! spot-price CSV for `fig10_spot`). Unknown flags and malformed values are an error:
 //! a typo like `--smokee` aborts the run instead of being silently ignored and
 //! launching a paper-scale sweep.
@@ -42,6 +43,9 @@ pub struct BenchArgs {
     /// Worker-thread override from `--threads N` (applied to the parallel kernels
     /// via the `PLINIUS_THREADS` mechanism), if given.
     pub threads: Option<usize>,
+    /// Epoch-ring-depth override from `--ring N` (applied to freshly allocated PM
+    /// mirrors via the `PLINIUS_RING` mechanism), if given.
+    pub ring: Option<usize>,
     /// Positional (non-flag) arguments, in order.
     pub inputs: Vec<String>,
 }
@@ -71,9 +75,14 @@ impl fmt::Display for CliError {
             CliError::UnexpectedArgument(arg) => write!(f, "unexpected argument `{arg}`"),
             CliError::MissingValue(flag) => write!(f, "flag `{flag}` requires a value"),
             CliError::InvalidValue { flag, value } => {
+                let expected = if flag == "--ring" {
+                    "an integer >= 2"
+                } else {
+                    "a positive integer"
+                };
                 write!(
                     f,
-                    "invalid value `{value}` for `{flag}` (expected a positive integer)"
+                    "invalid value `{value}` for `{flag}` (expected {expected})"
                 )
             }
         }
@@ -87,13 +96,15 @@ impl std::error::Error for CliError {}
 fn usage(accepts_inputs: bool) -> String {
     let files = if accepts_inputs { " [FILE]" } else { "" };
     format!(
-        "usage: <binary> [--smoke | --quick | --full] [--threads N]{files}\n\
+        "usage: <binary> [--smoke | --quick | --full] [--threads N] [--ring N]{files}\n\
         \n\
         --smoke      tiny bitrot-guard configuration (used by the smoke tests)\n\
         --quick      reduced sweep for interactive runs\n\
         --full       paper-scale run\n\
         --threads N  worker-thread count for the parallel kernels (N >= 1; the\n\
         \u{20}            same override as the PLINIUS_THREADS environment variable)\n\
+        --ring N     epoch-ring depth of freshly allocated PM mirrors (N >= 2; the\n\
+        \u{20}            same override as the PLINIUS_RING environment variable)\n\
         \n\
         With none of the flags the binary runs at its default scale. `--smoke` wins\n\
         over `--quick`, which wins over `--full`."
@@ -102,9 +113,19 @@ fn usage(accepts_inputs: bool) -> String {
 
 /// Parses a `--threads` value: a positive integer.
 fn parse_threads(flag: &str, value: Option<String>) -> Result<usize, CliError> {
+    parse_at_least(flag, value, 1)
+}
+
+/// Parses a `--ring` value: an integer `>= 2` (a one-deep ring could not separate the
+/// committing epoch from the last complete one).
+fn parse_ring(flag: &str, value: Option<String>) -> Result<usize, CliError> {
+    parse_at_least(flag, value, 2)
+}
+
+fn parse_at_least(flag: &str, value: Option<String>, min: usize) -> Result<usize, CliError> {
     let value = value.ok_or_else(|| CliError::MissingValue(flag.to_owned()))?;
     match value.trim().parse::<usize>() {
-        Ok(n) if n >= 1 => Ok(n),
+        Ok(n) if n >= min => Ok(n),
         _ => Err(CliError::InvalidValue {
             flag: flag.to_owned(),
             value,
@@ -130,6 +151,7 @@ where
 {
     let (mut smoke, mut quick, mut full) = (false, false, false);
     let mut threads = None;
+    let mut ring = None;
     let mut inputs = Vec::new();
     let mut iter = args.into_iter().map(Into::into);
     while let Some(arg) = iter.next() {
@@ -141,6 +163,11 @@ where
             s if s.starts_with("--threads=") => {
                 let value = s["--threads=".len()..].to_owned();
                 threads = Some(parse_threads("--threads", Some(value))?);
+            }
+            "--ring" => ring = Some(parse_ring("--ring", iter.next())?),
+            s if s.starts_with("--ring=") => {
+                let value = s["--ring=".len()..].to_owned();
+                ring = Some(parse_ring("--ring", Some(value))?);
             }
             s if s.starts_with('-') => return Err(CliError::UnknownFlag(arg)),
             _ => inputs.push(arg),
@@ -158,6 +185,7 @@ where
     Ok(BenchArgs {
         mode,
         threads,
+        ring,
         inputs,
     })
 }
@@ -175,11 +203,8 @@ where
     I: IntoIterator,
     I::Item: Into<String>,
 {
-    let parsed = parse(args)?;
-    match parsed.inputs.into_iter().next() {
-        Some(stray) => Err(CliError::UnexpectedArgument(stray)),
-        None => Ok((parsed.mode, parsed.threads)),
-    }
+    let parsed = reject_stray(parse(args)?, 0)?;
+    Ok((parsed.mode, parsed.threads))
 }
 
 /// Like [`parse`], for binaries with at most one positional input (`fig10_spot`'s CSV
@@ -194,12 +219,16 @@ where
     I: IntoIterator,
     I::Item: Into<String>,
 {
-    let parsed = parse(args)?;
-    let mut inputs = parsed.inputs.into_iter();
-    let first = inputs.next();
-    match inputs.next() {
-        Some(extra) => Err(CliError::UnexpectedArgument(extra)),
-        None => Ok((parsed.mode, parsed.threads, first)),
+    let mut parsed = reject_stray(parse(args)?, 1)?;
+    let first = parsed.inputs.pop();
+    Ok((parsed.mode, parsed.threads, first))
+}
+
+/// Errors on the first positional argument beyond `max_inputs`.
+fn reject_stray(parsed: BenchArgs, max_inputs: usize) -> Result<BenchArgs, CliError> {
+    match parsed.inputs.get(max_inputs) {
+        Some(stray) => Err(CliError::UnexpectedArgument(stray.clone())),
+        None => Ok(parsed),
     }
 }
 
@@ -212,23 +241,40 @@ fn apply_thread_override(threads: Option<usize>) {
     }
 }
 
+/// Applies a `--ring` override to this process: freshly allocated PM mirrors read
+/// their epoch-ring depth from the `PLINIUS_RING` environment variable, so the flag
+/// simply sets it before any mirror is constructed.
+fn apply_ring_override(ring: Option<usize>) {
+    if let Some(n) = ring {
+        std::env::set_var(plinius::RING_ENV, n.to_string());
+    }
+}
+
 /// Parses `std::env::args()` for a binary taking one optional positional input,
 /// printing usage and exiting on `--help`/`-h` (status 0), an unknown flag, a bad
-/// `--threads` value or a second positional (status 2). A `--threads` override is
-/// applied to the process before returning.
+/// `--threads`/`--ring` value or a second positional (status 2). The `--threads` and
+/// `--ring` overrides are applied to the process before returning.
 pub fn parse_args_single_input() -> (RunMode, Option<String>) {
-    let (mode, threads, input) = exit_on_error(parse_single_input(help_checked_args(true)), true);
-    apply_thread_override(threads);
-    (mode, input)
+    let mut parsed = exit_on_error(
+        parse(help_checked_args(true)).and_then(|p| reject_stray(p, 1)),
+        true,
+    );
+    apply_thread_override(parsed.threads);
+    apply_ring_override(parsed.ring);
+    (parsed.mode, parsed.inputs.pop())
 }
 
 /// Parses `std::env::args()` for a binary that takes no positional inputs, rejecting
-/// stray arguments as well as unknown flags (status 2). A `--threads` override is
-/// applied to the process before returning.
+/// stray arguments as well as unknown flags (status 2). The `--threads` and `--ring`
+/// overrides are applied to the process before returning.
 pub fn parse_args_mode_only() -> RunMode {
-    let (mode, threads) = exit_on_error(parse_mode(help_checked_args(false)), false);
-    apply_thread_override(threads);
-    mode
+    let parsed = exit_on_error(
+        parse(help_checked_args(false)).and_then(|p| reject_stray(p, 0)),
+        false,
+    );
+    apply_thread_override(parsed.threads);
+    apply_ring_override(parsed.ring);
+    parsed.mode
 }
 
 /// `std::env::args()` minus the program name, after handling `--help`/`-h`.
@@ -383,11 +429,51 @@ mod tests {
     }
 
     #[test]
+    fn ring_flag_parses_space_and_equals_forms() {
+        assert_eq!(parse_strs(&["--ring", "4"]).unwrap().ring, Some(4));
+        assert_eq!(parse_strs(&["--ring=2"]).unwrap().ring, Some(2));
+        assert_eq!(parse_strs(&["--smoke"]).unwrap().ring, None);
+        let parsed = parse_strs(&["--smoke", "--ring", "8", "--threads", "2"]).unwrap();
+        assert_eq!(parsed.mode, RunMode::Smoke);
+        assert_eq!(parsed.ring, Some(8));
+        assert_eq!(parsed.threads, Some(2));
+    }
+
+    #[test]
+    fn ring_flag_rejects_missing_and_invalid_values() {
+        assert_eq!(
+            parse_strs(&["--ring"]),
+            Err(CliError::MissingValue("--ring".to_owned()))
+        );
+        // A one-deep ring is rejected, not just zero and garbage.
+        for bad in ["0", "1", "two", "-3", ""] {
+            assert_eq!(
+                parse_strs(&["--ring", bad]),
+                Err(CliError::InvalidValue {
+                    flag: "--ring".to_owned(),
+                    value: bad.to_owned()
+                }),
+                "--ring {bad:?} should be rejected"
+            );
+        }
+        assert_eq!(
+            parse_strs(&["--ring="]),
+            Err(CliError::InvalidValue {
+                flag: "--ring".to_owned(),
+                value: String::new()
+            })
+        );
+        let msg = parse_strs(&["--ring", "1"]).unwrap_err().to_string();
+        assert!(msg.contains("--ring") && msg.contains(">= 2"), "{msg}");
+    }
+
+    #[test]
     fn usage_advertises_inputs_only_where_accepted() {
         assert!(usage(true).contains("[FILE]"));
         assert!(!usage(false).contains("FILE"));
         assert!(usage(false).starts_with("usage:"));
         assert!(usage(false).contains("--threads"));
+        assert!(usage(false).contains("--ring"));
     }
 
     #[test]

@@ -69,9 +69,10 @@ pub fn mirror_point(cost: &CostModel, target_mb: usize) -> Result<MirrorPoint, P
     let mut rng = StdRng::seed_from_u64(target_mb as u64);
     let network = build_network(&sized_model_config(target_mb, 2), &mut rng)?;
     let model_bytes = network.model_bytes();
-    // PM pool: twin Romulus regions, each holding the two epoch slots (A/B) of the
-    // sealed model plus slack.
-    let pool_bytes = model_bytes * 5 + (4 << 20);
+    // PM pool: twin Romulus regions, each holding the mirror's R epoch-ring slots of
+    // the sealed model plus slack (R = 2 unless overridden via --ring/PLINIUS_RING).
+    let ring = plinius::ring_depth_from_env();
+    let pool_bytes = model_bytes * (2 * ring + 1) + (4 << 20);
     let ctx = PliniusContext::create(cost.clone(), pool_bytes)?;
     ctx.provision_key_directly(Key::generate_128(&mut rng));
     // The enclave model + training buffers occupy trusted memory (drives the EPC knee).
@@ -354,9 +355,11 @@ pub fn pipeline_point(
     let dataset_bytes = dataset.len() * (dataset.inputs() + dataset.classes() + 16) * 4;
     let setup = TrainingSetup {
         cost: cost.clone(),
-        // Twin Romulus regions, each holding the PM dataset, both epoch slots of the
-        // sealed model, and slack.
-        pm_bytes: dataset_bytes * 3 + model_bytes * 5 + (8 << 20),
+        // Twin Romulus regions, each holding the PM dataset, the R epoch-ring slots
+        // of the sealed model, and slack.
+        pm_bytes: dataset_bytes * 3
+            + model_bytes * (2 * plinius::ring_depth_from_env() + 1)
+            + (8 << 20),
         model_config,
         dataset,
         trainer: TrainerConfig {
@@ -366,6 +369,7 @@ pub fn pipeline_point(
             encrypted_data: true,
             seed: 5,
             pipeline: PipelineMode::Sync,
+            ring_depth: plinius::ring_depth_from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 12,

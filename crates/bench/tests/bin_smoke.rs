@@ -43,6 +43,7 @@ smoke_test! {
     serve_bench_runs => "serve_bench",
     table1_breakdown_runs => "table1_breakdown",
     tcb_report_runs => "tcb_report",
+    vfs_bench_runs => "vfs_bench",
 }
 
 #[test]
@@ -117,6 +118,50 @@ fn threads_flag_with_an_invalid_value_aborts() {
         stderr.contains("invalid value") && stderr.contains("--threads"),
         "stderr did not explain the invalid value:\n{stderr}"
     );
+}
+
+#[test]
+fn ring_flag_is_accepted_by_the_smoke_run() {
+    // `--ring N` is the CLI face of PLINIUS_RING: the mirror-constructing bins must
+    // run normally with an explicit epoch-ring depth, in both flag forms.
+    run_smoke(
+        env!("CARGO_BIN_EXE_fig7_mirroring"),
+        &["--smoke", "--ring", "4"],
+    );
+    run_smoke(env!("CARGO_BIN_EXE_fig9_crash"), &["--smoke", "--ring=3"]);
+}
+
+#[test]
+fn ring_flag_without_a_value_aborts() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+        .args(["--smoke", "--ring"])
+        .output()
+        .expect("failed to spawn fig7_mirroring");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--ring") && stderr.contains("usage:"),
+        "stderr did not explain the missing value:\n{stderr}"
+    );
+    assert!(output.stdout.is_empty(), "a rejected run must not start");
+}
+
+#[test]
+fn ring_flag_with_an_invalid_value_aborts() {
+    // Depth 1 is as invalid as garbage: a one-deep ring cannot separate the
+    // committing epoch from the last complete one.
+    for bad in ["1", "none"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+            .args(["--smoke", "--ring", bad])
+            .output()
+            .expect("failed to spawn fig7_mirroring");
+        assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("invalid value") && stderr.contains("--ring"),
+            "stderr did not explain the invalid value:\n{stderr}"
+        );
+    }
 }
 
 #[test]

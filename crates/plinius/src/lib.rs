@@ -66,9 +66,13 @@ pub mod pmdata;
 pub mod serve;
 pub mod ssd;
 pub mod trainer;
+pub mod vfs;
 pub mod workflow;
 
-pub use mirror::{MirrorInReport, MirrorModel, MirrorOutReport, PublishReport, SnapshotReport};
+pub use mirror::{
+    ring_depth_from_env, MirrorInReport, MirrorModel, MirrorOutReport, PublishReport,
+    SnapshotReport, DEFAULT_RING_DEPTH, RING_ENV,
+};
 pub use persist::{
     shared_ssd, FaultInjectingBackend, HybridTieredBackend, ModelPersistence, NoOpBackend,
     PersistStats, PersistenceBackend, PmMirrorBackend, SsdCheckpointBackend,
@@ -80,6 +84,7 @@ pub use trainer::{
     spot_crash_schedule, train_with_crash_schedule, CrashRunReport, PipelineMode, PliniusBuilder,
     PliniusTrainer, TrainerConfig, TrainingReport, TrainingSetup,
 };
+pub use vfs::{EpochDiff, MirrorVfs, SealedEpoch, TensorDiff, Vfs, VfsEntry, VfsKind};
 pub use workflow::{run_full_workflow, WorkflowReport};
 
 /// Name under which the model encryption key is stored in the enclave's key store.
@@ -112,6 +117,11 @@ pub enum PliniusError {
     NoPmDataset,
     /// The persisted mirror is structurally incompatible with the enclave model.
     MirrorMismatch(String),
+    /// The requested epoch is not (or no longer) held in the mirror's bounded ring:
+    /// only the `ring_depth` newest committed epochs are retained.
+    EpochNotRetained(u64),
+    /// The path does not name an entry of the mirror's virtual filesystem.
+    VfsPath(String),
     /// A trainer/workflow configuration value is out of its valid range.
     InvalidConfig(String),
     /// A deliberately injected persistence fault (testing only, see
@@ -146,6 +156,15 @@ impl fmt::Display for PliniusError {
                 write!(f, "no training dataset present in persistent memory")
             }
             PliniusError::MirrorMismatch(msg) => write!(f, "mirror model mismatch: {msg}"),
+            PliniusError::EpochNotRetained(epoch) => {
+                write!(
+                    f,
+                    "epoch {epoch} is not retained in the mirror's epoch ring"
+                )
+            }
+            PliniusError::VfsPath(path) => {
+                write!(f, "no such entry in the mirror VFS: {path}")
+            }
             PliniusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PliniusError::InjectedFault(msg) => write!(f, "injected fault: {msg}"),
             PliniusError::Pipeline(msg) => write!(f, "publish pipeline error: {msg}"),

@@ -3,20 +3,32 @@
 //!
 //! The mirror model is represented on PM as a linked list of persistent layer nodes (so
 //! that layers can later be added or removed without relocating the whole model, as the
-//! paper notes). Every trainable layer node carries pointers to **two** encrypted
-//! buffers — slot A and slot B — for each of its five parameter tensors; every buffer is
-//! an AES-GCM sealed blob whose 12-byte IV and 16-byte MAC account for the paper's 140
-//! bytes of PM metadata per layer.
+//! paper notes). Every trainable layer node carries pointers to `R` encrypted ring
+//! buffers for each of its five parameter tensors (`R = 2` — the classic A/B double
+//! buffer — by default); every buffer is an AES-GCM sealed blob whose 12-byte IV and
+//! 16-byte MAC account for the paper's 140 bytes of PM metadata per layer.
 //!
-//! # Epoch-committed double buffering
+//! # Epoch-committed ring buffering
 //!
-//! The mirror header carries an *epoch counter* and the index of the *active slot*.
-//! Every mirror-out seals the model and bulk-publishes it into the **inactive** slot
-//! with unlogged direct twin writes ([`plinius_romulus::Romulus::publish_region`]),
-//! then commits `[iteration, epoch+1, flip-active-slot]` in one tiny Romulus durable
-//! transaction. A crash at *any* point of the publish — including between tensor
-//! writes — therefore recovers the previous **complete** epoch: the header still
-//! points at the untouched slot until the flip commits atomically.
+//! The mirror header carries an *epoch counter*, the index of the *active slot* and
+//! the *ring depth* `R`; a small per-slot meta table records which committed epoch
+//! each ring slot holds. Every mirror-out seals the model and bulk-publishes it into
+//! the slot **after** the active one with unlogged direct twin writes
+//! ([`plinius_romulus::Romulus::publish_region`]), then commits `[iteration, epoch+1,
+//! advance-active-slot, slot-meta]` in one tiny Romulus durable transaction. A crash
+//! at *any* point of the publish — including between tensor writes — therefore
+//! recovers the newest **complete** epoch: the header still points at the untouched
+//! slot until the advance commits atomically. Epoch `e` always lives in slot
+//! `e % R`, so after `c` committed publishes the `min(R, c)` newest epochs remain
+//! readable ([`MirrorModel::epochs`], [`MirrorModel::restore_epoch`]); the target
+//! slot's meta entry is invalidated *before* its tensors are overwritten, so a
+//! mid-publish crash never lists the half-overwritten evictee as readable.
+//!
+//! Ring depth is fixed at allocation time: [`MirrorModel::allocate`] reads it from
+//! the `PLINIUS_RING` environment variable (default 2), and
+//! [`MirrorModel::allocate_with_ring`] takes it explicitly. The sealed bytes placed
+//! on PM are a pure function of `(key, IV, AAD, plaintext)` — identical for every
+//! ring depth.
 //!
 //! # Pipelined mirror-out
 //!
@@ -70,18 +82,53 @@ pub const ROOT_MODEL: usize = 0;
 const TENSORS_PER_LAYER: usize = plinius_darknet::PARAM_TENSORS_PER_LAYER;
 
 /// Byte size of the persistent model header:
-/// `[iteration][num_layers][first_layer_ptr][epoch][active_slot]`.
-const HEADER_BYTES: usize = 40;
+/// `[iteration][num_layers][first_layer_ptr][epoch][active_slot][ring_depth][meta_ptr]`.
+const HEADER_BYTES: usize = 56;
 
 /// Header offset of the epoch counter.
 const HDR_EPOCH: u64 = 24;
 
-/// Header offset of the active A/B slot index (0 or 1).
+/// Header offset of the active ring-slot index (`0..ring_depth`).
 const HDR_ACTIVE: u64 = 32;
 
-/// Byte size of one persistent layer node:
-/// `[next_ptr][num_tensors]` + `TENSORS_PER_LAYER x [ptr_slot_a][ptr_slot_b][sealed_len]`.
-const NODE_BYTES: usize = 16 + TENSORS_PER_LAYER * 24;
+/// Header offset of the ring depth `R`.
+const HDR_RING: u64 = 40;
+
+/// Header offset of the pointer to the per-slot ring-meta table.
+const HDR_META: u64 = 48;
+
+/// Byte size of one ring-meta entry: `[epoch][iteration]` of the slot's contents
+/// (epoch 0 = slot holds no committed epoch).
+const META_ENTRY_BYTES: u64 = 16;
+
+/// An invalidated ring-meta entry, bulk-published over the target slot's entry
+/// before its tensors are overwritten.
+const META_INVALID: [u8; META_ENTRY_BYTES as usize] = [0u8; META_ENTRY_BYTES as usize];
+
+/// Environment variable selecting the mirror's ring depth (`R >= 2`) for
+/// [`MirrorModel::allocate`]; invalid or missing values fall back to
+/// [`DEFAULT_RING_DEPTH`].
+pub const RING_ENV: &str = "PLINIUS_RING";
+
+/// Default number of ring slots per tensor: the classic A/B double buffer.
+pub const DEFAULT_RING_DEPTH: usize = 2;
+
+/// The ring depth selected by the `PLINIUS_RING` environment variable, or
+/// [`DEFAULT_RING_DEPTH`] when unset or out of range (the ring needs at least two
+/// slots to publish without touching the committed epoch).
+pub fn ring_depth_from_env() -> usize {
+    std::env::var(RING_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(DEFAULT_RING_DEPTH)
+}
+
+/// Byte size of one persistent layer node for ring depth `ring`:
+/// `[next_ptr][num_tensors]` + `TENSORS_PER_LAYER x [R slot ptrs][sealed_len]`.
+fn node_bytes(ring: usize) -> usize {
+    16 + TENSORS_PER_LAYER * (ring * 8 + 8)
+}
 
 /// Report of one mirror-out (model save): the Fig. 7 "Save" breakdown.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,19 +214,21 @@ impl PublishReport {
 /// everything that is constant per tensor across iterations (the AAD in particular,
 /// which the seed code re-`format!`ted for every tensor of every iteration).
 #[derive(Debug, Clone)]
-struct TensorSlot {
+pub(crate) struct TensorSlot {
     /// Trainable-layer index this tensor belongs to.
-    layer: usize,
+    pub(crate) layer: usize,
+    /// Tensor index within its layer.
+    pub(crate) tensor: usize,
     /// Byte offset of the plaintext in the staging buffer.
-    plain_off: usize,
+    pub(crate) plain_off: usize,
     /// Plaintext length in bytes.
-    plain_len: usize,
+    pub(crate) plain_len: usize,
     /// Byte offset of the sealed blob (ciphertext ‖ IV ‖ MAC) in the arena.
-    sealed_off: usize,
+    pub(crate) sealed_off: usize,
     /// Sealed length in bytes (`plain_len + SEAL_OVERHEAD`).
-    sealed_len: usize,
+    pub(crate) sealed_len: usize,
     /// Precomputed additional authenticated data (`layer{i}-tensor{j}`).
-    aad: Vec<u8>,
+    pub(crate) aad: Vec<u8>,
 }
 
 /// Reusable cryptographic scratch of one mirror: everything the steady-state
@@ -266,13 +315,17 @@ const MAX_TORN_READ_RETRIES: u64 = 64;
 /// Handle to the persistent mirror of one enclave model.
 pub struct MirrorModel {
     header: PmPtr,
+    /// The per-slot ring-meta table: `ring_depth x [epoch, iteration]`.
+    meta: PmPtr,
+    /// Number of ring slots per tensor (`>= 2`), fixed at allocation time.
+    ring_depth: usize,
     layer_nodes: Vec<PmPtr>,
     /// Sealed length of every tensor of every layer, in layer order.
     sealed_lens: Vec<Vec<usize>>,
     /// Flat per-tensor layout (layer-major), fixed at allocate/open time.
     slots: Vec<TensorSlot>,
-    /// The two PM buffers (slot A, slot B) of every tensor, in `slots` order.
-    tensor_ptrs: Vec<[PmPtr; 2]>,
+    /// The `ring_depth` PM buffers of every tensor, in `slots` order.
+    tensor_ptrs: Vec<Vec<PmPtr>>,
     /// Lazily built reusable scratch; `Mutex` keeps `mirror_out(&self)` callable from
     /// the existing persistence backends while the buffers are reused in place.
     scratch: Mutex<Option<MirrorScratch>>,
@@ -299,6 +352,8 @@ impl Clone for MirrorModel {
         // starts cold.
         MirrorModel {
             header: self.header,
+            meta: self.meta,
+            ring_depth: self.ring_depth,
             layer_nodes: self.layer_nodes.clone(),
             sealed_lens: self.sealed_lens.clone(),
             slots: self.slots.clone(),
@@ -360,6 +415,7 @@ fn build_slots(sealed_lens: &[Vec<usize>]) -> Result<Vec<TensorSlot>, PliniusErr
             })?;
             slots.push(TensorSlot {
                 layer: i,
+                tensor: j,
                 plain_off,
                 plain_len,
                 sealed_off,
@@ -379,15 +435,39 @@ impl MirrorModel {
         matches!(ctx.romulus().root(ROOT_MODEL), Ok(p) if !p.is_null())
     }
 
-    /// Allocates the persistent mirror for `network` (Algorithm 3, `alloc_mirror_model`):
-    /// one header (with epoch counter and active-slot index), one node per trainable
-    /// layer, and **two** buffers (slot A / slot B) for every encrypted tensor. All
-    /// allocations happen in a single durable transaction.
+    /// Allocates the persistent mirror for `network` (Algorithm 3, `alloc_mirror_model`)
+    /// with the ring depth selected by the `PLINIUS_RING` environment variable
+    /// (default 2, the classic A/B double buffer). See
+    /// [`MirrorModel::allocate_with_ring`].
     ///
     /// # Errors
     ///
     /// Propagates Romulus errors (e.g. out of persistent memory).
     pub fn allocate(ctx: &PliniusContext, network: &Network) -> Result<Self, PliniusError> {
+        Self::allocate_with_ring(ctx, network, ring_depth_from_env())
+    }
+
+    /// Allocates the persistent mirror for `network` with an explicit ring depth
+    /// `ring >= 2`: one header (with epoch counter, active-slot index and ring
+    /// depth), one `ring`-entry meta table, one node per trainable layer, and
+    /// `ring` buffers for every encrypted tensor. All allocations happen in a
+    /// single durable transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::InvalidConfig`] for `ring < 2` (publishing must never
+    /// touch the committed epoch's slot), or Romulus errors (e.g. out of persistent
+    /// memory).
+    pub fn allocate_with_ring(
+        ctx: &PliniusContext,
+        network: &Network,
+        ring: usize,
+    ) -> Result<Self, PliniusError> {
+        if ring < 2 {
+            return Err(PliniusError::InvalidConfig(format!(
+                "mirror ring depth must be at least 2, got {ring}"
+            )));
+        }
         let layer_tensor_lens: Vec<Vec<usize>> = network
             .layers()
             .iter()
@@ -401,29 +481,41 @@ impl MirrorModel {
             .collect();
         let num_layers = layer_tensor_lens.len() as u64;
         let mut header = PmPtr::NULL;
+        let mut meta = PmPtr::NULL;
         let mut layer_nodes = Vec::new();
-        let mut tensor_ptrs: Vec<[PmPtr; 2]> = Vec::new();
+        let mut tensor_ptrs: Vec<Vec<PmPtr>> = Vec::new();
         ctx.romulus().transaction(|tx| {
             header = tx.alloc(HEADER_BYTES)?;
             tx.write_u64(header, 0)?; // iteration
             tx.write_u64(header.add(8), num_layers)?;
             tx.write_u64(header.add(HDR_EPOCH), 0)?;
             tx.write_u64(header.add(HDR_ACTIVE), 0)?;
+            tx.write_u64(header.add(HDR_RING), ring as u64)?;
+            // The ring-meta table starts all-invalid (epoch 0 = no committed epoch).
+            meta = tx.alloc(ring * META_ENTRY_BYTES as usize)?;
+            for s in 0..ring as u64 {
+                tx.write_u64(meta.add(s * META_ENTRY_BYTES), 0)?;
+                tx.write_u64(meta.add(s * META_ENTRY_BYTES + 8), 0)?;
+            }
+            tx.write_u64(header.add(HDR_META), meta.offset())?;
             // Allocate nodes front to back, linking as we go.
+            let stride = (ring * 8 + 8) as u64;
             let mut nodes: Vec<PmPtr> = Vec::with_capacity(layer_tensor_lens.len());
-            let mut ptrs: Vec<[PmPtr; 2]> = Vec::new();
+            let mut ptrs: Vec<Vec<PmPtr>> = Vec::new();
             for tensor_lens in &layer_tensor_lens {
-                let node = tx.alloc(NODE_BYTES)?;
+                let node = tx.alloc(node_bytes(ring))?;
                 tx.write_u64(node, 0)?; // next (patched below)
                 tx.write_u64(node.add(8), tensor_lens.len() as u64)?;
                 for (j, sealed_len) in tensor_lens.iter().enumerate() {
-                    let slot_a = tx.alloc(*sealed_len)?;
-                    let slot_b = tx.alloc(*sealed_len)?;
-                    let field = node.add(16 + (j as u64) * 24);
-                    tx.write_u64(field, slot_a.offset())?;
-                    tx.write_u64(field.add(8), slot_b.offset())?;
-                    tx.write_u64(field.add(16), *sealed_len as u64)?;
-                    ptrs.push([slot_a, slot_b]);
+                    let field = node.add(16 + (j as u64) * stride);
+                    let mut ring_ptrs = Vec::with_capacity(ring);
+                    for s in 0..ring {
+                        let slot = tx.alloc(*sealed_len)?;
+                        tx.write_u64(field.add((s * 8) as u64), slot.offset())?;
+                        ring_ptrs.push(slot);
+                    }
+                    tx.write_u64(field.add((ring * 8) as u64), *sealed_len as u64)?;
+                    ptrs.push(ring_ptrs);
                 }
                 if let Some(prev) = nodes.last() {
                     tx.write_u64(*prev, node.offset())?;
@@ -440,6 +532,8 @@ impl MirrorModel {
         let slots = build_slots(&layer_tensor_lens)?;
         Ok(MirrorModel {
             header,
+            meta,
+            ring_depth: ring,
             layer_nodes,
             sealed_lens: layer_tensor_lens,
             slots,
@@ -462,19 +556,34 @@ impl MirrorModel {
         }
         let rom = ctx.romulus();
         let num_layers = rom.read_u64(header.add(8))? as usize;
+        let ring = rom.read_u64(header.add(HDR_RING))? as usize;
+        if !(2..=65_536).contains(&ring) {
+            return Err(PliniusError::MirrorMismatch(format!(
+                "implausible ring depth {ring} in the mirror header"
+            )));
+        }
+        let meta = PmPtr::from_offset(rom.read_u64(header.add(HDR_META))?);
+        if meta.is_null() {
+            return Err(PliniusError::MirrorMismatch(
+                "mirror header carries no ring-meta table".into(),
+            ));
+        }
+        let stride = (ring * 8 + 8) as u64;
         let mut layer_nodes = Vec::with_capacity(num_layers);
         let mut sealed_lens = Vec::with_capacity(num_layers);
-        let mut tensor_ptrs: Vec<[PmPtr; 2]> = Vec::new();
+        let mut tensor_ptrs: Vec<Vec<PmPtr>> = Vec::new();
         let mut cursor = PmPtr::from_offset(rom.read_u64(header.add(16))?);
         while !cursor.is_null() {
             let num_tensors = rom.read_u64(cursor.add(8))? as usize;
             let mut lens = Vec::with_capacity(num_tensors);
             for j in 0..num_tensors {
-                let field = cursor.add(16 + (j as u64) * 24);
-                let slot_a = PmPtr::from_offset(rom.read_u64(field)?);
-                let slot_b = PmPtr::from_offset(rom.read_u64(field.add(8))?);
-                lens.push(rom.read_u64(field.add(16))? as usize);
-                tensor_ptrs.push([slot_a, slot_b]);
+                let field = cursor.add(16 + (j as u64) * stride);
+                let mut ring_ptrs = Vec::with_capacity(ring);
+                for s in 0..ring {
+                    ring_ptrs.push(PmPtr::from_offset(rom.read_u64(field.add((s * 8) as u64))?));
+                }
+                lens.push(rom.read_u64(field.add((ring * 8) as u64))? as usize);
+                tensor_ptrs.push(ring_ptrs);
             }
             layer_nodes.push(cursor);
             sealed_lens.push(lens);
@@ -489,6 +598,8 @@ impl MirrorModel {
         let slots = build_slots(&sealed_lens)?;
         Ok(MirrorModel {
             header,
+            meta,
+            ring_depth: ring,
             layer_nodes,
             sealed_lens,
             slots,
@@ -573,15 +684,79 @@ impl MirrorModel {
         Ok(ctx.romulus().read_u64(self.header.add(HDR_EPOCH))?)
     }
 
-    /// Index (0 = A, 1 = B) of the currently active tensor slot.
+    /// Index of the currently active ring slot (`0..ring_depth`).
     fn active_slot(&self, ctx: &PliniusContext) -> Result<usize, PliniusError> {
         let raw = ctx.romulus().read_u64(self.header.add(HDR_ACTIVE))?;
-        match raw {
-            0 | 1 => Ok(raw as usize),
-            other => Err(PliniusError::MirrorMismatch(format!(
-                "invalid active-slot index {other} in the mirror header"
-            ))),
+        if (raw as usize) < self.ring_depth {
+            Ok(raw as usize)
+        } else {
+            Err(PliniusError::MirrorMismatch(format!(
+                "invalid active-slot index {raw} in the mirror header (ring depth {})",
+                self.ring_depth
+            )))
         }
+    }
+
+    /// Number of ring slots per tensor (`>= 2`), fixed at allocation time.
+    pub fn ring_depth(&self) -> usize {
+        self.ring_depth
+    }
+
+    /// Pointer to ring slot `s`'s meta entry `[epoch, iteration]`.
+    fn meta_entry_ptr(&self, s: usize) -> PmPtr {
+        self.meta.add(s as u64 * META_ENTRY_BYTES)
+    }
+
+    /// One load of ring slot `s`'s meta entry: `(epoch, iteration)`; epoch 0 means
+    /// the slot holds no committed epoch.
+    fn meta_entry(&self, ctx: &PliniusContext, s: usize) -> Result<(u64, u64), PliniusError> {
+        let ptr = self.meta_entry_ptr(s);
+        Ok((
+            ctx.romulus().read_u64(ptr)?,
+            ctx.romulus().read_u64(ptr.add(8))?,
+        ))
+    }
+
+    /// The committed epochs currently retained in the ring, oldest first: after `c`
+    /// committed publishes these are the `min(ring_depth, c)` newest epoch numbers
+    /// (one fewer while a publish is overwriting the oldest slot). Each listed
+    /// epoch can be opened with [`MirrorModel::restore_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates Romulus read errors.
+    pub fn epochs(&self, ctx: &PliniusContext) -> Result<Vec<u64>, PliniusError> {
+        let current = self.epoch(ctx)?;
+        let r = self.ring_depth as u64;
+        let mut out = Vec::with_capacity(self.ring_depth);
+        for s in 0..self.ring_depth {
+            let (e, _) = self.meta_entry(ctx, s)?;
+            // Invariant: slot s holds epoch e iff e ≡ s (mod R) and e is one of the
+            // R newest committed epochs. Anything else is stale or torn — skip it.
+            if e != 0 && e <= current && current - e < r && e % r == s as u64 {
+                out.push(e);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The training-iteration counter recorded with retained epoch `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::EpochNotRetained`] if the epoch has been evicted
+    /// from the ring (or never committed).
+    pub fn epoch_iteration(&self, ctx: &PliniusContext, epoch: u64) -> Result<u64, PliniusError> {
+        if epoch == 0 {
+            return Err(PliniusError::EpochNotRetained(epoch));
+        }
+        let s = (epoch % self.ring_depth as u64) as usize;
+        let (e, iteration) = self.meta_entry(ctx, s)?;
+        if e != epoch {
+            return Err(PliniusError::EpochNotRetained(epoch));
+        }
+        Ok(iteration)
     }
 
     /// One consistent load of the full mirror header, the unit of the seqlock
@@ -609,10 +784,12 @@ impl MirrorModel {
         *self.torn_read_hook.lock() = hook;
     }
 
-    /// Publishes the sealed arena into the **inactive** tensor slot with direct twin
-    /// writes, then atomically commits `[iteration, epoch+1, flip]` in one small
-    /// Romulus transaction. A crash before or inside the flip recovers the previous
-    /// complete epoch. Returns the committed epoch number.
+    /// Publishes the sealed arena into the ring slot after the active one with
+    /// direct twin writes, then atomically commits `[iteration, epoch+1, advance,
+    /// slot-meta]` in one small Romulus transaction. The target slot's meta entry
+    /// is invalidated *before* its tensors are overwritten, so a crash anywhere in
+    /// the publish recovers the newest complete epoch and never lists the
+    /// half-overwritten evictee. Returns the committed epoch number.
     fn commit_arena(
         &self,
         ctx: &PliniusContext,
@@ -622,17 +799,21 @@ impl MirrorModel {
         let rom = ctx.romulus();
         let active = self.active_slot(ctx)?;
         let epoch = rom.read_u64(self.header.add(HDR_EPOCH))?;
-        let target = active ^ 1;
+        let target = (active + 1) % self.ring_depth;
+        rom.publish_region(self.meta_entry_ptr(target), &META_INVALID)?;
         for (idx, slot) in self.slots.iter().enumerate() {
             rom.publish_region(
                 self.tensor_ptrs[idx][target],
                 &arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
             )?;
         }
+        let meta_ptr = self.meta_entry_ptr(target);
         rom.transaction(|tx| {
             tx.write_u64(self.header, iteration)?;
             tx.write_u64(self.header.add(HDR_EPOCH), epoch + 1)?;
-            tx.write_u64(self.header.add(HDR_ACTIVE), target as u64)
+            tx.write_u64(self.header.add(HDR_ACTIVE), target as u64)?;
+            tx.write_u64(meta_ptr, epoch + 1)?;
+            tx.write_u64(meta_ptr.add(8), iteration)
         })?;
         Ok(epoch + 1)
     }
@@ -889,56 +1070,9 @@ impl MirrorModel {
         // Phase 2: in-enclave decryption (across threads — each tensor is an
         // independent AES-GCM open on a borrowed [`SealedView`]) and serial
         // installation into the enclave model.
-        let (decrypt_result, decrypt) =
-            SimSpan::record(&clock, || -> Result<usize, PliniusError> {
-                // Charge the modeled crypto cost serially in slot order so the
-                // simulated-time total matches the serial path for every thread count.
-                for slot in &self.slots {
-                    ctx.enclave().charge_crypto(slot.sealed_len as u64);
-                }
-                let threads = plinius_parallel::max_threads();
-                Self::open_arena(&self.slots, scratch, threads)?;
-                // Install layer by layer in mirror order, surfacing errors exactly as
-                // the serial loop would (layer 0's failures before layer 1's).
-                let mut slot_iter = self.slots.iter();
-                let mut model_bytes = 0usize;
-                let mut node_idx = 0usize;
-                for layer in network.layers_mut().iter_mut() {
-                    if !layer.is_trainable() {
-                        continue;
-                    }
-                    if node_idx >= self.layer_nodes.len() {
-                        return Err(PliniusError::MirrorMismatch(
-                            "enclave model has more trainable layers than the mirror".into(),
-                        ));
-                    }
-                    let mut tensors = Vec::with_capacity(TENSORS_PER_LAYER);
-                    for _ in 0..self.sealed_lens[node_idx].len() {
-                        let slot = slot_iter.next().expect("one slot per tensor");
-                        let tensor = bytes_to_f32s(
-                            &scratch.plain[slot.plain_off..slot.plain_off + slot.plain_len],
-                        )?;
-                        model_bytes += tensor.len() * 4;
-                        tensors.push(tensor);
-                    }
-                    let expected: Vec<usize> =
-                        layer.params().iter().map(|p| p.data.len()).collect();
-                    let got: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
-                    if expected != got {
-                        return Err(PliniusError::MirrorMismatch(format!(
-                        "layer {node_idx}: expected tensor sizes {expected:?}, mirror holds {got:?}"
-                    )));
-                    }
-                    layer.set_params(&tensors);
-                    node_idx += 1;
-                }
-                if node_idx != self.layer_nodes.len() {
-                    return Err(PliniusError::MirrorMismatch(
-                        "mirror holds more layers than the enclave model".into(),
-                    ));
-                }
-                Ok(model_bytes)
-            });
+        let (decrypt_result, decrypt) = SimSpan::record(&clock, || {
+            self.decrypt_arena_into_network(ctx, scratch, network)
+        });
         let model_bytes = decrypt_result?;
         network.set_iteration(iteration);
         Ok(MirrorInReport {
@@ -948,6 +1082,219 @@ impl MirrorModel {
             epoch: header.epoch,
             model_bytes,
         })
+    }
+
+    /// Restores a specific retained epoch from the ring into `network` (the
+    /// time-travel sibling of [`MirrorModel::mirror_in`], which always opens the
+    /// newest committed epoch). The read revalidates the slot's ring-meta entry
+    /// after the bulk tensor read — meta entries are invalidated *before* a publish
+    /// overwrites a slot, so an unchanged entry brackets untorn bytes even while a
+    /// concurrent publisher cycles the ring (AES-GCM authentication is the second
+    /// net). The network's iteration counter is set to the one recorded with the
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::EpochNotRetained`] if the epoch has been evicted
+    /// from the ring (or never committed), plus the error set of
+    /// [`MirrorModel::mirror_in`].
+    pub fn restore_epoch(
+        &self,
+        ctx: &PliniusContext,
+        network: &mut Network,
+        epoch: u64,
+    ) -> Result<MirrorInReport, PliniusError> {
+        if epoch == 0 {
+            return Err(PliniusError::EpochNotRetained(epoch));
+        }
+        let clock = ctx.clock();
+        let rom = ctx.romulus();
+        let slot_idx = (epoch % self.ring_depth as u64) as usize;
+        let mut guard = self.scratch.lock();
+        let scratch = self.ensure_scratch(ctx, &mut guard)?;
+        let (read_out, read) = SimSpan::record(&clock, || -> Result<u64, PliniusError> {
+            let mut attempt = 0u64;
+            loop {
+                let before = self.meta_entry(ctx, slot_idx)?;
+                if before.0 != epoch {
+                    return Err(PliniusError::EpochNotRetained(epoch));
+                }
+                for (idx, slot) in self.slots.iter().enumerate() {
+                    rom.read_bytes_into(
+                        self.tensor_ptrs[idx][slot_idx],
+                        &mut scratch.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len],
+                    )?;
+                }
+                if self.meta_entry(ctx, slot_idx)? == before {
+                    return Ok(before.1);
+                }
+                ctx.stats().counter("mirror.torn_read_retries").incr();
+                attempt += 1;
+                if attempt > MAX_TORN_READ_RETRIES {
+                    return Err(PliniusError::MirrorMismatch(format!(
+                        "ring slot {slot_idx} kept moving during {MAX_TORN_READ_RETRIES} \
+                         snapshot-read retries"
+                    )));
+                }
+            }
+        });
+        let iteration = read_out?;
+        let (decrypt_result, decrypt) = SimSpan::record(&clock, || {
+            self.decrypt_arena_into_network(ctx, scratch, network)
+        });
+        let model_bytes = decrypt_result?;
+        network.set_iteration(iteration);
+        Ok(MirrorInReport {
+            read,
+            decrypt,
+            iteration,
+            epoch,
+            model_bytes,
+        })
+    }
+
+    /// Reads one retained epoch's sealed tensor blob (`flat` indexes the
+    /// layer-major tensor layout) straight from PM into `out`, without decrypting
+    /// and without heap allocation — the zero-copy read primitive underneath the
+    /// VFS. The slot's ring-meta entry is revalidated after the read (see
+    /// [`MirrorModel::restore_epoch`] for why that brackets untorn bytes). Returns
+    /// the sealed length written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::EpochNotRetained`] if the epoch is not in the ring,
+    /// or [`PliniusError::MirrorMismatch`] if `flat` is out of range or `out` is
+    /// shorter than the sealed blob.
+    pub fn read_sealed_into(
+        &self,
+        ctx: &PliniusContext,
+        epoch: u64,
+        flat: usize,
+        out: &mut [u8],
+    ) -> Result<usize, PliniusError> {
+        if epoch == 0 {
+            return Err(PliniusError::EpochNotRetained(epoch));
+        }
+        let slot = self.slots.get(flat).ok_or_else(|| {
+            PliniusError::MirrorMismatch(format!("no tensor at flat index {flat}"))
+        })?;
+        if out.len() < slot.sealed_len {
+            return Err(PliniusError::MirrorMismatch(format!(
+                "output buffer of {} bytes cannot hold the {}-byte sealed tensor",
+                out.len(),
+                slot.sealed_len
+            )));
+        }
+        let rom = ctx.romulus();
+        let slot_idx = (epoch % self.ring_depth as u64) as usize;
+        let mut attempt = 0u64;
+        loop {
+            let before = self.meta_entry(ctx, slot_idx)?;
+            if before.0 != epoch {
+                return Err(PliniusError::EpochNotRetained(epoch));
+            }
+            rom.read_bytes_into(
+                self.tensor_ptrs[flat][slot_idx],
+                &mut out[..slot.sealed_len],
+            )?;
+            if self.meta_entry(ctx, slot_idx)? == before {
+                return Ok(slot.sealed_len);
+            }
+            ctx.stats().counter("mirror.torn_read_retries").incr();
+            attempt += 1;
+            if attempt > MAX_TORN_READ_RETRIES {
+                return Err(PliniusError::MirrorMismatch(format!(
+                    "ring slot {slot_idx} kept moving during {MAX_TORN_READ_RETRIES} \
+                     snapshot-read retries"
+                )));
+            }
+        }
+    }
+
+    /// The flat per-tensor layout (layer-major): the VFS's view of what is sealed.
+    pub(crate) fn slot_layout(&self) -> &[TensorSlot] {
+        &self.slots
+    }
+
+    /// Total sealed-arena size in bytes (the sum of every tensor's sealed length).
+    pub(crate) fn arena_len(&self) -> usize {
+        self.slots.iter().map(|s| s.sealed_len).sum()
+    }
+
+    /// Commits a pre-sealed arena (layer-major concatenation of sealed tensor
+    /// blobs, exactly [`MirrorModel::arena_len`] bytes) as the next epoch — the
+    /// import half of the VFS's sealed export/import path. The caller has already
+    /// authenticated the blobs.
+    pub(crate) fn commit_sealed_arena(
+        &self,
+        ctx: &PliniusContext,
+        arena: &[u8],
+        iteration: u64,
+    ) -> Result<u64, PliniusError> {
+        if arena.len() != self.arena_len() {
+            return Err(PliniusError::MirrorMismatch(format!(
+                "sealed arena of {} bytes does not match the mirror's {}-byte layout",
+                arena.len(),
+                self.arena_len()
+            )));
+        }
+        self.commit_arena(ctx, arena, iteration)
+    }
+
+    /// Phase 2 of a restore: authenticates and decrypts the staged arena (across
+    /// threads) and installs the parameters into the enclave model, charging the
+    /// modeled crypto cost serially in slot order so the simulated-time total
+    /// matches the serial path for every thread count. Returns the plaintext model
+    /// bytes installed.
+    fn decrypt_arena_into_network(
+        &self,
+        ctx: &PliniusContext,
+        scratch: &mut MirrorScratch,
+        network: &mut Network,
+    ) -> Result<usize, PliniusError> {
+        for slot in &self.slots {
+            ctx.enclave().charge_crypto(slot.sealed_len as u64);
+        }
+        let threads = plinius_parallel::max_threads();
+        Self::open_arena(&self.slots, scratch, threads)?;
+        // Install layer by layer in mirror order, surfacing errors exactly as
+        // the serial loop would (layer 0's failures before layer 1's).
+        let mut slot_iter = self.slots.iter();
+        let mut model_bytes = 0usize;
+        let mut node_idx = 0usize;
+        for layer in network.layers_mut().iter_mut() {
+            if !layer.is_trainable() {
+                continue;
+            }
+            if node_idx >= self.layer_nodes.len() {
+                return Err(PliniusError::MirrorMismatch(
+                    "enclave model has more trainable layers than the mirror".into(),
+                ));
+            }
+            let mut tensors = Vec::with_capacity(TENSORS_PER_LAYER);
+            for _ in 0..self.sealed_lens[node_idx].len() {
+                let slot = slot_iter.next().expect("one slot per tensor");
+                let tensor =
+                    bytes_to_f32s(&scratch.plain[slot.plain_off..slot.plain_off + slot.plain_len])?;
+                model_bytes += tensor.len() * 4;
+                tensors.push(tensor);
+            }
+            let expected: Vec<usize> = layer.params().iter().map(|p| p.data.len()).collect();
+            let got: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
+            if expected != got {
+                return Err(PliniusError::MirrorMismatch(format!(
+                    "layer {node_idx}: expected tensor sizes {expected:?}, mirror holds {got:?}"
+                )));
+            }
+            layer.set_params(&tensors);
+            node_idx += 1;
+        }
+        if node_idx != self.layer_nodes.len() {
+            return Err(PliniusError::MirrorMismatch(
+                "mirror holds more layers than the enclave model".into(),
+            ));
+        }
+        Ok(model_bytes)
     }
 
     /// Phase-2 worker of mirror-in: authenticates and decrypts every sealed tensor of
@@ -1352,15 +1699,110 @@ mod tests {
         let ctx = context_with_key(8 * 1024 * 1024);
         let mut net = small_network(30);
         let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+        let ring = mirror.ring_depth() as u64;
         assert_eq!(mirror.epoch(&ctx).unwrap(), 0);
         assert_eq!(mirror.active_slot(&ctx).unwrap(), 0);
+        assert_eq!(mirror.epochs(&ctx).unwrap(), Vec::<u64>::new());
         for i in 1..=4u64 {
             net.set_iteration(i);
             mirror.mirror_out(&ctx, &net).unwrap();
             assert_eq!(mirror.epoch(&ctx).unwrap(), i);
-            assert_eq!(mirror.active_slot(&ctx).unwrap(), (i % 2) as usize);
+            assert_eq!(mirror.active_slot(&ctx).unwrap(), (i % ring) as usize);
             assert_eq!(mirror.iteration(&ctx).unwrap(), i);
+            let expected: Vec<u64> = (i.saturating_sub(ring - 1).max(1)..=i).collect();
+            assert_eq!(mirror.epochs(&ctx).unwrap(), expected);
         }
+    }
+
+    #[test]
+    fn ring_depth_below_two_is_rejected() {
+        let ctx = context_with_key(1024 * 1024);
+        let net = small_network(31);
+        for ring in [0usize, 1] {
+            assert!(matches!(
+                MirrorModel::allocate_with_ring(&ctx, &net, ring).unwrap_err(),
+                PliniusError::InvalidConfig(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn deeper_ring_retains_and_restores_old_epochs() {
+        let ctx = context_with_key(16 * 1024 * 1024);
+        let mut net = small_network(32);
+        let mirror = MirrorModel::allocate_with_ring(&ctx, &net, 4).unwrap();
+        assert_eq!(mirror.ring_depth(), 4);
+        // Commit 6 epochs with distinguishable weights: mutate one parameter per
+        // epoch so every epoch's plaintext is unique.
+        let mut weight_tags = Vec::new();
+        for i in 1..=6u64 {
+            net.set_iteration(i);
+            let tag = i as f32 * 0.5;
+            let layer = net
+                .layers_mut()
+                .iter_mut()
+                .find(|l| l.is_trainable())
+                .unwrap();
+            let mut tensors: Vec<Vec<f32>> =
+                layer.params().iter().map(|p| p.data.to_vec()).collect();
+            tensors[0][0] = tag;
+            layer.set_params(&tensors);
+            weight_tags.push(tag);
+            mirror.mirror_out(&ctx, &net).unwrap();
+        }
+        // The 4 newest epochs are retained; 1 and 2 are evicted.
+        assert_eq!(mirror.epochs(&ctx).unwrap(), vec![3, 4, 5, 6]);
+        for old in [1u64, 2] {
+            assert!(matches!(
+                mirror.restore_epoch(&ctx, &mut net, old).unwrap_err(),
+                PliniusError::EpochNotRetained(e) if e == old
+            ));
+            assert!(matches!(
+                mirror.epoch_iteration(&ctx, old).unwrap_err(),
+                PliniusError::EpochNotRetained(_)
+            ));
+        }
+        // Every retained epoch restores its own weights and iteration.
+        for e in 3..=6u64 {
+            assert_eq!(mirror.epoch_iteration(&ctx, e).unwrap(), e);
+            let mut restored = small_network(33);
+            let report = mirror.restore_epoch(&ctx, &mut restored, e).unwrap();
+            assert_eq!(report.epoch, e);
+            assert_eq!(report.iteration, e);
+            assert_eq!(restored.iteration(), e);
+            let first = restored
+                .layers()
+                .iter()
+                .find(|l| l.is_trainable())
+                .unwrap()
+                .params()[0]
+                .data[0];
+            assert_eq!(first, weight_tags[(e - 1) as usize]);
+        }
+        // mirror_in still opens the newest epoch.
+        let mut newest = small_network(34);
+        let report = mirror.mirror_in(&ctx, &mut newest).unwrap();
+        assert_eq!(report.epoch, 6);
+        assert_eq!(report.iteration, 6);
+    }
+
+    #[test]
+    fn sealed_bytes_are_identical_for_every_ring_depth() {
+        // Twin deployments, same enclave RNG stream, same key, same model — only
+        // the ring depth differs. The sealed blobs of the committed epoch must be
+        // byte-for-byte identical: ciphertext is a pure function of
+        // (key, IV, AAD, plaintext), independent of the PM slot layout.
+        let run = |ring: usize| {
+            let ctx = context_with_key(16 * 1024 * 1024);
+            let mut net = small_network(35);
+            net.set_iteration(4);
+            let mirror = MirrorModel::allocate_with_ring(&ctx, &net, ring).unwrap();
+            mirror.mirror_out(&ctx, &net).unwrap();
+            sealed_tensor_bytes(&ctx, &mirror)
+        };
+        let two = run(2);
+        assert_eq!(two, run(4));
+        assert_eq!(two, run(8));
     }
 
     #[test]

@@ -313,12 +313,28 @@ impl PersistenceBackend {
         self.instantiate_on(None)
     }
 
+    /// Like [`PersistenceBackend::instantiate`], but with an explicit epoch-ring depth
+    /// for the mirror-backed variants (ignored by SSD-only and no-op specs).
+    pub fn instantiate_with_ring(&self, ring: usize) -> Box<dyn ModelPersistence> {
+        self.instantiate_on_with_ring(None, ring)
+    }
+
     /// Maps the spec onto a trait object, placing SSD-backed checkpoints on `ssd` when
     /// one is given. The crash/spot drivers use this so checkpoints written before a
     /// simulated process kill are still on the device afterwards.
     pub fn instantiate_on(&self, ssd: Option<&SimFileSystem>) -> Box<dyn ModelPersistence> {
+        self.instantiate_on_with_ring(ssd, crate::mirror::ring_depth_from_env())
+    }
+
+    /// [`PersistenceBackend::instantiate_on`] with an explicit epoch-ring depth for the
+    /// mirror-backed variants.
+    pub fn instantiate_on_with_ring(
+        &self,
+        ssd: Option<&SimFileSystem>,
+        ring: usize,
+    ) -> Box<dyn ModelPersistence> {
         match self {
-            PersistenceBackend::PmMirror => Box::new(PmMirrorBackend::new()),
+            PersistenceBackend::PmMirror => Box::new(PmMirrorBackend::with_ring(ring)),
             PersistenceBackend::SsdCheckpoint(path) => Box::new(match ssd {
                 Some(fs) => SsdCheckpointBackend::on_filesystem(fs.clone(), path.clone()),
                 None => SsdCheckpointBackend::new(path.clone()),
@@ -326,12 +342,17 @@ impl PersistenceBackend {
             PersistenceBackend::HybridTiered {
                 ssd_path,
                 demote_every,
-            } => Box::new(match ssd {
-                Some(fs) => {
-                    HybridTieredBackend::on_filesystem(fs.clone(), ssd_path.clone(), *demote_every)
+            } => Box::new(
+                match ssd {
+                    Some(fs) => HybridTieredBackend::on_filesystem(
+                        fs.clone(),
+                        ssd_path.clone(),
+                        *demote_every,
+                    ),
+                    None => HybridTieredBackend::new(ssd_path.clone(), *demote_every),
                 }
-                None => HybridTieredBackend::new(ssd_path.clone(), *demote_every),
-            }),
+                .with_ring(ring),
+            ),
             PersistenceBackend::None => Box::new(NoOpBackend),
         }
     }
@@ -348,16 +369,35 @@ impl PersistenceBackend {
 
 /// Plinius' mirroring mechanism as a [`ModelPersistence`] backend: encrypted mirror
 /// copies on PM, synchronised within Romulus durable transactions (Algorithm 3).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PmMirrorBackend {
     mirror: Option<MirrorModel>,
     stats: PersistStats,
+    ring_depth: usize,
+}
+
+impl Default for PmMirrorBackend {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PmMirrorBackend {
-    /// Creates an unbound backend; the mirror is opened or allocated on first use.
+    /// Creates an unbound backend; the mirror is opened or allocated on first use, with
+    /// the epoch-ring depth taken from `PLINIUS_RING` (default 2).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_ring(crate::mirror::ring_depth_from_env())
+    }
+
+    /// Creates an unbound backend whose freshly allocated mirrors retain the `ring`
+    /// newest epochs. When the backend opens an existing mirror instead, the depth
+    /// recorded in its PM header wins.
+    pub fn with_ring(ring: usize) -> Self {
+        PmMirrorBackend {
+            mirror: None,
+            stats: PersistStats::default(),
+            ring_depth: ring,
+        }
     }
 
     /// The mirror handle, opening the existing PM mirror or allocating a fresh one.
@@ -370,7 +410,7 @@ impl PmMirrorBackend {
             self.mirror = Some(if MirrorModel::exists(ctx) {
                 MirrorModel::open(ctx)?
             } else {
-                MirrorModel::allocate(ctx, network)?
+                MirrorModel::allocate_with_ring(ctx, network, self.ring_depth)?
             });
         }
         Ok(self.mirror.as_ref().expect("mirror just set"))
@@ -599,6 +639,13 @@ impl HybridTieredBackend {
             demotions: 0,
             last_demoted: 0,
         }
+    }
+
+    /// Sets the epoch-ring depth used when the PM tier allocates a fresh mirror.
+    #[must_use]
+    pub fn with_ring(mut self, ring: usize) -> Self {
+        self.mirror = PmMirrorBackend::with_ring(ring);
+        self
     }
 
     /// Number of checkpoints demoted to the SSD so far.

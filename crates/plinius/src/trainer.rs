@@ -4,7 +4,7 @@
 //! Trainers are constructed through the fluent [`PliniusBuilder`]; the persistence
 //! medium is any [`ModelPersistence`] implementation (see [`crate::persist`]).
 
-use crate::mirror::MirrorModel;
+use crate::mirror::{ring_depth_from_env, MirrorModel};
 use crate::persist::{ModelPersistence, NoOpBackend, PersistStats, PersistenceBackend};
 use crate::pmdata::PmDataset;
 use crate::{PliniusContext, PliniusError};
@@ -79,6 +79,10 @@ pub struct TrainerConfig {
     /// Whether persists run inline ([`PipelineMode::Sync`]) or overlapped with the
     /// next iteration's compute ([`PipelineMode::Overlapped`]).
     pub pipeline: PipelineMode,
+    /// How many committed epochs the PM mirror's ring retains (`>= 2`); only the
+    /// mirror-backed persistence specs use it. Defaults to the `PLINIUS_RING`
+    /// environment variable (2 when unset).
+    pub ring_depth: usize,
 }
 
 impl Default for TrainerConfig {
@@ -90,6 +94,7 @@ impl Default for TrainerConfig {
             encrypted_data: true,
             seed: 0xBEEF,
             pipeline: PipelineMode::from_env(),
+            ring_depth: ring_depth_from_env(),
         }
     }
 }
@@ -221,6 +226,34 @@ impl PliniusTrainer {
         self.backend.drain(&self.ctx)
     }
 
+    /// Rolls the enclave model back to a retained `epoch` of the PM mirror's ring:
+    /// drains any in-flight publish, then restores that epoch's weights and iteration
+    /// counter into the live network. Training resumed afterwards re-executes from
+    /// there, drawing bit-identical batches to a run that never advanced past it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::EpochNotRetained`] if the epoch has been evicted from
+    /// (or never entered) the ring, or [`PliniusError::MirrorMismatch`] when the
+    /// backend has no PM mirror to travel through.
+    pub fn rollback_to(&mut self, epoch: u64) -> Result<(), PliniusError> {
+        self.drain()?;
+        let mirror = self.backend.mirror_model().cloned().ok_or_else(|| {
+            PliniusError::MirrorMismatch(
+                "the persistence backend has no PM mirror to roll back through".to_owned(),
+            )
+        })?;
+        mirror.restore_epoch(&self.ctx, &mut self.network, epoch)?;
+        Ok(())
+    }
+
+    /// How many torn snapshot reads the deployment's mirror readers have retried so
+    /// far (the `mirror.torn_read_retries` statistic): concurrent serve-vs-train
+    /// races that the seqlock protocol detected and resolved.
+    pub fn torn_read_retries(&self) -> u64 {
+        self.ctx.stats().value("mirror.torn_read_retries")
+    }
+
     /// Runs until `max_iterations` is reached (the full Algorithm 2 loop).
     ///
     /// # Errors
@@ -306,6 +339,7 @@ impl TrainingSetup {
                 encrypted_data: true,
                 seed: 1,
                 pipeline: PipelineMode::from_env(),
+                ring_depth: ring_depth_from_env(),
             },
             backend: PersistenceBackend::PmMirror,
             model_seed: 3,
@@ -426,6 +460,15 @@ impl PliniusBuilder {
         self
     }
 
+    /// Overrides how many committed epochs the PM mirror's ring retains (`>= 2`).
+    /// Only applies when this builder instantiates a mirror-backed spec; an explicit
+    /// [`PliniusBuilder::backend`] and an already-allocated mirror keep their own
+    /// depth.
+    pub fn ring_depth(mut self, ring: usize) -> Self {
+        self.setup.trainer.ring_depth = ring;
+        self
+    }
+
     /// Plaintext dataset for the unencrypted baseline; defaults to the setup's dataset.
     pub fn plain_data(mut self, data: Dataset) -> Self {
         self.plain_data = Some(data);
@@ -456,6 +499,14 @@ impl PliniusBuilder {
                 "mirror_frequency must be at least 1".to_owned(),
             ));
         }
+        // A one-deep "ring" could not distinguish the committing epoch from the last
+        // complete one, which is the whole crash-consistency story — refuse early.
+        if config.ring_depth < 2 {
+            return Err(PliniusError::InvalidConfig(format!(
+                "ring_depth must be at least 2, got {}",
+                config.ring_depth
+            )));
+        }
         let ctx = match ctx {
             Some(ctx) => ctx,
             None => {
@@ -476,7 +527,8 @@ impl PliniusBuilder {
         ctx.enclave()
             .alloc_trusted((network.model_bytes() * 2) as u64)
             .map_err(PliniusError::from)?;
-        let mut backend = backend.unwrap_or_else(|| setup.backend.instantiate());
+        let mut backend =
+            backend.unwrap_or_else(|| setup.backend.instantiate_with_ring(config.ring_depth));
         if backend.exists(&ctx) {
             backend.restore(&ctx, &mut network)?;
         } else {
@@ -559,7 +611,9 @@ pub fn train_with_crash_schedule(
         // real disk — outlives every simulated process kill (a crash wipes volatile
         // state and unflushed PM lines, not the disk).
         let backend: Box<dyn ModelPersistence> = if resilient {
-            setup.backend.instantiate()
+            setup
+                .backend
+                .instantiate_with_ring(setup.trainer.ring_depth)
         } else {
             Box::new(NoOpBackend)
         };

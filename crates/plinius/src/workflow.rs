@@ -35,6 +35,10 @@ pub struct WorkflowReport {
     /// Activity counters of the persistence backend, including the pipeline's
     /// snapshot/publish counts and the simulated overlap wait.
     pub persist_stats: PersistStats,
+    /// Torn snapshot reads retried by mirror readers during the run — the
+    /// `mirror.torn_read_retries` statistic. Non-zero values mean concurrent
+    /// serve-vs-train races were detected (and resolved) by the seqlock protocol.
+    pub torn_read_retries: u64,
 }
 
 impl WorkflowReport {
@@ -101,6 +105,7 @@ pub fn run_full_workflow(setup: &TrainingSetup) -> Result<WorkflowReport, Pliniu
         backend: trainer.backend().label().to_owned(),
         pipeline: setup.trainer.pipeline,
         persist_stats: trainer.persist_stats(),
+        torn_read_retries: trainer.torn_read_retries(),
     })
 }
 
@@ -134,6 +139,9 @@ mod tests {
             PipelineMode::Overlapped => assert_eq!(report.persist_stats.snapshots, 15),
         }
         assert!(report.overlap_wait_ms() >= 0.0);
+        // No inference server races this single-lane run, so the seqlock never
+        // observes a torn snapshot — the plumbed counter must read zero.
+        assert_eq!(report.torn_read_retries, 0);
     }
 
     #[test]

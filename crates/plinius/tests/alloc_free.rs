@@ -149,6 +149,30 @@ fn steady_state_overlapped_cycle_performs_zero_heap_allocations_on_the_training_
 }
 
 #[test]
+fn steady_state_vfs_sealed_reads_perform_zero_heap_allocations() {
+    // The VFS's raw-sealed-read lane (`read_into` on a `.sealed` path) is the
+    // zero-copy export surface: path resolution works on borrowed slices and the
+    // ciphertext is copied straight from PM into the caller's buffer. After the
+    // listing warm-up, a steady-state read must not touch the heap.
+    let (ctx, net, mirror) = mirror_fixture();
+    mirror.mirror_out_with_threads(&ctx, &net, 1).unwrap();
+    let vfs = plinius::MirrorVfs::new(&ctx, &mirror);
+    let entry = plinius::Vfs::stat(&vfs, "/epoch/1/layer0-tensor0.sealed").unwrap();
+    let mut buf = vec![0u8; entry.len];
+    // Warm-up: stats counters and any lazily-built lookup state.
+    plinius::Vfs::read_into(&vfs, "/epoch/1/layer0-tensor0.sealed", &mut buf).unwrap();
+    plinius::Vfs::read_into(&vfs, "/epoch/1/layer0-tensor0.sealed", &mut buf).unwrap();
+    let before = thread_allocs();
+    let n = plinius::Vfs::read_into(&vfs, "/epoch/1/layer0-tensor0.sealed", &mut buf).unwrap();
+    let allocs = thread_allocs() - before;
+    assert_eq!(n, entry.len);
+    assert_eq!(
+        allocs, 0,
+        "steady-state VFS sealed reads must not touch the heap"
+    );
+}
+
+#[test]
 fn mirror_out_still_round_trips_under_the_counting_allocator() {
     // Sanity: the instrumented binary still produces a restorable mirror.
     let (ctx, net, mirror) = mirror_fixture();

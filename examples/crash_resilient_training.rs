@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             encrypted_data: true,
             seed: 2,
             pipeline: PipelineMode::from_env(),
+            ring_depth: plinius::ring_depth_from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 9,

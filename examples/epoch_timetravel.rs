@@ -1,0 +1,90 @@
+//! Epoch time-travel: train with a deep epoch ring, browse the retained epochs
+//! through the mirror's virtual filesystem, diff two epochs, roll the live model
+//! back to an earlier epoch, and ship a sealed epoch to a second deployment.
+//!
+//! Run with: `cargo run --example epoch_timetravel`
+
+use plinius::{MirrorModel, MirrorVfs, PliniusBuilder, PliniusContext, TrainingSetup, Vfs};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train a small model with a depth-4 epoch ring: the last four committed
+    // epochs stay addressable in PM instead of only the newest one.
+    let mut setup = TrainingSetup::small_test();
+    setup.trainer.ring_depth = 4;
+    let mut trainer = PliniusBuilder::new(setup).build()?;
+    trainer.run()?;
+    println!(
+        "trained to iteration {} with a depth-4 epoch ring",
+        trainer.iteration()
+    );
+
+    // Browse the mirror like a filesystem. Every retained epoch is a directory
+    // of sealed (AES-GCM) tensor files plus a human-readable `meta` file.
+    let mirror = trainer
+        .mirror_handle()
+        .expect("the PM-mirror backend always carries a mirror");
+    let vfs = MirrorVfs::new(trainer.context(), &mirror);
+    println!("\nVFS tree (HEAD -> {}):", vfs.read_link("/HEAD")?);
+    for dir in vfs.list("/epoch")? {
+        let files = vfs.list(&format!("/epoch/{}", dir.name))?;
+        let sealed: usize = files
+            .iter()
+            .filter(|e| e.name.ends_with(".sealed"))
+            .map(|e| e.len)
+            .sum();
+        println!(
+            "  /epoch/{:<3} {} files, {} sealed bytes",
+            dir.name,
+            files.len(),
+            sealed
+        );
+    }
+
+    // Diff the oldest and newest retained epochs: which tensors moved, and how far.
+    let epochs = mirror.epochs(trainer.context())?;
+    let (oldest, newest) = (epochs[0], *epochs.last().unwrap());
+    let diff = vfs.epoch_diff(oldest, newest)?;
+    println!(
+        "\nepoch {oldest} -> {newest}: {} bytes changed, total l2 delta {:.6}",
+        diff.changed_bytes, diff.l2_delta
+    );
+    for t in diff.tensors.iter().filter(|t| t.changed_bytes > 0).take(4) {
+        println!(
+            "  layer {} tensor {}: {} bytes, l2 {:.6}",
+            t.layer, t.tensor, t.changed_bytes, t.l2_delta
+        );
+    }
+
+    // Time-travel: roll the live trainer back one epoch and retrain the rest.
+    let back_to = newest - 1;
+    trainer.rollback_to(back_to)?;
+    println!(
+        "\nrolled the live model back to epoch {back_to} (iteration {})",
+        trainer.iteration()
+    );
+    trainer.run()?;
+    println!("retrained forward to iteration {}", trainer.iteration());
+
+    // Ship an epoch across deployments: export the sealed bytes (no plaintext
+    // leaves the enclave), import them into a second pool under the same key.
+    let payload = vfs.export(newest)?;
+    let wire = payload.to_bytes();
+    println!(
+        "\nexported epoch {} as a {}-byte sealed payload",
+        payload.epoch,
+        wire.len()
+    );
+    let ctx_b = PliniusContext::small_test(32 * 1024 * 1024);
+    ctx_b.provision_key_directly(trainer.context().key()?);
+    let template = trainer.network().clone();
+    let mirror_b = MirrorModel::allocate(&ctx_b, &template)?;
+    let vfs_b = MirrorVfs::new(&ctx_b, &mirror_b);
+    let committed = vfs_b.import(&plinius::SealedEpoch::from_bytes(&wire)?)?;
+    let mut restored = template;
+    mirror_b.restore_epoch(&ctx_b, &mut restored, committed)?;
+    println!(
+        "imported it into a fresh deployment as epoch {committed} (iteration {})",
+        restored.iteration()
+    );
+    Ok(())
+}

@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             encrypted_data: true,
             seed: 6,
             pipeline: PipelineMode::from_env(),
+            ring_depth: plinius::ring_depth_from_env(),
         },
         backend: PersistenceBackend::HybridTiered {
             ssd_path: "tier.ckpt".into(),

@@ -45,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             encrypted_data: true,
             seed: 21,
             pipeline: PipelineMode::from_env(),
+            ring_depth: plinius::ring_depth_from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 4,

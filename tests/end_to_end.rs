@@ -76,6 +76,7 @@ fn mirror_and_resume_across_contexts_with_key_reprovisioning() {
             encrypted_data: true,
             seed: 5,
             pipeline: PipelineMode::from_env(),
+            ring_depth: plinius::ring_depth_from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 13,
