@@ -3,7 +3,8 @@
 //! Every `src/bin/*` binary accepts the same three scale flags (`--smoke`, `--quick`,
 //! `--full`), a worker-thread override (`--threads N`, the CLI face of the
 //! `PLINIUS_THREADS` environment variable), an epoch-ring-depth override (`--ring N`,
-//! the CLI face of `PLINIUS_RING`) plus optional positional inputs (e.g. a
+//! the CLI face of `PLINIUS_RING`), a tenant-count override (`--tenants N`, the CLI
+//! face of `PLINIUS_TENANTS`) plus optional positional inputs (e.g. a
 //! spot-price CSV for `fig10_spot`). Unknown flags and malformed values are an error:
 //! a typo like `--smokee` aborts the run instead of being silently ignored and
 //! launching a paper-scale sweep.
@@ -46,6 +47,9 @@ pub struct BenchArgs {
     /// Epoch-ring-depth override from `--ring N` (applied to freshly allocated PM
     /// mirrors via the `PLINIUS_RING` mechanism), if given.
     pub ring: Option<usize>,
+    /// Tenant-count override from `--tenants N` (applied to fleet deployments via
+    /// the `PLINIUS_TENANTS` mechanism), if given.
+    pub tenants: Option<usize>,
     /// Positional (non-flag) arguments, in order.
     pub inputs: Vec<String>,
 }
@@ -77,6 +81,8 @@ impl fmt::Display for CliError {
             CliError::InvalidValue { flag, value } => {
                 let expected = if flag == "--ring" {
                     "an integer >= 2"
+                } else if flag == "--tenants" {
+                    "an integer in 1..=MAX_TENANTS"
                 } else {
                     "a positive integer"
                 };
@@ -96,7 +102,7 @@ impl std::error::Error for CliError {}
 fn usage(accepts_inputs: bool) -> String {
     let files = if accepts_inputs { " [FILE]" } else { "" };
     format!(
-        "usage: <binary> [--smoke | --quick | --full] [--threads N] [--ring N]{files}\n\
+        "usage: <binary> [--smoke | --quick | --full] [--threads N] [--ring N] [--tenants N]{files}\n\
         \n\
         --smoke      tiny bitrot-guard configuration (used by the smoke tests)\n\
         --quick      reduced sweep for interactive runs\n\
@@ -105,9 +111,12 @@ fn usage(accepts_inputs: bool) -> String {
         \u{20}            same override as the PLINIUS_THREADS environment variable)\n\
         --ring N     epoch-ring depth of freshly allocated PM mirrors (N >= 2; the\n\
         \u{20}            same override as the PLINIUS_RING environment variable)\n\
+        --tenants N  tenant count for fleet deployments (1 <= N <= {max_tenants}; the\n\
+        \u{20}            same override as the PLINIUS_TENANTS environment variable)\n\
         \n\
         With none of the flags the binary runs at its default scale. `--smoke` wins\n\
-        over `--quick`, which wins over `--full`."
+        over `--quick`, which wins over `--full`.",
+        max_tenants = plinius::MAX_TENANTS
     )
 }
 
@@ -120,6 +129,19 @@ fn parse_threads(flag: &str, value: Option<String>) -> Result<usize, CliError> {
 /// committing epoch from the last complete one).
 fn parse_ring(flag: &str, value: Option<String>) -> Result<usize, CliError> {
     parse_at_least(flag, value, 2)
+}
+
+/// Parses a `--tenants` value: an integer in `1..=MAX_TENANTS` (each tenant consumes
+/// one Romulus root pair, bounding the count per PM module).
+fn parse_tenants(flag: &str, value: Option<String>) -> Result<usize, CliError> {
+    let n = parse_at_least(flag, value.clone(), 1)?;
+    if n > plinius::MAX_TENANTS {
+        return Err(CliError::InvalidValue {
+            flag: flag.to_owned(),
+            value: value.unwrap_or_default(),
+        });
+    }
+    Ok(n)
 }
 
 fn parse_at_least(flag: &str, value: Option<String>, min: usize) -> Result<usize, CliError> {
@@ -152,6 +174,7 @@ where
     let (mut smoke, mut quick, mut full) = (false, false, false);
     let mut threads = None;
     let mut ring = None;
+    let mut tenants = None;
     let mut inputs = Vec::new();
     let mut iter = args.into_iter().map(Into::into);
     while let Some(arg) = iter.next() {
@@ -168,6 +191,11 @@ where
             s if s.starts_with("--ring=") => {
                 let value = s["--ring=".len()..].to_owned();
                 ring = Some(parse_ring("--ring", Some(value))?);
+            }
+            "--tenants" => tenants = Some(parse_tenants("--tenants", iter.next())?),
+            s if s.starts_with("--tenants=") => {
+                let value = s["--tenants=".len()..].to_owned();
+                tenants = Some(parse_tenants("--tenants", Some(value))?);
             }
             s if s.starts_with('-') => return Err(CliError::UnknownFlag(arg)),
             _ => inputs.push(arg),
@@ -186,6 +214,7 @@ where
         mode,
         threads,
         ring,
+        tenants,
         inputs,
     })
 }
@@ -250,6 +279,15 @@ fn apply_ring_override(ring: Option<usize>) {
     }
 }
 
+/// Applies a `--tenants` override to this process: fleet deployments read their
+/// tenant count from the `PLINIUS_TENANTS` environment variable, so the flag simply
+/// sets it before any fleet is deployed.
+fn apply_tenants_override(tenants: Option<usize>) {
+    if let Some(n) = tenants {
+        std::env::set_var(plinius::TENANTS_ENV, n.to_string());
+    }
+}
+
 /// Parses `std::env::args()` for a binary taking one optional positional input,
 /// printing usage and exiting on `--help`/`-h` (status 0), an unknown flag, a bad
 /// `--threads`/`--ring` value or a second positional (status 2). The `--threads` and
@@ -261,6 +299,7 @@ pub fn parse_args_single_input() -> (RunMode, Option<String>) {
     );
     apply_thread_override(parsed.threads);
     apply_ring_override(parsed.ring);
+    apply_tenants_override(parsed.tenants);
     (parsed.mode, parsed.inputs.pop())
 }
 
@@ -274,6 +313,7 @@ pub fn parse_args_mode_only() -> RunMode {
     );
     apply_thread_override(parsed.threads);
     apply_ring_override(parsed.ring);
+    apply_tenants_override(parsed.tenants);
     parsed.mode
 }
 
@@ -468,12 +508,52 @@ mod tests {
     }
 
     #[test]
+    fn tenants_flag_parses_space_and_equals_forms() {
+        assert_eq!(parse_strs(&["--tenants", "4"]).unwrap().tenants, Some(4));
+        assert_eq!(parse_strs(&["--tenants=1"]).unwrap().tenants, Some(1));
+        assert_eq!(parse_strs(&["--smoke"]).unwrap().tenants, None);
+        let parsed = parse_strs(&["--smoke", "--tenants", "8", "--ring", "4"]).unwrap();
+        assert_eq!(parsed.mode, RunMode::Smoke);
+        assert_eq!(parsed.tenants, Some(8));
+        assert_eq!(parsed.ring, Some(4));
+    }
+
+    #[test]
+    fn tenants_flag_rejects_missing_invalid_and_oversized_values() {
+        assert_eq!(
+            parse_strs(&["--tenants"]),
+            Err(CliError::MissingValue("--tenants".to_owned()))
+        );
+        let too_many = (plinius::MAX_TENANTS + 1).to_string();
+        for bad in ["0", "many", "-2", "", too_many.as_str()] {
+            assert_eq!(
+                parse_strs(&["--tenants", bad]),
+                Err(CliError::InvalidValue {
+                    flag: "--tenants".to_owned(),
+                    value: bad.to_owned()
+                }),
+                "--tenants {bad:?} should be rejected"
+            );
+        }
+        assert_eq!(
+            parse_strs(&["--tenants="]),
+            Err(CliError::InvalidValue {
+                flag: "--tenants".to_owned(),
+                value: String::new()
+            })
+        );
+        let msg = parse_strs(&["--tenants", "0"]).unwrap_err().to_string();
+        assert!(msg.contains("--tenants"), "{msg}");
+    }
+
+    #[test]
     fn usage_advertises_inputs_only_where_accepted() {
         assert!(usage(true).contains("[FILE]"));
         assert!(!usage(false).contains("FILE"));
         assert!(usage(false).starts_with("usage:"));
         assert!(usage(false).contains("--threads"));
         assert!(usage(false).contains("--ring"));
+        assert!(usage(false).contains("--tenants"));
     }
 
     #[test]

@@ -35,6 +35,7 @@ macro_rules! smoke_test {
 smoke_test! {
     fig2_fio_runs => "fig2_fio",
     fig6_sps_runs => "fig6_sps",
+    fleet_bench_runs => "fleet_bench",
     fig7_mirroring_runs => "fig7_mirroring",
     fig8_batch_runs => "fig8_batch",
     fig9_crash_runs => "fig9_crash",
@@ -159,6 +160,52 @@ fn ring_flag_with_an_invalid_value_aborts() {
         let stderr = String::from_utf8_lossy(&output.stderr);
         assert!(
             stderr.contains("invalid value") && stderr.contains("--ring"),
+            "stderr did not explain the invalid value:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn tenants_flag_is_accepted_by_the_smoke_run() {
+    // `--tenants N` is the CLI face of PLINIUS_TENANTS: the fleet bench pins its
+    // sweep to the given tenant count, in both flag forms.
+    run_smoke(
+        env!("CARGO_BIN_EXE_fleet_bench"),
+        &["--smoke", "--tenants", "2"],
+    );
+    run_smoke(
+        env!("CARGO_BIN_EXE_fleet_bench"),
+        &["--smoke", "--tenants=1"],
+    );
+}
+
+#[test]
+fn tenants_flag_without_a_value_aborts() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fleet_bench"))
+        .args(["--smoke", "--tenants"])
+        .output()
+        .expect("failed to spawn fleet_bench");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--tenants") && stderr.contains("usage:"),
+        "stderr did not explain the missing value:\n{stderr}"
+    );
+    assert!(output.stdout.is_empty(), "a rejected run must not start");
+}
+
+#[test]
+fn tenants_flag_with_an_invalid_value_aborts() {
+    // Zero tenants is as invalid as garbage: a fleet needs at least one job.
+    for bad in ["0", "lots"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_fleet_bench"))
+            .args(["--smoke", "--tenants", bad])
+            .output()
+            .expect("failed to spawn fleet_bench");
+        assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("invalid value") && stderr.contains("--tenants"),
             "stderr did not explain the invalid value:\n{stderr}"
         );
     }

@@ -60,6 +60,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
+pub mod fleet;
 pub mod mirror;
 pub mod persist;
 pub mod pmdata;
@@ -68,6 +69,11 @@ pub mod ssd;
 pub mod trainer;
 pub mod vfs;
 pub mod workflow;
+
+pub use fleet::{
+    tenants_from_env, Fleet, FleetConfig, FleetReport, FleetVfs, TenantReport, DEFAULT_TENANTS,
+    TENANTS_ENV,
+};
 
 pub use mirror::{
     ring_depth_from_env, MirrorInReport, MirrorModel, MirrorOutReport, PublishReport,
@@ -87,8 +93,72 @@ pub use trainer::{
 pub use vfs::{EpochDiff, MirrorVfs, SealedEpoch, TensorDiff, Vfs, VfsEntry, VfsKind};
 pub use workflow::{run_full_workflow, WorkflowReport};
 
-/// Name under which the model encryption key is stored in the enclave's key store.
+/// Name under which the model encryption key is stored in the enclave's key store
+/// (tenant 0; other tenants use [`tenant_key_name`]).
 pub const MODEL_KEY_NAME: &str = "plinius-model-key";
+
+/// The enclave key-store name for a tenant's model key. Tenant 0 keeps the historic
+/// [`MODEL_KEY_NAME`] so single-tenant deployments are unchanged.
+pub fn tenant_key_name(tenant: TenantId) -> String {
+    if tenant.raw() == 0 {
+        MODEL_KEY_NAME.to_string()
+    } else {
+        format!("{}-tenant{}", MODEL_KEY_NAME, tenant.raw())
+    }
+}
+
+/// Identifies one tenant of a deployment. Each tenant owns a disjoint pair of
+/// Romulus roots (its mirror model and its PM dataset), a tenant-scoped enclave
+/// key-store slot, and — under the fleet layer — an independently derived sealing
+/// key, so tenants are isolated both structurally (crash recovery) and
+/// cryptographically (sealed epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(u64);
+
+/// The maximum number of tenants one PM module admits: each tenant consumes two of
+/// the [`plinius_romulus::NUM_ROOTS`] Romulus root slots.
+pub const MAX_TENANTS: usize = plinius_romulus::NUM_ROOTS / 2;
+
+impl TenantId {
+    /// The default single-tenant owner (tenant 0), used by every legacy entry point.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// Creates a tenant id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::InvalidConfig`] if `raw >= MAX_TENANTS` (the Romulus
+    /// root directory has room for two roots per tenant).
+    pub fn new(raw: u64) -> Result<Self, PliniusError> {
+        if raw >= MAX_TENANTS as u64 {
+            return Err(PliniusError::InvalidConfig(format!(
+                "tenant id {raw} out of range (this PM module admits {MAX_TENANTS} tenants)"
+            )));
+        }
+        Ok(TenantId(raw))
+    }
+
+    /// The raw tenant number.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The Romulus root slot holding this tenant's mirror model list head.
+    pub fn model_root(self) -> usize {
+        self.0 as usize * 2
+    }
+
+    /// The Romulus root slot holding this tenant's PM dataset.
+    pub fn dataset_root(self) -> usize {
+        self.0 as usize * 2 + 1
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// Errors produced by the Plinius framework.
 #[derive(Debug, Clone, PartialEq)]
@@ -230,6 +300,10 @@ pub struct PliniusContext {
     romulus: Romulus,
     pool: PmemPool,
     cost: CostModel,
+    tenant: TenantId,
+    /// The tenant-scoped enclave key-store name, precomputed once so steady-state
+    /// key lookups on the publish path never allocate.
+    key_name: Arc<str>,
 }
 
 impl PliniusContext {
@@ -272,7 +346,40 @@ impl PliniusContext {
             romulus,
             pool,
             cost,
+            tenant: TenantId::DEFAULT,
+            key_name: Arc::from(MODEL_KEY_NAME),
         })
+    }
+
+    /// A view of the same deployment scoped to `tenant`: shares the enclave, the
+    /// Romulus engine, the PM pool, the clock and the statistics, but reads and
+    /// writes only the tenant's own root pair and key-store slot.
+    pub fn for_tenant(&self, tenant: TenantId) -> PliniusContext {
+        let mut ctx = self.clone();
+        ctx.tenant = tenant;
+        ctx.key_name = Arc::from(tenant_key_name(tenant).as_str());
+        ctx
+    }
+
+    /// The tenant this context is scoped to (tenant 0 unless derived with
+    /// [`PliniusContext::for_tenant`]).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The enclave key-store name of this context's model key.
+    pub fn key_name(&self) -> &str {
+        &self.key_name
+    }
+
+    /// The Romulus root slot of this tenant's mirror model.
+    pub fn model_root(&self) -> usize {
+        self.tenant.model_root()
+    }
+
+    /// The Romulus root slot of this tenant's PM dataset.
+    pub fn dataset_root(&self) -> usize {
+        self.tenant.dataset_root()
     }
 
     /// A small context suitable for unit tests and doc examples.
@@ -314,7 +421,7 @@ impl PliniusContext {
     /// runs use this; production deployments use
     /// [`PliniusContext::provision_key_via_attestation`].
     pub fn provision_key_directly(&self, key: Key) {
-        self.enclave.store_key(MODEL_KEY_NAME, key);
+        self.enclave.store_key(&self.key_name, key);
     }
 
     /// Runs the Fig. 5 attestation workflow: the data owner verifies the enclave quote
@@ -329,7 +436,7 @@ impl PliniusContext {
         service: &AttestationService,
     ) -> Result<(), PliniusError> {
         owner
-            .provision_key(service, &self.enclave, MODEL_KEY_NAME)
+            .provision_key(service, &self.enclave, &self.key_name)
             .map_err(PliniusError::from)
     }
 
@@ -340,7 +447,7 @@ impl PliniusContext {
     /// Returns [`PliniusError::KeyNotProvisioned`] if no key has been provisioned.
     pub fn key(&self) -> Result<Key, PliniusError> {
         self.enclave
-            .key(MODEL_KEY_NAME)
+            .key(&self.key_name)
             .ok_or(PliniusError::KeyNotProvisioned)
     }
 

@@ -64,7 +64,7 @@
 //! reaching the active slot again requires at least one more epoch flip. Retries are
 //! counted in the `mirror.torn_read_retries` statistic.
 
-use crate::{bytes_to_f32s, f32s_to_bytes_into, PliniusContext, PliniusError, MODEL_KEY_NAME};
+use crate::{bytes_to_f32s, f32s_to_bytes_into, PliniusContext, PliniusError};
 use parking_lot::Mutex;
 use plinius_crypto::{
     seal_into_with_threads, AesGcm, CryptoError, IvSequence, SealedView, IV_LEN, SEAL_OVERHEAD,
@@ -75,7 +75,9 @@ use plinius_romulus::PmPtr;
 use sim_clock::SimSpan;
 use std::sync::Arc;
 
-/// Root-directory slot holding the mirror-model header.
+/// Root-directory slot holding tenant 0's mirror-model header. Other tenants use
+/// their own root pair ([`crate::TenantId::model_root`]); the mirror always reads
+/// the slot through [`PliniusContext::model_root`].
 pub const ROOT_MODEL: usize = 0;
 
 /// Number of encrypted parameter buffers per mirrored layer.
@@ -432,7 +434,7 @@ fn build_slots(sealed_lens: &[Vec<usize>]) -> Result<Vec<TensorSlot>, PliniusErr
 impl MirrorModel {
     /// Whether a mirror model already exists in the context's PM pool.
     pub fn exists(ctx: &PliniusContext) -> bool {
-        matches!(ctx.romulus().root(ROOT_MODEL), Ok(p) if !p.is_null())
+        matches!(ctx.romulus().root(ctx.model_root()), Ok(p) if !p.is_null())
     }
 
     /// Allocates the persistent mirror for `network` (Algorithm 3, `alloc_mirror_model`)
@@ -524,7 +526,7 @@ impl MirrorModel {
             }
             let first = nodes.first().map(|p| p.offset()).unwrap_or(0);
             tx.write_u64(header.add(16), first)?;
-            tx.set_root(ROOT_MODEL, header)?;
+            tx.set_root(ctx.model_root(), header)?;
             layer_nodes = nodes;
             tensor_ptrs = ptrs;
             Ok(())
@@ -550,7 +552,7 @@ impl MirrorModel {
     ///
     /// Returns [`PliniusError::NoMirrorModel`] if no mirror exists.
     pub fn open(ctx: &PliniusContext) -> Result<Self, PliniusError> {
-        let header = ctx.romulus().root(ROOT_MODEL)?;
+        let header = ctx.romulus().root(ctx.model_root())?;
         if header.is_null() {
             return Err(PliniusError::NoMirrorModel);
         }
@@ -622,7 +624,7 @@ impl MirrorModel {
         let stale = match guard.as_ref() {
             Some(s) => !ctx
                 .enclave()
-                .with_key(MODEL_KEY_NAME, |k| k.as_bytes() == s.key_bytes.as_slice())
+                .with_key(ctx.key_name(), |k| k.as_bytes() == s.key_bytes.as_slice())
                 .ok_or(PliniusError::KeyNotProvisioned)?,
             None => true,
         };
@@ -1356,7 +1358,7 @@ impl MirrorModel {
                 p.spare.is_none()
                     || !ctx
                         .enclave()
-                        .with_key(MODEL_KEY_NAME, |k| k.as_bytes() == p.key_bytes.as_slice())
+                        .with_key(ctx.key_name(), |k| k.as_bytes() == p.key_bytes.as_slice())
                         .ok_or(PliniusError::KeyNotProvisioned)?
             }
             None => true,

@@ -222,31 +222,40 @@ pub trait ModelPersistence: std::fmt::Debug {
 // `ModelPersistence` must stay object-safe: the trainer owns a `Box<dyn ModelPersistence>`.
 const _OBJECT_SAFE: fn(&dyn ModelPersistence) = |_| {};
 
-/// One durable-SSD registry entry: the owning deployment's clock (weak) and its disk.
-type SsdEntry = (Weak<SimClock>, SimFileSystem);
+/// One durable-SSD registry entry: the owning deployment's clock (weak), the tenant
+/// the disk belongs to, and the disk itself.
+type SsdEntry = (Weak<SimClock>, u64, SimFileSystem);
 
-/// The per-deployment durable SSD registry, keyed by simulation-clock identity (every
-/// deployment — PM pool + enclave + clock — has exactly one clock `Arc`, which survives
-/// simulated process restarts because the pool holds it). Entries are weak so a
-/// finished deployment's disk is reclaimed once its clock is gone.
+/// The per-deployment durable SSD registry, keyed by (simulation-clock identity,
+/// tenant id). Every deployment — PM pool + enclave + clock — has exactly one clock
+/// `Arc`, which survives simulated process restarts because the pool holds it; within
+/// one deployment each tenant gets its own disk, so two tenants' declarative
+/// `SsdCheckpoint`/`HybridTiered` specs never collide on checkpoint file names.
+/// Entries are weak so a finished deployment's disks are reclaimed once its clock is
+/// gone.
 static SSD_REGISTRY: OnceLock<Mutex<Vec<SsdEntry>>> = OnceLock::new();
 
-/// The simulated SSD of the context's deployment, charging its device costs to the
-/// context's clock and statistics — the device every checkpoint-on-disk backend writes
-/// to unless given one explicitly.
+/// The simulated SSD of the context's deployment and tenant, charging its device
+/// costs to the context's clock and statistics — the device every checkpoint-on-disk
+/// backend writes to unless given one explicitly.
 ///
 /// Like a real disk, the device is *durable across simulated process restarts*:
 /// re-opening a context over the same PM pool (same simulation clock) returns the same
 /// file system, so checkpoints written before a crash are still there afterwards. Two
-/// independent deployments (different pools/clocks) get independent disks. To model
-/// separate devices within one deployment, construct `SimFileSystem`s directly and use
-/// the backends' `on_filesystem` constructors.
+/// independent deployments (different pools/clocks) get independent disks, and so do
+/// two tenants of one deployment. To model separate devices within one tenant,
+/// construct `SimFileSystem`s directly and use the backends' `on_filesystem`
+/// constructors.
 pub fn shared_ssd(ctx: &PliniusContext) -> SimFileSystem {
     let clock = ctx.clock();
+    let tenant = ctx.tenant().raw();
     let registry = SSD_REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
     let mut entries = registry.lock().expect("ssd registry poisoned");
-    entries.retain(|(weak, _)| weak.strong_count() > 0);
-    for (weak, fs) in entries.iter() {
+    entries.retain(|(weak, _, _)| weak.strong_count() > 0);
+    for (weak, entry_tenant, fs) in entries.iter() {
+        if *entry_tenant != tenant {
+            continue;
+        }
         if let Some(existing) = weak.upgrade() {
             if Arc::ptr_eq(&existing, &clock) {
                 return fs.rebound(clock, ctx.stats());
@@ -264,6 +273,7 @@ pub fn shared_ssd(ctx: &PliniusContext) -> SimFileSystem {
     // fires once the deployment drops its pool/context/backends.
     entries.push((
         Arc::downgrade(&clock),
+        tenant,
         fs.rebound(SimClock::new(), StatsRegistry::new()),
     ));
     fs

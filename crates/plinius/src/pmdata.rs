@@ -12,7 +12,9 @@ use plinius_darknet::Dataset;
 use plinius_romulus::PmPtr;
 use rand::Rng;
 
-/// Root-directory slot holding the PM dataset header.
+/// Root-directory slot holding tenant 0's PM dataset header. Other tenants use
+/// their own root pair ([`crate::TenantId::dataset_root`]); the dataset always
+/// reads the slot through [`PliniusContext::dataset_root`].
 pub const ROOT_DATASET: usize = 1;
 
 /// Persistent header layout: `[samples][inputs][classes][sealed_len][block_ptr]`.
@@ -32,7 +34,7 @@ pub struct PmDataset {
 impl PmDataset {
     /// Whether a dataset has already been loaded into the context's PM pool.
     pub fn exists(ctx: &PliniusContext) -> bool {
-        matches!(ctx.romulus().root(ROOT_DATASET), Ok(p) if !p.is_null())
+        matches!(ctx.romulus().root(ctx.dataset_root()), Ok(p) if !p.is_null())
     }
 
     /// Loads (encrypts and copies) a dataset into PM — the `ocall_load_data_in_pm` +
@@ -90,7 +92,7 @@ impl PmDataset {
         }
         // Publish the dataset root only after all samples are durable.
         ctx.romulus()
-            .transaction(|tx| tx.set_root(ROOT_DATASET, header))?;
+            .transaction(|tx| tx.set_root(ctx.dataset_root(), header))?;
         Ok(PmDataset {
             header,
             block,
@@ -107,7 +109,7 @@ impl PmDataset {
     ///
     /// Returns [`PliniusError::NoPmDataset`] if no dataset was loaded.
     pub fn open(ctx: &PliniusContext) -> Result<Self, PliniusError> {
-        let header = ctx.romulus().root(ROOT_DATASET)?;
+        let header = ctx.romulus().root(ctx.dataset_root())?;
         if header.is_null() {
             return Err(PliniusError::NoPmDataset);
         }

@@ -7,7 +7,7 @@
 use crate::mirror::{ring_depth_from_env, MirrorModel};
 use crate::persist::{ModelPersistence, NoOpBackend, PersistStats, PersistenceBackend};
 use crate::pmdata::PmDataset;
-use crate::{PliniusContext, PliniusError};
+use crate::{PliniusContext, PliniusError, TenantId};
 use plinius_crypto::Key;
 use plinius_darknet::config::build_network;
 use plinius_darknet::{Dataset, Network};
@@ -127,6 +127,7 @@ pub struct PliniusTrainer {
     plain_data: Option<Dataset>,
     backend: Box<dyn ModelPersistence>,
     config: TrainerConfig,
+    last_persist_ns: u64,
 }
 
 impl PliniusTrainer {
@@ -203,6 +204,7 @@ impl PliniusTrainer {
         // the next iteration computes; `drain` joins the tail publish.
         let iteration = self.network.iteration();
         if iteration.is_multiple_of(self.config.mirror_frequency) {
+            let before = self.ctx.clock().now_ns();
             match self.config.pipeline {
                 PipelineMode::Sync => self.backend.persist(&self.ctx, &self.network, iteration)?,
                 PipelineMode::Overlapped => {
@@ -210,8 +212,18 @@ impl PliniusTrainer {
                         .persist_async(&self.ctx, &self.network, iteration)?
                 }
             }
+            self.last_persist_ns = self.ctx.clock().now_ns().saturating_sub(before);
+        } else {
+            self.last_persist_ns = 0;
         }
         Ok(loss)
+    }
+
+    /// Simulated nanoseconds the most recent [`PliniusTrainer::step`] spent in its
+    /// persistence call (0 when that step did not persist). The fleet scheduler uses
+    /// this to serialize different tenants' publishes on the modeled PM write lane.
+    pub fn last_persist_ns(&self) -> u64 {
+        self.last_persist_ns
     }
 
     /// Joins and commits any in-flight background publish of the persistence backend.
@@ -388,6 +400,7 @@ pub struct PliniusBuilder {
     ctx: Option<PliniusContext>,
     backend: Option<Box<dyn ModelPersistence>>,
     plain_data: Option<Dataset>,
+    tenant: Option<TenantId>,
 }
 
 impl PliniusBuilder {
@@ -398,7 +411,18 @@ impl PliniusBuilder {
             ctx: None,
             backend: None,
             plain_data: None,
+            tenant: None,
         }
+    }
+
+    /// Scopes the trainer to `tenant`: its mirror, dataset and key live in the
+    /// tenant's own Romulus root pair and enclave key-store slot. A context passed
+    /// via [`PliniusBuilder::context`] is re-scoped with
+    /// [`PliniusContext::for_tenant`]; a locally deployed one is scoped before the
+    /// key is provisioned and the dataset loaded.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
     }
 
     /// Uses an existing deployment context (pool, enclave, provisioned key) instead of
@@ -490,6 +514,7 @@ impl PliniusBuilder {
             ctx,
             backend,
             plain_data,
+            tenant,
         } = self;
         let config = setup.trainer.clone();
         // A zero frequency would silently never persist (`is_multiple_of(0)` is
@@ -508,12 +533,19 @@ impl PliniusBuilder {
             )));
         }
         let ctx = match ctx {
-            Some(ctx) => ctx,
+            Some(ctx) => match tenant {
+                Some(t) if t != ctx.tenant() => ctx.for_tenant(t),
+                _ => ctx,
+            },
             None => {
                 // Local deployment for tests and examples: fresh pool, seed-derived
                 // key provisioned directly (production uses the attested Fig. 5
                 // workflow), dataset loaded into PM.
                 let ctx = PliniusContext::create(setup.cost.clone(), setup.pm_bytes)?;
+                let ctx = match tenant {
+                    Some(t) => ctx.for_tenant(t),
+                    None => ctx,
+                };
                 let mut rng = StdRng::seed_from_u64(config.seed ^ LOCAL_KEY_SALT);
                 ctx.provision_key_directly(Key::generate_128(&mut rng));
                 PmDataset::load(&ctx, &setup.dataset)?;
@@ -543,6 +575,7 @@ impl PliniusBuilder {
             plain_data,
             backend,
             config,
+            last_persist_ns: 0,
         })
     }
 }

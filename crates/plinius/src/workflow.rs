@@ -7,7 +7,7 @@
 use crate::persist::PersistStats;
 use crate::pmdata::PmDataset;
 use crate::trainer::{PipelineMode, PliniusBuilder, TrainingSetup};
-use crate::{PliniusContext, PliniusError};
+use crate::{PliniusContext, PliniusError, TenantId};
 use plinius_crypto::Key;
 use plinius_sgx::{AttestationService, DataOwner};
 use rand::rngs::StdRng;
@@ -16,6 +16,9 @@ use rand::SeedableRng;
 /// Outcome of one end-to-end workflow run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkflowReport {
+    /// The tenant the workflow ran as (tenant 0 for single-tenant deployments;
+    /// fleet runs report one tenant per job, see [`crate::FleetReport`]).
+    pub tenant: TenantId,
     /// Whether remote attestation succeeded before any key left the owner.
     pub attestation_ok: bool,
     /// Loss after the final training iteration.
@@ -96,6 +99,7 @@ pub fn run_full_workflow(setup: &TrainingSetup) -> Result<WorkflowReport, Pliniu
     let test_accuracy = trainer.accuracy(&test_split);
 
     Ok(WorkflowReport {
+        tenant: trainer.context().tenant(),
         attestation_ok,
         final_loss: report.final_loss().unwrap_or(f32::NAN),
         final_iteration: report.final_iteration,
@@ -121,6 +125,7 @@ mod tests {
         let mut setup = TrainingSetup::small_test();
         setup.trainer.max_iterations = 15;
         let report = run_full_workflow(&setup).unwrap();
+        assert_eq!(report.tenant, TenantId::DEFAULT);
         assert!(report.attestation_ok);
         assert_eq!(report.final_iteration, 15);
         assert!(report.final_loss.is_finite());

@@ -85,6 +85,29 @@ fn steady_state_serial_mirror_out_performs_zero_heap_allocations() {
 }
 
 #[test]
+fn steady_state_mirror_out_stays_allocation_free_for_nonzero_tenants() {
+    // The tenant-scoped publish path must be as quiet as tenant 0's: the tenant's
+    // key-store name is precomputed as an `Arc<str>` when the context is scoped
+    // (`for_tenant`), so steady-state `with_key` lookups never format a string.
+    let ctx =
+        PliniusContext::small_test(8 * 1024 * 1024).for_tenant(plinius::TenantId::new(5).unwrap());
+    let mut rng = StdRng::seed_from_u64(4243);
+    ctx.provision_key_directly(Key::generate_128(&mut rng));
+    let mut net = build_network(&mnist_cnn_config(2, 4, 4), &mut rng).unwrap();
+    net.set_iteration(1);
+    let mirror = MirrorModel::allocate(&ctx, &net).unwrap();
+    mirror.mirror_out_with_threads(&ctx, &net, 1).unwrap();
+    mirror.mirror_out_with_threads(&ctx, &net, 1).unwrap();
+    let before = thread_allocs();
+    mirror.mirror_out_with_threads(&ctx, &net, 1).unwrap();
+    let allocs = thread_allocs() - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state tenant-scoped mirror_out must not touch the heap"
+    );
+}
+
+#[test]
 fn steady_state_threaded_mirror_out_allocates_only_dispatch_buffers() {
     let (ctx, net, mirror) = mirror_fixture();
     mirror.mirror_out_with_threads(&ctx, &net, 2).unwrap();

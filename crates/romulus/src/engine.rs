@@ -31,9 +31,11 @@ use std::sync::Arc;
 /// Magic number identifying an initialised Romulus pool.
 const MAGIC: u64 = 0x524f_4d55_4c55_5321; // "ROMULUS!"
 
-/// Number of persistent object roots kept in the directory (Plinius uses a handful:
-/// the mirror model list head, the PM data matrix, the iteration counter...).
-pub const NUM_ROOTS: usize = 16;
+/// Number of persistent object roots kept in the directory. Plinius itself uses a
+/// handful (the mirror model list head, the PM data matrix, the iteration
+/// counter...), but the multi-tenant fleet layer carves the directory into
+/// per-tenant root pairs, so the directory is sized for dozens of tenants.
+pub const NUM_ROOTS: usize = 64;
 
 /// Size of the persistent header at the start of the pool.
 const HEADER_SIZE: usize = 256;
@@ -42,8 +44,10 @@ const HEADER_SIZE: usize = 256;
 const ALLOC_META_OFFSET: usize = 0;
 /// Byte offset of the root directory within the main region.
 const ROOTS_OFFSET: usize = 8;
-/// First byte available to user allocations within the main region.
-pub const DATA_START: usize = 192;
+/// First byte available to user allocations within the main region: the allocator
+/// bump word plus the `NUM_ROOTS` root directory (8 + 64 * 8 = 520 bytes), rounded
+/// up to the allocation alignment.
+pub const DATA_START: usize = 576;
 
 /// Default alignment of persistent allocations (one cache line).
 pub const ALLOC_ALIGN: usize = 64;

@@ -451,6 +451,18 @@ impl Enclave {
         Key::new(&derived[..16]).expect("16-byte key is always valid")
     }
 
+    /// Derives a tenant-scoped sealing key: the platform sealing secret keyed over
+    /// `measurement ‖ tenant`. Different tenants on the same enclave binary obtain
+    /// cryptographically independent keys, so one tenant's sealed epochs fail
+    /// authentication wholesale under any other tenant's key.
+    pub fn tenant_sealing_key(&self, tenant: u64) -> Key {
+        let mut message = [0u8; 40];
+        message[..32].copy_from_slice(&self.inner.measurement);
+        message[32..].copy_from_slice(&tenant.to_le_bytes());
+        let derived = plinius_crypto::hmac_sha256(b"plinius-simulated-platform-fuse-key", &message);
+        Key::new(&derived[..16]).expect("16-byte key is always valid")
+    }
+
     /// Seals `data` so that only an enclave with the same measurement can recover it
     /// (the `sgx_seal_data` SDK call).
     ///
@@ -634,6 +646,30 @@ mod tests {
         // Same binary, different instance: can unseal (MRENCLAVE policy).
         let same = Enclave::create(b"binary-v1".to_vec());
         assert_eq!(same.unseal(&sealed).unwrap(), b"sealed model key");
+    }
+
+    #[test]
+    fn tenant_sealing_keys_are_independent_per_tenant_and_per_binary() {
+        let enclave = Enclave::create(b"binary-v1".to_vec());
+        // Deterministic per (measurement, tenant)...
+        assert_eq!(
+            enclave.tenant_sealing_key(3).as_bytes(),
+            enclave.tenant_sealing_key(3).as_bytes()
+        );
+        // ...different across tenants, from the plain sealing key, and across binaries.
+        assert_ne!(
+            enclave.tenant_sealing_key(0).as_bytes(),
+            enclave.tenant_sealing_key(1).as_bytes()
+        );
+        assert_ne!(
+            enclave.tenant_sealing_key(0).as_bytes(),
+            enclave.sealing_key().as_bytes()
+        );
+        let other = Enclave::create(b"binary-v2".to_vec());
+        assert_ne!(
+            enclave.tenant_sealing_key(7).as_bytes(),
+            other.tenant_sealing_key(7).as_bytes()
+        );
     }
 
     #[test]
