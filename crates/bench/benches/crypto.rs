@@ -1,18 +1,32 @@
 //! Wall-clock Criterion benchmark of the AES-GCM engine (the dominant cost of a
-//! Plinius mirror-out on real SGX hardware): the table-driven fast path (T-table AES,
-//! Shoup GHASH, word-wise multi-block CTR) against the retained reference kernels,
-//! plus the zero-copy seal path and its intra-buffer thread fan-out.
+//! Plinius mirror-out on real SGX hardware): one lane per dispatchable engine —
+//! the AES-NI + PCLMUL kernels (on capable hosts), the portable T-table/Shoup
+//! scalar path and the retained reference kernels — plus the zero-copy seal path
+//! and its intra-buffer thread fan-out.
 //!
 //! Run with `cargo bench --bench crypto`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use plinius_crypto::{seal_into_with_threads, sealed_len, Key, SealedBuffer};
+use plinius_crypto::{
+    hw_available, seal_into_with_threads, sealed_len, Aes, AesGcm, EnginePolicy, Key, SealedBuffer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Fast engine vs reference kernels on mirror-sized buffers.
-fn bench_engine_vs_reference(c: &mut Criterion) {
-    let gcm = plinius_crypto::AesGcm::from_key(&[0x42u8; 16]);
+/// One lane per engine on mirror-sized buffers. The hardware lane only appears on
+/// hosts whose CPU reports AES-NI + PCLMUL; lanes are labelled by the engine the
+/// dispatcher actually selected, so reports stay unambiguous across hosts.
+fn bench_engine_lanes(c: &mut Criterion) {
+    let mut lanes = vec![AesGcm::with_policy(
+        Aes::new(&[0x42u8; 16]),
+        EnginePolicy::Scalar,
+    )];
+    if hw_available() {
+        lanes.insert(
+            0,
+            AesGcm::with_policy(Aes::new(&[0x42u8; 16]), EnginePolicy::Auto),
+        );
+    }
     let iv = [9u8; 12];
     let mut group = c.benchmark_group("aes_gcm_engine");
     group.sample_size(10);
@@ -20,11 +34,14 @@ fn bench_engine_vs_reference(c: &mut Criterion) {
         let data = vec![7u8; size];
         let mut out = vec![0u8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("fast/{size}B"), |b| {
-            b.iter(|| gcm.encrypt_into(&iv, b"bench", &data, &mut out).unwrap())
-        });
+        for gcm in &lanes {
+            group.bench_function(format!("{}/{size}B", gcm.engine_name()), |b| {
+                b.iter(|| gcm.encrypt_into(&iv, b"bench", &data, &mut out).unwrap())
+            });
+        }
+        let reference = &lanes[lanes.len() - 1];
         group.bench_function(format!("reference/{size}B"), |b| {
-            b.iter(|| gcm.encrypt_reference(&iv, b"bench", &data).unwrap())
+            b.iter(|| reference.encrypt_reference(&iv, b"bench", &data).unwrap())
         });
     }
     group.finish();
@@ -71,7 +88,7 @@ fn bench_sealed_buffer(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_engine_vs_reference,
+    bench_engine_lanes,
     bench_seal_thread_sweep,
     bench_sealed_buffer
 );

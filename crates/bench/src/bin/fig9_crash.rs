@@ -34,6 +34,7 @@ fn main() {
             seed: 9,
             pipeline: PipelineMode::from_env(),
             ring_depth: plinius::ring_depth_from_env(),
+            crypto: plinius::EnginePolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 5,

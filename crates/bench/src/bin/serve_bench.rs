@@ -79,6 +79,7 @@ fn setup_for(scale: &Scale, pipeline: PipelineMode) -> TrainingSetup {
             seed: 33,
             pipeline,
             ring_depth: plinius::ring_depth_from_env(),
+            crypto: plinius::EnginePolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 8,

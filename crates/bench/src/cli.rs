@@ -4,11 +4,13 @@
 //! `--full`), a worker-thread override (`--threads N`, the CLI face of the
 //! `PLINIUS_THREADS` environment variable), an epoch-ring-depth override (`--ring N`,
 //! the CLI face of `PLINIUS_RING`), a tenant-count override (`--tenants N`, the CLI
-//! face of `PLINIUS_TENANTS`) plus optional positional inputs (e.g. a
-//! spot-price CSV for `fig10_spot`). Unknown flags and malformed values are an error:
-//! a typo like `--smokee` aborts the run instead of being silently ignored and
-//! launching a paper-scale sweep.
+//! face of `PLINIUS_TENANTS`), a crypto-engine override (`--crypto
+//! {auto|scalar|reference}`, the CLI face of `PLINIUS_CRYPTO`) plus optional
+//! positional inputs (e.g. a spot-price CSV for `fig10_spot`). Unknown flags and
+//! malformed values are an error: a typo like `--smokee` aborts the run instead of
+//! being silently ignored and launching a paper-scale sweep.
 
+use plinius::EnginePolicy;
 use std::fmt;
 
 /// Scale of a figure-reproduction run, shared by every `src/bin/*` binary.
@@ -50,6 +52,9 @@ pub struct BenchArgs {
     /// Tenant-count override from `--tenants N` (applied to fleet deployments via
     /// the `PLINIUS_TENANTS` mechanism), if given.
     pub tenants: Option<usize>,
+    /// Crypto-engine override from `--crypto {auto|scalar|reference}` (applied to
+    /// every AES-GCM context via the `PLINIUS_CRYPTO` mechanism), if given.
+    pub crypto: Option<EnginePolicy>,
     /// Positional (non-flag) arguments, in order.
     pub inputs: Vec<String>,
 }
@@ -83,6 +88,8 @@ impl fmt::Display for CliError {
                     "an integer >= 2"
                 } else if flag == "--tenants" {
                     "an integer in 1..=MAX_TENANTS"
+                } else if flag == "--crypto" {
+                    "one of `auto`, `scalar`, `reference`"
                 } else {
                     "a positive integer"
                 };
@@ -102,7 +109,8 @@ impl std::error::Error for CliError {}
 fn usage(accepts_inputs: bool) -> String {
     let files = if accepts_inputs { " [FILE]" } else { "" };
     format!(
-        "usage: <binary> [--smoke | --quick | --full] [--threads N] [--ring N] [--tenants N]{files}\n\
+        "usage: <binary> [--smoke | --quick | --full] [--threads N] [--ring N] [--tenants N] \
+         [--crypto E]{files}\n\
         \n\
         --smoke      tiny bitrot-guard configuration (used by the smoke tests)\n\
         --quick      reduced sweep for interactive runs\n\
@@ -113,6 +121,8 @@ fn usage(accepts_inputs: bool) -> String {
         \u{20}            same override as the PLINIUS_RING environment variable)\n\
         --tenants N  tenant count for fleet deployments (1 <= N <= {max_tenants}; the\n\
         \u{20}            same override as the PLINIUS_TENANTS environment variable)\n\
+        --crypto E   AES-GCM engine: auto (hardware when detected), scalar, or\n\
+        \u{20}            reference (the same override as the PLINIUS_CRYPTO variable)\n\
         \n\
         With none of the flags the binary runs at its default scale. `--smoke` wins\n\
         over `--quick`, which wins over `--full`.",
@@ -142,6 +152,17 @@ fn parse_tenants(flag: &str, value: Option<String>) -> Result<usize, CliError> {
         });
     }
     Ok(n)
+}
+
+/// Parses a `--crypto` value strictly: exactly one of `auto`, `scalar`, `reference`.
+/// (The `PLINIUS_CRYPTO` env knob itself is lenient; the CLI aborts on typos so a
+/// mistyped engine never silently benchmarks the wrong kernels.)
+fn parse_crypto(flag: &str, value: Option<String>) -> Result<EnginePolicy, CliError> {
+    let value = value.ok_or_else(|| CliError::MissingValue(flag.to_owned()))?;
+    EnginePolicy::parse(value.trim()).ok_or_else(|| CliError::InvalidValue {
+        flag: flag.to_owned(),
+        value,
+    })
 }
 
 fn parse_at_least(flag: &str, value: Option<String>, min: usize) -> Result<usize, CliError> {
@@ -175,6 +196,7 @@ where
     let mut threads = None;
     let mut ring = None;
     let mut tenants = None;
+    let mut crypto = None;
     let mut inputs = Vec::new();
     let mut iter = args.into_iter().map(Into::into);
     while let Some(arg) = iter.next() {
@@ -197,6 +219,11 @@ where
                 let value = s["--tenants=".len()..].to_owned();
                 tenants = Some(parse_tenants("--tenants", Some(value))?);
             }
+            "--crypto" => crypto = Some(parse_crypto("--crypto", iter.next())?),
+            s if s.starts_with("--crypto=") => {
+                let value = s["--crypto=".len()..].to_owned();
+                crypto = Some(parse_crypto("--crypto", Some(value))?);
+            }
             s if s.starts_with('-') => return Err(CliError::UnknownFlag(arg)),
             _ => inputs.push(arg),
         }
@@ -215,6 +242,7 @@ where
         threads,
         ring,
         tenants,
+        crypto,
         inputs,
     })
 }
@@ -288,6 +316,15 @@ fn apply_tenants_override(tenants: Option<usize>) {
     }
 }
 
+/// Applies a `--crypto` override to this process: every AES-GCM context reads its
+/// engine policy from the `PLINIUS_CRYPTO` environment variable at construction, so
+/// the flag simply sets it before any cipher context is built.
+fn apply_crypto_override(crypto: Option<EnginePolicy>) {
+    if let Some(policy) = crypto {
+        std::env::set_var(plinius::CRYPTO_ENV, policy.as_str());
+    }
+}
+
 /// Parses `std::env::args()` for a binary taking one optional positional input,
 /// printing usage and exiting on `--help`/`-h` (status 0), an unknown flag, a bad
 /// `--threads`/`--ring` value or a second positional (status 2). The `--threads` and
@@ -300,6 +337,7 @@ pub fn parse_args_single_input() -> (RunMode, Option<String>) {
     apply_thread_override(parsed.threads);
     apply_ring_override(parsed.ring);
     apply_tenants_override(parsed.tenants);
+    apply_crypto_override(parsed.crypto);
     (parsed.mode, parsed.inputs.pop())
 }
 
@@ -314,6 +352,7 @@ pub fn parse_args_mode_only() -> RunMode {
     apply_thread_override(parsed.threads);
     apply_ring_override(parsed.ring);
     apply_tenants_override(parsed.tenants);
+    apply_crypto_override(parsed.crypto);
     parsed.mode
 }
 
@@ -547,6 +586,50 @@ mod tests {
     }
 
     #[test]
+    fn crypto_flag_parses_space_and_equals_forms() {
+        assert_eq!(
+            parse_strs(&["--crypto", "scalar"]).unwrap().crypto,
+            Some(EnginePolicy::Scalar)
+        );
+        assert_eq!(
+            parse_strs(&["--crypto=reference"]).unwrap().crypto,
+            Some(EnginePolicy::Reference)
+        );
+        assert_eq!(
+            parse_strs(&["--crypto", "auto"]).unwrap().crypto,
+            Some(EnginePolicy::Auto)
+        );
+        assert_eq!(parse_strs(&["--smoke"]).unwrap().crypto, None);
+        let parsed = parse_strs(&["--smoke", "--crypto", "scalar", "--ring", "4"]).unwrap();
+        assert_eq!(parsed.mode, RunMode::Smoke);
+        assert_eq!(parsed.crypto, Some(EnginePolicy::Scalar));
+        assert_eq!(parsed.ring, Some(4));
+    }
+
+    #[test]
+    fn crypto_flag_rejects_missing_and_invalid_values() {
+        assert_eq!(
+            parse_strs(&["--crypto"]),
+            Err(CliError::MissingValue("--crypto".to_owned()))
+        );
+        for bad in ["", "hw", "SCALAR", "aesni"] {
+            assert_eq!(
+                parse_strs(&["--crypto", bad]),
+                Err(CliError::InvalidValue {
+                    flag: "--crypto".to_owned(),
+                    value: bad.to_owned()
+                }),
+                "--crypto {bad:?} should be rejected"
+            );
+        }
+        let msg = parse_strs(&["--crypto", "hw"]).unwrap_err().to_string();
+        assert!(
+            msg.contains("--crypto") && msg.contains("scalar") && msg.contains("reference"),
+            "{msg}"
+        );
+    }
+
+    #[test]
     fn usage_advertises_inputs_only_where_accepted() {
         assert!(usage(true).contains("[FILE]"));
         assert!(!usage(false).contains("FILE"));
@@ -554,6 +637,7 @@ mod tests {
         assert!(usage(false).contains("--threads"));
         assert!(usage(false).contains("--ring"));
         assert!(usage(false).contains("--tenants"));
+        assert!(usage(false).contains("--crypto"));
     }
 
     #[test]

@@ -370,6 +370,7 @@ pub fn pipeline_point(
             seed: 5,
             pipeline: PipelineMode::Sync,
             ring_depth: plinius::ring_depth_from_env(),
+            crypto: plinius::EnginePolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 12,
@@ -424,19 +425,22 @@ pub fn print_pipeline_point(profile: &str, p: &PipelinePoint) {
     );
 }
 
-/// One point of the wall-clock AEAD-engine sweep: the table-driven fast path
-/// (T-table AES + Shoup GHASH + word-wise CTR) versus the retained reference kernels,
-/// on one buffer size. Appended to the fig7/table1 reports so the crypto speedup that
-/// drives the real-hardware encryption share is visible next to the simulated numbers.
+/// One point of the wall-clock AEAD-engine sweep: the dispatcher-selected engine
+/// (AES-NI + PCLMUL on capable hosts, T-table AES + Shoup GHASH otherwise, per
+/// `PLINIUS_CRYPTO`/`--crypto`) versus the retained reference kernels, on one buffer
+/// size. Appended to the fig7/table1 reports so the crypto speedup that drives the
+/// real-hardware encryption share is visible next to the simulated numbers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AeadPoint {
     /// Buffer size in bytes.
     pub size: usize,
+    /// Name of the engine the fast lanes ran on (`"aesni+pclmul"`, `"scalar"`, …).
+    pub engine: &'static str,
     /// Reference kernels (byte-wise AES, bit-serial GHASH), MiB/s.
     pub reference_mib_s: f64,
-    /// Fast engine, single thread, MiB/s.
+    /// Selected engine, single thread, MiB/s.
     pub fast_mib_s: f64,
-    /// Fast engine with chunk-parallel CTR on [`plinius_parallel::max_threads`]
+    /// Selected engine with chunk-parallel CTR on [`plinius_parallel::max_threads`]
     /// workers, MiB/s (equals the single-thread number on a 1-core host).
     pub threaded_mib_s: f64,
     /// Worker count used for the threaded measurement.
@@ -499,6 +503,7 @@ pub fn aead_sweep(sizes: &[usize]) -> Vec<AeadPoint> {
             });
             AeadPoint {
                 size,
+                engine: gcm.engine_name(),
                 reference_mib_s: mib / reference_s,
                 fast_mib_s: mib / fast_s,
                 threaded_mib_s: mib / threaded_s,
@@ -508,11 +513,11 @@ pub fn aead_sweep(sizes: &[usize]) -> Vec<AeadPoint> {
         .collect()
 }
 
-/// Prints the AEAD-engine sweep in the shared format used by the fig7/table1 bins.
+/// Prints the AEAD-engine sweep in the shared format used by the fig7/table1 bins,
+/// naming the engine the dispatcher selected (`PLINIUS_CRYPTO`/`--crypto` aware).
 pub fn print_aead_sweep(points: &[AeadPoint]) {
-    println!(
-        "\nAEAD engine (wall-clock, this host): T-table AES + Shoup GHASH vs reference kernels"
-    );
+    let engine = points.first().map_or("scalar", |p| p.engine);
+    println!("\nAEAD engine (wall-clock, this host): {engine} vs reference kernels");
     println!(
         "{:>10} | {:>12} {:>12} {:>8} | {:>14} {:>8}",
         "bytes", "ref MiB/s", "fast MiB/s", "speedup", "threaded MiB/s", "speedup"

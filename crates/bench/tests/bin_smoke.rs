@@ -212,6 +212,53 @@ fn tenants_flag_with_an_invalid_value_aborts() {
 }
 
 #[test]
+fn crypto_flag_is_accepted_by_the_smoke_run() {
+    // `--crypto E` is the CLI face of PLINIUS_CRYPTO: the bins must run normally
+    // with an explicitly pinned AES-GCM engine, in both flag forms.
+    run_smoke(
+        env!("CARGO_BIN_EXE_fig7_mirroring"),
+        &["--smoke", "--crypto", "scalar"],
+    );
+    run_smoke(
+        env!("CARGO_BIN_EXE_fig6_sps"),
+        &["--smoke", "--crypto=reference"],
+    );
+}
+
+#[test]
+fn crypto_flag_without_a_value_aborts() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+        .args(["--smoke", "--crypto"])
+        .output()
+        .expect("failed to spawn fig7_mirroring");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--crypto") && stderr.contains("usage:"),
+        "stderr did not explain the missing value:\n{stderr}"
+    );
+    assert!(output.stdout.is_empty(), "a rejected run must not start");
+}
+
+#[test]
+fn crypto_flag_with_an_invalid_value_aborts() {
+    // Unlike the lenient env var (unknown values fall back to auto-detection),
+    // an explicit CLI engine must be exact: no aliases, no case folding.
+    for bad in ["hw", "SCALAR", "aesni"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_fig7_mirroring"))
+            .args(["--smoke", "--crypto", bad])
+            .output()
+            .expect("failed to spawn fig7_mirroring");
+        assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("invalid value") && stderr.contains("--crypto"),
+            "stderr did not explain the invalid value:\n{stderr}"
+        );
+    }
+}
+
+#[test]
 fn help_flag_prints_usage_and_exits_cleanly() {
     let output = Command::new(env!("CARGO_BIN_EXE_fig9_crash"))
         .arg("--help")

@@ -180,6 +180,14 @@ impl Aes {
         self.rounds
     }
 
+    /// The expanded byte-oriented round keys (`rounds + 1` entries of 16 bytes).
+    ///
+    /// Crate-internal: the AES-NI engine loads its schedule from here (and, for
+    /// 128-bit keys, validates its native `AESKEYGENASSIST` expansion against it).
+    pub(crate) fn round_keys(&self) -> &[[u8; BLOCK_SIZE]] {
+        &self.round_keys
+    }
+
     /// Encrypts a single 16-byte block in place (T-table fast path).
     pub fn encrypt_block(&self, block: &mut [u8; BLOCK_SIZE]) {
         *block = self.encrypt_block_copy(block);

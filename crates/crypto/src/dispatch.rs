@@ -1,0 +1,234 @@
+//! Runtime selection of the AES-GCM engine.
+//!
+//! Three byte-for-byte identical implementations back [`crate::AesGcm`]:
+//!
+//! * **hardware** ([`EngineKind::Hw`]) — AES-NI CTR + PCLMUL GHASH, available on
+//!   `x86_64` hosts whose CPU reports the `aes` and `pclmulqdq` features at runtime;
+//! * **scalar** ([`EngineKind::Scalar`]) — the T-table AES + byte-indexed Shoup GHASH
+//!   engine, compiled and tested everywhere;
+//! * **reference** ([`EngineKind::Reference`]) — the byte-wise AES + bit-serial GHASH
+//!   kernels, the easy-to-audit ground truth for differential testing.
+//!
+//! The policy defaults to [`EnginePolicy::Auto`] (hardware when detected, scalar
+//! otherwise) and can be overridden with the `PLINIUS_CRYPTO` environment variable —
+//! the same knob shape as `PLINIUS_RING`/`PLINIUS_THREADS`. An unset or unparsable
+//! value falls back to `auto`; strict validation (exit 2) lives in the bench CLI,
+//! which writes this variable from its `--crypto` flag.
+
+use std::fmt;
+
+/// Environment variable overriding the crypto-engine policy
+/// (`auto` | `scalar` | `reference`).
+pub const CRYPTO_ENV: &str = "PLINIUS_CRYPTO";
+
+/// Which engine the caller *requests*. Resolved to an [`EngineKind`] at
+/// [`crate::AesGcm`] construction via [`EnginePolicy::select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePolicy {
+    /// Hardware kernels when the CPU supports them, scalar otherwise (the default).
+    #[default]
+    Auto,
+    /// Force the scalar T-table/Shoup engine even on AES-NI-capable hosts.
+    Scalar,
+    /// Force the bit-serial reference kernels (orders of magnitude slower; for
+    /// differential testing and auditing only).
+    Reference,
+}
+
+impl EnginePolicy {
+    /// The accepted spellings, in the order shown by help text.
+    pub const NAMES: [&'static str; 3] = ["auto", "scalar", "reference"];
+
+    /// Parses a policy name as used by `PLINIUS_CRYPTO` and `--crypto`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(EnginePolicy::Auto),
+            "scalar" => Some(EnginePolicy::Scalar),
+            "reference" => Some(EnginePolicy::Reference),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of this policy.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EnginePolicy::Auto => "auto",
+            EnginePolicy::Scalar => "scalar",
+            EnginePolicy::Reference => "reference",
+        }
+    }
+
+    /// Reads the policy from `PLINIUS_CRYPTO`. Unset, empty or unparsable values
+    /// fall back to [`EnginePolicy::Auto`] (the lenient env-knob contract shared
+    /// with `PLINIUS_RING`; the bench CLI validates strictly before setting it).
+    pub fn from_env() -> Self {
+        std::env::var(CRYPTO_ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Resolves the policy against the running CPU.
+    pub fn select(self) -> EngineKind {
+        match self {
+            EnginePolicy::Auto => {
+                if hw_available() {
+                    EngineKind::Hw
+                } else {
+                    EngineKind::Scalar
+                }
+            }
+            EnginePolicy::Scalar => EngineKind::Scalar,
+            EnginePolicy::Reference => EngineKind::Reference,
+        }
+    }
+}
+
+impl fmt::Display for EnginePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which concrete engine an [`crate::AesGcm`] ended up with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// AES-NI block engine + carry-less-multiply GHASH.
+    Hw,
+    /// T-table AES + byte-indexed Shoup GHASH.
+    Scalar,
+    /// Byte-wise AES + bit-serial GHASH.
+    Reference,
+}
+
+impl EngineKind {
+    /// Short label used in stats, bench output and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Hw => "aesni+pclmul",
+            EngineKind::Scalar => "scalar",
+            EngineKind::Reference => "reference",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the hardware kernels can run on this host: an `x86_64` CPU reporting
+/// the `aes` and `pclmulqdq` features (SSE2 is implied by `x86_64`).
+pub fn hw_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("aes")
+            && std::arch::is_x86_feature_detected!("pclmulqdq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The engine a default-constructed [`crate::AesGcm`] would select right now
+/// (environment policy resolved against the running CPU).
+pub fn selected_engine() -> EngineKind {
+    EnginePolicy::from_env().select()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that mutate `PLINIUS_CRYPTO` (the variable is
+    /// process-global; every other test in this crate pins engines explicitly
+    /// through `with_policy`, so only these tests race on it).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    struct EnvGuard(Option<String>);
+
+    impl EnvGuard {
+        fn set(value: &str) -> Self {
+            let prev = std::env::var(CRYPTO_ENV).ok();
+            std::env::set_var(CRYPTO_ENV, value);
+            EnvGuard(prev)
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.0 {
+                Some(v) => std::env::set_var(CRYPTO_ENV, v),
+                None => std::env::remove_var(CRYPTO_ENV),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_exactly_the_three_policies() {
+        assert_eq!(EnginePolicy::parse("auto"), Some(EnginePolicy::Auto));
+        assert_eq!(EnginePolicy::parse("scalar"), Some(EnginePolicy::Scalar));
+        assert_eq!(
+            EnginePolicy::parse("reference"),
+            Some(EnginePolicy::Reference)
+        );
+        for bad in ["", "AUTO", "hw", "aesni", "fast", " scalar"] {
+            assert_eq!(EnginePolicy::parse(bad), None, "{bad:?} must not parse");
+        }
+        for name in EnginePolicy::NAMES {
+            assert_eq!(EnginePolicy::parse(name).unwrap().as_str(), name);
+        }
+    }
+
+    #[test]
+    fn explicit_policies_ignore_hardware_detection() {
+        assert_eq!(EnginePolicy::Scalar.select(), EngineKind::Scalar);
+        assert_eq!(EnginePolicy::Reference.select(), EngineKind::Reference);
+        let auto = EnginePolicy::Auto.select();
+        if hw_available() {
+            assert_eq!(auto, EngineKind::Hw);
+        } else {
+            assert_eq!(auto, EngineKind::Scalar);
+        }
+    }
+
+    /// The satellite contract: `PLINIUS_CRYPTO=scalar` forces the scalar engine on a
+    /// context built through the default constructor, even when the CPU reports
+    /// hardware support.
+    #[test]
+    fn env_scalar_forces_the_scalar_engine_even_when_hw_is_detected() {
+        let _lock = ENV_LOCK.lock().unwrap();
+        let _guard = EnvGuard::set("scalar");
+        assert_eq!(EnginePolicy::from_env(), EnginePolicy::Scalar);
+        assert_eq!(selected_engine(), EngineKind::Scalar);
+        let gcm = crate::AesGcm::from_key(&[0x42u8; 16]);
+        assert_eq!(gcm.engine_kind(), EngineKind::Scalar);
+        // The override is about *selection*, not behavior: output is unchanged.
+        let hw_or_auto =
+            crate::AesGcm::with_policy(crate::Aes::new(&[0x42u8; 16]), EnginePolicy::Auto);
+        assert_eq!(
+            gcm.encrypt(&[1u8; 12], b"aad", b"payload").unwrap(),
+            hw_or_auto.encrypt(&[1u8; 12], b"aad", b"payload").unwrap()
+        );
+    }
+
+    #[test]
+    fn env_reference_and_garbage_behave_as_documented() {
+        let _lock = ENV_LOCK.lock().unwrap();
+        {
+            let _guard = EnvGuard::set("reference");
+            assert_eq!(EnginePolicy::from_env(), EnginePolicy::Reference);
+            let gcm = crate::AesGcm::from_key(&[7u8; 16]);
+            assert_eq!(gcm.engine_kind(), EngineKind::Reference);
+        }
+        {
+            // Lenient env contract: garbage falls back to auto instead of erroring
+            // (strict validation happens in the bench CLI before the env is set).
+            let _guard = EnvGuard::set("not-an-engine");
+            assert_eq!(EnginePolicy::from_env(), EnginePolicy::Auto);
+        }
+    }
+}

@@ -19,7 +19,13 @@
 //! [`AesGcm::encrypt_reference`]; property tests pin the fast path to them byte-for-byte
 //! and the release-mode sanity test asserts the speedup.
 
+#[cfg(target_arch = "x86_64")]
+use crate::aesarch::AesNi;
+#[cfg(target_arch = "x86_64")]
+use crate::clmul::ClmulGhash;
+
 use crate::aes::{Aes, BLOCK_SIZE};
+use crate::dispatch::{EngineKind, EnginePolicy};
 use crate::CryptoError;
 
 /// Length of the GCM initialization vector used by Plinius (96 bits).
@@ -35,6 +41,38 @@ const CTR_PAR_CHUNK: usize = 64 * 1024;
 /// (fork/join overhead would dominate).
 const CTR_PAR_MIN: usize = 2 * CTR_PAR_CHUNK;
 
+/// The concrete kernel set a context dispatches to, fixed at construction.
+///
+/// The hardware variant carries the AES-NI schedule and the PCLMUL subkey powers;
+/// it only exists on `x86_64` and is only ever constructed after runtime feature
+/// detection (see [`crate::aesarch`]/[`crate::clmul`] for the safety contract).
+// The size gap between `Hw` (expanded key schedule + GHASH subkey powers, ~320 B)
+// and the table-less variants is intentional: one `Engine` lives inline in each
+// long-lived `AesGcm` (itself dominated by the scalar Shoup table), so boxing the
+// hardware state would buy nothing but a pointer chase on every sealed block.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum Engine {
+    #[cfg(target_arch = "x86_64")]
+    Hw {
+        aes: AesNi,
+        ghash: ClmulGhash,
+    },
+    Scalar,
+    Reference,
+}
+
+impl Engine {
+    fn kind(&self) -> EngineKind {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Engine::Hw { .. } => EngineKind::Hw,
+            Engine::Scalar => EngineKind::Scalar,
+            Engine::Reference => EngineKind::Reference,
+        }
+    }
+}
+
 /// AES-GCM authenticated encryption context.
 #[derive(Clone)]
 pub struct AesGcm {
@@ -48,6 +86,8 @@ pub struct AesGcm {
     /// (`Y·H^4 ^ C1·H^3 ^ C2·H^2 ^ C3·H`), which replaces one long serial chain with
     /// four independent ones.
     h_tables: Box<[[u128; 256]; 4]>,
+    /// Selected kernel set; all variants are byte-for-byte identical.
+    engine: Engine,
 }
 
 impl std::fmt::Debug for AesGcm {
@@ -56,31 +96,76 @@ impl std::fmt::Debug for AesGcm {
         // GHASH tables; the inner `Aes` already redacts its schedule.
         f.debug_struct("AesGcm")
             .field("cipher", &self.cipher)
+            .field("engine", &self.engine_name())
             .finish_non_exhaustive()
     }
 }
 
 impl AesGcm {
-    /// Creates a GCM context from an already-expanded AES cipher.
+    /// Creates a GCM context from an already-expanded AES cipher, selecting the
+    /// engine from the `PLINIUS_CRYPTO` environment policy (default: hardware
+    /// kernels when the CPU supports them, scalar otherwise).
     pub fn new(cipher: Aes) -> Self {
+        Self::with_policy(cipher, EnginePolicy::from_env())
+    }
+
+    /// Creates a GCM context with an explicit engine policy, bypassing the
+    /// environment knob. All policies produce byte-identical ciphertexts and tags.
+    pub fn with_policy(cipher: Aes, policy: EnginePolicy) -> Self {
         let h_block = cipher.encrypt_block_copy(&[0u8; BLOCK_SIZE]);
         let h = u128::from_be_bytes(h_block);
         let mut h_tables = Box::new([[0u128; 256]; 4]);
+        let mut h_powers = [0u128; 4];
         let mut power = h;
-        for table in h_tables.iter_mut() {
+        for (table, slot) in h_tables.iter_mut().zip(h_powers.iter_mut()) {
+            *slot = power;
             *table = *build_h_table8(&build_h_table(power));
             power = gf_mult(power, h);
         }
+        let engine = Self::build_engine(policy, &cipher, h_powers);
         AesGcm {
             cipher,
             h,
             h_tables,
+            engine,
         }
     }
 
-    /// Creates a GCM context directly from key bytes (16, 24 or 32 bytes).
+    /// Resolves the policy into kernels, falling back to scalar if hardware
+    /// construction fails despite a `Hw` selection (belt and braces: selection
+    /// and construction both re-check the CPUID features).
+    fn build_engine(policy: EnginePolicy, cipher: &Aes, h_powers: [u128; 4]) -> Engine {
+        match policy.select() {
+            EngineKind::Reference => Engine::Reference,
+            EngineKind::Scalar => Engine::Scalar,
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::Hw => match (AesNi::try_new(cipher), ClmulGhash::try_new(h_powers)) {
+                (Some(aes), Some(ghash)) => Engine::Hw { aes, ghash },
+                _ => Engine::Scalar,
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            EngineKind::Hw => {
+                let _ = (cipher, h_powers);
+                Engine::Scalar
+            }
+        }
+    }
+
+    /// Creates a GCM context directly from key bytes (16, 24 or 32 bytes),
+    /// selecting the engine from the `PLINIUS_CRYPTO` environment policy.
     pub fn from_key(key: &[u8]) -> Self {
         Self::new(Aes::new(key))
+    }
+
+    /// The concrete engine this context dispatches to.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
+    /// Short label of the selected engine (`"aesni+pclmul"`, `"scalar"` or
+    /// `"reference"`), for stats and bench reports.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.kind().name()
     }
 
     /// Encrypts `plaintext` with the given 12-byte IV and additional authenticated
@@ -267,11 +352,23 @@ impl AesGcm {
         Ok(y.to_be_bytes())
     }
 
-    /// CTR keystream application from `counter` into `dst`, word-wise, no allocation.
-    ///
-    /// Keystream blocks are generated in groups of four ([`Aes::encrypt_blocks`]) so
-    /// the independent AES dependency chains overlap; the tail runs block-by-block.
-    fn ctr_xor_into(&self, mut counter: [u8; BLOCK_SIZE], src: &[u8], dst: &mut [u8]) {
+    /// CTR keystream application from `counter` into `dst`, engine-dispatched; no
+    /// allocation on any engine. The three kernels produce identical bytes; only
+    /// the block-group width differs (8 for AES-NI, 4 for the T-tables, 1 for the
+    /// reference core), which is invisible because CTR blocks are independent.
+    fn ctr_xor_into(&self, counter: [u8; BLOCK_SIZE], src: &[u8], dst: &mut [u8]) {
+        match &self.engine {
+            #[cfg(target_arch = "x86_64")]
+            Engine::Hw { aes, .. } => aes.ctr_xor(counter, src, dst),
+            Engine::Scalar => self.ctr_xor_into_scalar(counter, src, dst),
+            Engine::Reference => self.ctr_xor_into_reference(counter, src, dst),
+        }
+    }
+
+    /// Scalar CTR kernel: keystream blocks are generated in groups of four
+    /// ([`Aes::encrypt_blocks`]) so the independent AES dependency chains overlap;
+    /// the tail runs block-by-block.
+    fn ctr_xor_into_scalar(&self, mut counter: [u8; BLOCK_SIZE], src: &[u8], dst: &mut [u8]) {
         debug_assert_eq!(src.len(), dst.len());
         const LANES: usize = 4;
         const GROUP: usize = LANES * BLOCK_SIZE;
@@ -332,33 +429,64 @@ impl AesGcm {
         });
     }
 
-    /// Byte-at-a-time reference CTR over the byte-wise AES core.
-    fn ctr_reference(&self, mut counter: [u8; BLOCK_SIZE], data: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(data.len());
-        for chunk in data.chunks(BLOCK_SIZE) {
+    /// Block-at-a-time reference CTR over the byte-wise AES core, writing into a
+    /// caller buffer — allocation-free, so even `PLINIUS_CRYPTO=reference` keeps
+    /// the zero-alloc `seal_into`/`open_into` contract.
+    fn ctr_xor_into_reference(&self, mut counter: [u8; BLOCK_SIZE], src: &[u8], dst: &mut [u8]) {
+        debug_assert_eq!(src.len(), dst.len());
+        for (s, d) in src.chunks(BLOCK_SIZE).zip(dst.chunks_mut(BLOCK_SIZE)) {
             let mut keystream = counter;
             self.cipher.encrypt_block_reference(&mut keystream);
-            for (d, k) in chunk.iter().zip(keystream.iter()) {
-                out.push(d ^ k);
+            for (i, (sb, db)) in s.iter().zip(d.iter_mut()).enumerate() {
+                *db = sb ^ keystream[i];
             }
             counter = inc32(counter);
         }
+    }
+
+    /// Byte-at-a-time reference CTR over the byte-wise AES core.
+    fn ctr_reference(&self, counter: [u8; BLOCK_SIZE], data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; data.len()];
+        self.ctr_xor_into_reference(counter, data, &mut out);
         out
+    }
+
+    /// One GHASH block step, engine-dispatched.
+    #[inline]
+    fn ghash_block(&self, y: &mut u128, block: &[u8; BLOCK_SIZE]) {
+        match &self.engine {
+            #[cfg(target_arch = "x86_64")]
+            Engine::Hw { ghash, .. } => ghash.ghash_block(y, block),
+            Engine::Scalar => self.ghash_block_scalar(y, block),
+            Engine::Reference => *y = gf_mult(*y ^ u128::from_be_bytes(*block), self.h),
+        }
     }
 
     /// One GHASH block step with the byte-indexed Shoup table.
     #[inline]
-    fn ghash_block(&self, y: &mut u128, block: &[u8; BLOCK_SIZE]) {
+    fn ghash_block_scalar(&self, y: &mut u128, block: &[u8; BLOCK_SIZE]) {
         *y = gf_mult_shoup8(&self.h_tables[0], *y ^ u128::from_be_bytes(*block));
     }
 
-    /// Absorbs arbitrary-length data, zero-padding the final partial block.
+    /// Absorbs arbitrary-length data, zero-padding the final partial block;
+    /// engine-dispatched. Every engine is bit-identical to the block-by-block
+    /// serial chain.
+    fn ghash_padded(&self, y: &mut u128, data: &[u8]) {
+        match &self.engine {
+            #[cfg(target_arch = "x86_64")]
+            Engine::Hw { ghash, .. } => ghash.ghash_padded(y, data),
+            Engine::Scalar => self.ghash_padded_scalar(y, data),
+            Engine::Reference => ghash_padded_reference(self.h, y, data),
+        }
+    }
+
+    /// Scalar GHASH absorption.
     ///
     /// Full 64-byte groups use 4-block aggregation: the identity
     /// `(((Y⊕C0)·H ⊕ C1)·H ⊕ C2)·H ⊕ C3)·H = (Y⊕C0)·H⁴ ⊕ C1·H³ ⊕ C2·H² ⊕ C3·H`
     /// turns the serial multiply chain into four independent multiplies whose table
     /// loads overlap. The result is bit-identical to the block-by-block chain.
-    fn ghash_padded(&self, y: &mut u128, data: &[u8]) {
+    fn ghash_padded_scalar(&self, y: &mut u128, data: &[u8]) {
         let t = &self.h_tables;
         let mut quads = data.chunks_exact(4 * BLOCK_SIZE);
         for quad in &mut quads {
@@ -373,13 +501,13 @@ impl AesGcm {
         }
         let mut blocks = quads.remainder().chunks_exact(BLOCK_SIZE);
         for chunk in &mut blocks {
-            self.ghash_block(y, &chunk.try_into().expect("16 bytes"));
+            self.ghash_block_scalar(y, &chunk.try_into().expect("16 bytes"));
         }
         let rem = blocks.remainder();
         if !rem.is_empty() {
             let mut block = [0u8; BLOCK_SIZE];
             block[..rem.len()].copy_from_slice(rem);
-            self.ghash_block(y, &block);
+            self.ghash_block_scalar(y, &block);
         }
     }
 
@@ -429,8 +557,9 @@ fn inc32(block: [u8; BLOCK_SIZE]) -> [u8; BLOCK_SIZE] {
 }
 
 /// Adds `n` to the last 32 bits of a counter block (wrapping), i.e. `inc32` applied `n`
-/// times — the building block of chunk-parallel CTR.
-fn counter_add(mut block: [u8; BLOCK_SIZE], n: u32) -> [u8; BLOCK_SIZE] {
+/// times — the building block of chunk-parallel CTR (shared with the AES-NI kernel so
+/// both engines derive per-block counters identically).
+pub(crate) fn counter_add(mut block: [u8; BLOCK_SIZE], n: u32) -> [u8; BLOCK_SIZE] {
     let ctr = u32::from_be_bytes([block[12], block[13], block[14], block[15]]).wrapping_add(n);
     block[12..].copy_from_slice(&ctr.to_be_bytes());
     block
@@ -566,9 +695,10 @@ fn gf_mult_shoup(table: &[u128; 16], w: u128) -> u128 {
 /// big-endian "reflected" representation used by SP 800-38D.
 ///
 /// The retained bit-serial reference kernel (128 iterations); production code uses
-/// [`gf_mult_shoup`]. Kept `pub(crate)`-free but reachable through
+/// [`gf_mult_shoup`]. Crate-visible so the PCLMUL kernel's unit tests can pin the
+/// hardware multiply against it, and reachable through
 /// [`AesGcm::encrypt_reference`] for differential testing.
-fn gf_mult(x: u128, y: u128) -> u128 {
+pub(crate) fn gf_mult(x: u128, y: u128) -> u128 {
     let mut z = 0u128;
     let mut v = x;
     for i in 0..128 {

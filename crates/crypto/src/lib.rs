@@ -8,14 +8,18 @@
 //! The AEAD engine is built for throughput — Plinius mirrors the whole encrypted model
 //! to PM every iteration, so AES-GCM speed bounds the fault-tolerance overhead:
 //!
+//! * **hardware kernels** ([`dispatch`]): AES-NI CTR and carry-less-multiply GHASH,
+//!   selected at [`AesGcm`] construction when the `x86_64` CPU reports the `aes` and
+//!   `pclmulqdq` features (override with `PLINIUS_CRYPTO={auto,scalar,reference}`);
 //! * **T-table AES** ([`aes`]): four 256-entry fused SubBytes/ShiftRows/MixColumns
 //!   tables, an order of magnitude faster than the byte-wise reference kernel (which is
-//!   retained for differential testing);
+//!   retained for differential testing) — the always-compiled scalar fallback;
 //! * **Shoup 4-bit GHASH** ([`gcm`]): a 16-entry per-key table turns the 128 bit-steps
 //!   of the schoolbook GF(2^128) multiply into 32 shift+lookup steps;
 //! * **zero-copy sealing** ([`seal_into`], [`SealedView::open_into`]): encrypt/decrypt
-//!   straight into caller-provided buffers with no heap allocation, plus optional
-//!   chunk-parallel CTR for large buffers (bit-identical for every thread count).
+//!   straight into caller-provided buffers with no heap allocation on any engine, plus
+//!   optional chunk-parallel CTR for large buffers (bit-identical for every thread
+//!   count and engine).
 //!
 //! The crate also provides the exact *sealed-buffer layout* Plinius stores on persistent
 //! memory (§IV of the paper): for every encrypted parameter buffer a fresh random 12-byte
@@ -36,7 +40,13 @@
 //! # Ok::<(), plinius_crypto::CryptoError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the two hardware kernel modules (`aesarch`,
+// `clmul`) opt back in with module-level `allow(unsafe_code)` — they are the
+// only places in the workspace's production crates where `unsafe` is permitted,
+// and both confine it to `#[target_feature]` intrinsics that are constructed
+// only after runtime CPU-feature detection (see their module docs for the
+// safety contract). Everything else in the crate still refuses `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::RngCore;
@@ -44,10 +54,16 @@ use std::error::Error;
 use std::fmt;
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+mod aesarch;
+#[cfg(target_arch = "x86_64")]
+mod clmul;
+pub mod dispatch;
 pub mod gcm;
 pub mod sha256;
 
 pub use aes::Aes;
+pub use dispatch::{hw_available, selected_engine, EngineKind, EnginePolicy, CRYPTO_ENV};
 pub use gcm::{AesGcm, IV_LEN, TAG_LEN};
 pub use sha256::{hmac_sha256, Sha256};
 
@@ -169,6 +185,14 @@ impl Key {
     /// the context once and reuse it (see [`seal_into`] / [`SealedView::open_into`]).
     pub fn gcm(&self) -> AesGcm {
         AesGcm::from_key(&self.bytes)
+    }
+
+    /// Builds the AES-GCM context for this key with an explicit engine policy
+    /// instead of the `PLINIUS_CRYPTO` environment default — the hook through
+    /// which `Enclave`/`PliniusBuilder` pin an engine. Same cost caveats as
+    /// [`Key::gcm`].
+    pub fn gcm_with_policy(&self, policy: EnginePolicy) -> AesGcm {
+        AesGcm::with_policy(Aes::new(&self.bytes), policy)
     }
 }
 

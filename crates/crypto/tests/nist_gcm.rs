@@ -1,19 +1,34 @@
 //! NIST SP 800-38D (GCM spec, Appendix B) multi-block test vectors.
 //!
 //! The unit tests inside `gcm.rs` cover cases 1-4 (AES-128, 96-bit IV); this suite
-//! adds the harder shapes the fast engine must get right: multi-block messages with
+//! adds the harder shapes the engines must get right: multi-block messages with
 //! AAD and a partial final block, **non-96-bit IVs** (8-byte and 60-byte, which take
 //! the GHASH-based J0 derivation), and the AES-192/AES-256 key sizes. Every vector is
-//! checked on the fast path, on the retained reference kernels, and through a decrypt
-//! round-trip.
+//! checked on **every engine** (hardware when the host supports it, scalar, and the
+//! retained reference kernels), on the explicit `encrypt_reference` entry point, and
+//! through cross-engine decrypt round-trips (sealed on one engine, opened on another).
 
-use plinius_crypto::AesGcm;
+use plinius_crypto::{Aes, AesGcm, EnginePolicy};
 
 fn hex(s: &str) -> Vec<u8> {
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
         .collect()
+}
+
+/// Every engine constructible on this host: auto (= hardware on AES-NI machines),
+/// scalar, and reference. On a non-x86_64 host auto degrades to scalar, so the
+/// suite still pins scalar-vs-reference there.
+fn engines(key: &[u8]) -> Vec<AesGcm> {
+    [
+        EnginePolicy::Auto,
+        EnginePolicy::Scalar,
+        EnginePolicy::Reference,
+    ]
+    .into_iter()
+    .map(|p| AesGcm::with_policy(Aes::new(key), p))
+    .collect()
 }
 
 /// The 60-byte plaintext shared by cases 4-6, 10 and 16 (3 full blocks + 12 bytes).
@@ -23,17 +38,31 @@ const PT_60: &str = "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a3
 /// The 20-byte AAD shared by the AAD-bearing cases.
 const AAD_20: &str = "feedfacedeadbeeffeedfacedeadbeefabaddad2";
 
-/// Runs one vector on the fast path, the reference kernels, and the decrypt direction.
+/// Runs one vector on every engine, the explicit reference entry point, and
+/// cross-engine decrypt round-trips.
 fn check(key: &str, iv: &str, aad: &str, pt: &str, expect_ct: &str, expect_tag: &str) {
     let (key, iv, aad, pt) = (hex(key), hex(iv), hex(aad), hex(pt));
-    let gcm = AesGcm::from_key(&key);
-    let (ct, tag) = gcm.encrypt(&iv, &aad, &pt).unwrap();
-    assert_eq!(ct, hex(expect_ct), "ciphertext (fast)");
-    assert_eq!(tag.to_vec(), hex(expect_tag), "tag (fast)");
-    let (ct_ref, tag_ref) = gcm.encrypt_reference(&iv, &aad, &pt).unwrap();
-    assert_eq!(ct_ref, ct, "reference kernels must agree");
-    assert_eq!(tag_ref, tag, "reference tag must agree");
-    assert_eq!(gcm.decrypt(&iv, &aad, &ct, &tag).unwrap(), pt, "round trip");
+    let all = engines(&key);
+    for gcm in &all {
+        let (ct, tag) = gcm.encrypt(&iv, &aad, &pt).unwrap();
+        let engine = gcm.engine_name();
+        assert_eq!(ct, hex(expect_ct), "ciphertext ({engine})");
+        assert_eq!(tag.to_vec(), hex(expect_tag), "tag ({engine})");
+        let (ct_ref, tag_ref) = gcm.encrypt_reference(&iv, &aad, &pt).unwrap();
+        assert_eq!(ct_ref, ct, "reference kernels must agree ({engine})");
+        assert_eq!(tag_ref, tag, "reference tag must agree ({engine})");
+        // Sealed-bytes portability across engines: what any engine produced, every
+        // engine (including itself) must open.
+        for opener in &all {
+            assert_eq!(
+                opener.decrypt(&iv, &aad, &ct, &tag).unwrap(),
+                pt,
+                "round trip {} -> {}",
+                engine,
+                opener.engine_name()
+            );
+        }
+    }
 }
 
 /// Case 5: AES-128, 8-byte IV (GHASH-derived J0), AAD, partial final block.

@@ -1,14 +1,29 @@
 //! Property-based tests for the crypto substrate: AES-GCM round-trips, tamper
-//! detection, hash/HMAC determinism, and the byte-for-byte pin of the table-driven
-//! fast engine (T-table AES + Shoup GHASH) to the retained reference kernels.
+//! detection, hash/HMAC determinism, and the byte-for-byte pin of **all three
+//! engines** — hardware (AES-NI + PCLMUL, when the host supports it), scalar
+//! (T-table AES + Shoup GHASH) and the retained reference kernels — against each
+//! other on ciphertext *and* tag.
 
 use plinius_crypto::{
-    seal_into, seal_into_with_threads, sealed_len, AesGcm, CryptoError, Key, SealedBuffer,
-    SealedView, Sha256, SEAL_OVERHEAD,
+    seal_into, seal_into_with_threads, sealed_len, Aes, AesGcm, CryptoError, EnginePolicy, Key,
+    SealedBuffer, SealedView, Sha256, SEAL_OVERHEAD,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+
+/// One context per constructible engine: auto (= hardware on AES-NI hosts, scalar
+/// elsewhere), forced scalar, and forced reference.
+fn engines(key: &[u8]) -> Vec<AesGcm> {
+    [
+        EnginePolicy::Auto,
+        EnginePolicy::Scalar,
+        EnginePolicy::Reference,
+    ]
+    .into_iter()
+    .map(|p| AesGcm::with_policy(Aes::new(key), p))
+    .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -89,12 +104,12 @@ proptest! {
         prop_assert_eq!(sealed.open(&key).unwrap(), data);
     }
 
-    /// The table-driven fast engine (T-table AES + Shoup GHASH + word-wise CTR) is
-    /// pinned byte-for-byte — ciphertext *and* tag — to the retained reference kernels
-    /// (byte-wise AES + bit-serial GHASH), for every key size, arbitrary AAD, and both
-    /// 96-bit and GHASH-derived IV shapes.
+    /// All constructible engines — hardware (AES-NI + PCLMUL, on hosts that have it),
+    /// the table-driven scalar engine, and the retained reference kernels — are pinned
+    /// byte-for-byte to each other on ciphertext *and* tag, for every key size,
+    /// arbitrary AAD, and both 96-bit and GHASH-derived IV shapes.
     #[test]
-    fn fast_gcm_is_byte_identical_to_reference(
+    fn engines_are_byte_identical(
         seed in any::<u64>(),
         key_choice in 0u8..3,
         iv_len in prop_oneof![Just(12usize), 1usize..64],
@@ -106,10 +121,41 @@ proptest! {
         rng.fill_bytes(&mut key);
         let mut iv = vec![0u8; iv_len];
         rng.fill_bytes(&mut iv);
-        let gcm = AesGcm::from_key(&key);
-        let fast = gcm.encrypt(&iv, &aad, &data).unwrap();
-        let reference = gcm.encrypt_reference(&iv, &aad, &data).unwrap();
-        prop_assert_eq!(fast, reference);
+        let all = engines(&key);
+        let baseline = all[0].encrypt_reference(&iv, &aad, &data).unwrap();
+        for gcm in &all {
+            let out = gcm.encrypt(&iv, &aad, &data).unwrap();
+            prop_assert_eq!(&out, &baseline, "engine {} diverges from reference", gcm.engine_name());
+            let (ct, tag) = out;
+            prop_assert_eq!(gcm.decrypt(&iv, &aad, &ct, &tag).unwrap(), data.clone());
+        }
+    }
+
+    /// Chunked/threaded `seal_into` on the auto-selected engine (hardware on AES-NI
+    /// hosts) is bit-identical to the serial scalar seal at counter-boundary splits:
+    /// sizes straddling the 64 KiB parallel chunk boundary, for every thread count
+    /// and a handful of offsets around the exact boundary.
+    #[test]
+    fn threaded_hw_seal_matches_scalar_at_chunk_boundaries(
+        boundary_mult in 1usize..4,
+        offset in prop_oneof![Just(-17i64), Just(-1), Just(0), Just(1), Just(15), Just(4096)],
+        threads in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let size = ((boundary_mult * 64 * 1024) as i64 + offset) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut key = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        let mut data = vec![0u8; size];
+        rng.fill_bytes(&mut data);
+        let iv = [0x5au8; 12];
+        let scalar = AesGcm::with_policy(Aes::new(&key), EnginePolicy::Scalar);
+        let mut want = vec![0u8; sealed_len(size)];
+        seal_into(&scalar, &data, b"hw", &iv, &mut want).unwrap();
+        let auto = AesGcm::with_policy(Aes::new(&key), EnginePolicy::Auto);
+        let mut got = vec![0u8; sealed_len(size)];
+        seal_into_with_threads(&auto, &data, b"hw", &iv, &mut got, threads).unwrap();
+        prop_assert_eq!(got, want, "engine {} with {} threads diverges", auto.engine_name(), threads);
     }
 
     /// Zero-copy sealing into an arena slice produces exactly the bytes of the

@@ -1,12 +1,15 @@
-//! Release-mode throughput sanity for the AEAD engine: the T-table/Shoup fast path
-//! must beat the retained byte-wise/bit-serial reference kernels by a wide margin on a
-//! mirror-sized buffer.
+//! Release-mode throughput sanity for the AEAD engines, engine-aware:
 //!
-//! The test is `#[ignore]`d: wall-clock ratios are only meaningful in release builds,
-//! so the CI release job runs it explicitly with
+//! * the **scalar** (T-table/Shoup) engine must beat the retained byte-wise /
+//!   bit-serial reference kernels by a wide margin on a mirror-sized buffer, and
+//! * on hosts with AES-NI + PCLMUL, the **hardware** engine must beat the
+//!   reference by a much wider margin and the scalar engine by a real one.
+//!
+//! The tests are `#[ignore]`d: wall-clock ratios are only meaningful in release
+//! builds, so the CI release job runs them explicitly with
 //! `cargo test --release -p plinius-crypto -- --ignored`.
 
-use plinius_crypto::AesGcm;
+use plinius_crypto::{hw_available, Aes, AesGcm, EnginePolicy};
 use std::time::Instant;
 
 /// Best-of-N wall-clock seconds for one run of `f`.
@@ -20,49 +23,57 @@ fn best_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
     best
 }
 
-#[test]
-#[ignore = "wall-clock throughput gate; run with --release (see CI release job)"]
-fn fast_gcm_beats_reference_on_1mib() {
-    let gcm = AesGcm::from_key(&[0x42u8; 16]);
-    let data = vec![7u8; 1 << 20];
+/// Warm up one engine on the shared buffer, check bit-agreement with the
+/// reference kernels, and return best-of-N seconds per 1 MiB encrypt.
+fn measure(gcm: &AesGcm, data: &[u8], threads: usize, rounds: usize) -> f64 {
     let iv = [9u8; 12];
     let aad = b"throughput-gate";
-    let threads = plinius_parallel::max_threads();
-    // Warm-up both paths (page in tables, stabilise frequency) and check agreement.
-    let baseline = gcm.encrypt_reference(&iv, aad, &data).unwrap();
+    let baseline = gcm.encrypt_reference(&iv, aad, data).unwrap();
     let mut out = vec![0u8; data.len()];
     let tag = gcm
-        .encrypt_into_with_threads(&iv, aad, &data, &mut out, threads)
+        .encrypt_into_with_threads(&iv, aad, data, &mut out, threads)
         .unwrap();
     assert_eq!(
         (out.clone(), tag),
         baseline,
-        "kernels must agree bit-for-bit"
+        "engine {} must agree bit-for-bit with the reference kernels",
+        gcm.engine_name()
     );
+    best_of(rounds, || {
+        let _ = gcm
+            .encrypt_into_with_threads(&iv, aad, data, &mut out, threads)
+            .unwrap();
+    })
+}
+
+/// The scalar engine keeps its historical floor over the reference kernels,
+/// independent of what hardware the host has.
+#[test]
+#[ignore = "wall-clock throughput gate; run with --release (see CI release job)"]
+fn scalar_gcm_beats_reference_on_1mib() {
+    let gcm = AesGcm::with_policy(Aes::new(&[0x42u8; 16]), EnginePolicy::Scalar);
+    let data = vec![7u8; 1 << 20];
+    let threads = plinius_parallel::max_threads();
+    let iv = [9u8; 12];
+    let aad = b"throughput-gate";
 
     let reference_s = best_of(3, || {
         let _ = gcm.encrypt_reference(&iv, aad, &data).unwrap();
     });
-    let single_s = best_of(5, || {
-        let _ = gcm.encrypt_into(&iv, aad, &data, &mut out).unwrap();
-    });
-    let threaded_s = best_of(5, || {
-        let _ = gcm
-            .encrypt_into_with_threads(&iv, aad, &data, &mut out, threads)
-            .unwrap();
-    });
+    let single_s = measure(&gcm, &data, 1, 5);
+    let threaded_s = measure(&gcm, &data, threads, 5);
     let single_x = reference_s / single_s;
     let threaded_x = reference_s / threaded_s;
     println!(
-        "AES-GCM 1 MiB: reference {:.1} MiB/s | fast 1-thread {:.1} MiB/s ({single_x:.1}x) | \
-         fast {threads}-thread {:.1} MiB/s ({threaded_x:.1}x)",
+        "AES-GCM 1 MiB: reference {:.1} MiB/s | scalar 1-thread {:.1} MiB/s ({single_x:.1}x) | \
+         scalar {threads}-thread {:.1} MiB/s ({threaded_x:.1}x)",
         1.0 / reference_s,
         1.0 / single_s,
         1.0 / threaded_s,
     );
     assert!(
         single_x >= 3.0,
-        "single-thread fast GCM must be at least 3x the reference (got {single_x:.2}x)"
+        "single-thread scalar GCM must be at least 3x the reference (got {single_x:.2}x)"
     );
     // On a single-core host the threaded path degenerates to the single-thread one,
     // which measures ~5x here — too thin a margin for a wall-clock gate. Require the
@@ -70,7 +81,54 @@ fn fast_gcm_beats_reference_on_1mib() {
     let threaded_floor = if threads > 1 { 5.0 } else { 4.0 };
     assert!(
         threaded_x >= threaded_floor,
-        "fast GCM (engine threads available: {threads}) must be at least \
+        "scalar GCM (engine threads available: {threads}) must be at least \
          {threaded_floor}x the reference on 1 MiB (got {threaded_x:.2}x)"
+    );
+}
+
+/// On AES-NI + PCLMUL hosts the hardware engine must be at least 15x the
+/// reference kernels and at least 3x the scalar engine. Elsewhere the test
+/// reports a skip and passes.
+#[test]
+#[ignore = "wall-clock throughput gate; run with --release (see CI release job)"]
+fn hw_gcm_beats_scalar_on_1mib() {
+    if !hw_available() {
+        eprintln!("skipping: host lacks AES-NI/PCLMUL, no hardware engine to gate");
+        return;
+    }
+    let key = [0x42u8; 16];
+    let data = vec![7u8; 1 << 20];
+    let iv = [9u8; 12];
+    let aad = b"throughput-gate";
+
+    let hw = AesGcm::with_policy(Aes::new(&key), EnginePolicy::Auto);
+    assert_eq!(
+        hw.engine_name(),
+        "aesni+pclmul",
+        "auto policy must pick the hardware engine when the host supports it"
+    );
+    let scalar = AesGcm::with_policy(Aes::new(&key), EnginePolicy::Scalar);
+
+    let reference_s = best_of(3, || {
+        let _ = hw.encrypt_reference(&iv, aad, &data).unwrap();
+    });
+    let scalar_s = measure(&scalar, &data, 1, 5);
+    let hw_s = measure(&hw, &data, 1, 7);
+    let vs_reference = reference_s / hw_s;
+    let vs_scalar = scalar_s / hw_s;
+    println!(
+        "AES-GCM 1 MiB: reference {:.1} MiB/s | scalar {:.1} MiB/s | \
+         aesni+pclmul {:.1} MiB/s ({vs_reference:.1}x reference, {vs_scalar:.1}x scalar)",
+        1.0 / reference_s,
+        1.0 / scalar_s,
+        1.0 / hw_s,
+    );
+    assert!(
+        vs_reference >= 15.0,
+        "hardware GCM must be at least 15x the reference kernels (got {vs_reference:.2}x)"
+    );
+    assert!(
+        vs_scalar >= 3.0,
+        "hardware GCM must be at least 3x the scalar engine (got {vs_scalar:.2}x)"
     );
 }

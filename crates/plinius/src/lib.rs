@@ -47,7 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use plinius_crypto::{CryptoError, Key};
+use plinius_crypto::{AesGcm, CryptoError, Key};
 use plinius_darknet::DarknetError;
 use plinius_pmem::{PmemError, PmemPool};
 use plinius_romulus::{Flavor, Romulus, RomulusError};
@@ -92,6 +92,10 @@ pub use trainer::{
 };
 pub use vfs::{EpochDiff, MirrorVfs, SealedEpoch, TensorDiff, Vfs, VfsEntry, VfsKind};
 pub use workflow::{run_full_workflow, WorkflowReport};
+
+// Crypto engine selection (`PLINIUS_CRYPTO={auto,scalar,reference}`), re-exported so
+// deployments can pin the sealing engine without depending on `plinius-crypto`.
+pub use plinius_crypto::{hw_available, selected_engine, EngineKind, EnginePolicy, CRYPTO_ENV};
 
 /// Name under which the model encryption key is stored in the enclave's key store
 /// (tenant 0; other tenants use [`tenant_key_name`]).
@@ -314,6 +318,20 @@ impl PliniusContext {
     ///
     /// Propagates pool-creation and Romulus-formatting errors.
     pub fn create(cost: CostModel, pm_bytes: usize) -> Result<Self, PliniusError> {
+        Self::create_with_crypto(cost, pm_bytes, EnginePolicy::from_env())
+    }
+
+    /// [`PliniusContext::create`] with the AES-GCM engine policy pinned explicitly
+    /// instead of read from `PLINIUS_CRYPTO` (see [`EnginePolicy`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation and Romulus-formatting errors.
+    pub fn create_with_crypto(
+        cost: CostModel,
+        pm_bytes: usize,
+        crypto: EnginePolicy,
+    ) -> Result<Self, PliniusError> {
         let clock = SimClock::new();
         let stats = StatsRegistry::new();
         let pool = PmemPool::builder(pm_bytes)
@@ -321,7 +339,7 @@ impl PliniusContext {
             .clock(Arc::clone(&clock))
             .stats(Arc::clone(&stats))
             .build()?;
-        Self::open(pool, cost)
+        Self::open_with_crypto(pool, cost, crypto)
     }
 
     /// Opens a context over an existing PM pool (Algorithm 1 after a restart): a *new*
@@ -331,12 +349,27 @@ impl PliniusContext {
     ///
     /// Propagates Romulus recovery errors.
     pub fn open(pool: PmemPool, cost: CostModel) -> Result<Self, PliniusError> {
+        Self::open_with_crypto(pool, cost, EnginePolicy::from_env())
+    }
+
+    /// [`PliniusContext::open`] with the AES-GCM engine policy pinned explicitly
+    /// instead of read from `PLINIUS_CRYPTO`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Romulus recovery errors.
+    pub fn open_with_crypto(
+        pool: PmemPool,
+        cost: CostModel,
+        crypto: EnginePolicy,
+    ) -> Result<Self, PliniusError> {
         let clock = pool.clock();
         let stats = pool.stats_registry();
         let enclave = Enclave::builder(b"plinius-enclave-v1".to_vec())
             .cost_model(cost.clone())
             .clock(clock)
             .stats(stats)
+            .crypto_policy(crypto)
             .build();
         // The PM regions take up the pool minus the Romulus header; split evenly.
         let region = (pool.len() - 256) / 2;
@@ -449,6 +482,26 @@ impl PliniusContext {
         self.enclave
             .key(&self.key_name)
             .ok_or(PliniusError::KeyNotProvisioned)
+    }
+
+    /// A warm AES-GCM context for this tenant's model key, served from the enclave's
+    /// per-key cache ([`plinius_sgx::Enclave::gcm_for_key`]): the key schedule, GHASH
+    /// tables and engine selection happen once per provisioned key, not per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PliniusError::KeyNotProvisioned`] if no key has been provisioned.
+    pub fn gcm(&self) -> Result<Arc<AesGcm>, PliniusError> {
+        self.enclave
+            .gcm_for_key(&self.key_name)
+            .ok_or(PliniusError::KeyNotProvisioned)
+    }
+
+    /// The name of the AES-GCM engine sealing runs on for this context (e.g.
+    /// `"aesni+pclmul"`, `"scalar"`, `"reference"`), resolved from the enclave's
+    /// crypto policy without requiring a provisioned key.
+    pub fn engine_name(&self) -> &'static str {
+        self.enclave.crypto_policy().select().name()
     }
 
     /// An RNG seeded from the enclave's `sgx_read_rand`, used to draw AES-GCM IVs.

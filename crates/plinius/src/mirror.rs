@@ -241,8 +241,9 @@ struct MirrorScratch {
     /// Raw bytes of the key the cached GCM context was built for, to detect
     /// re-provisioning.
     key_bytes: Vec<u8>,
-    /// Cached AES key schedule + GHASH tables (expensive to rebuild per tensor).
-    gcm: AesGcm,
+    /// Cached AES-GCM context (key schedule + GHASH tables + selected engine), shared
+    /// with the enclave's per-key cache (expensive to rebuild per tensor).
+    gcm: Arc<AesGcm>,
     /// Plaintext staging buffer: all tensors contiguous in slot order.
     plain: Vec<u8>,
     /// Sealed-blob arena: all sealed tensors contiguous in slot order.
@@ -630,9 +631,10 @@ impl MirrorModel {
         };
         if stale {
             let key = ctx.key()?;
+            let gcm = ctx.gcm()?;
             match guard.as_mut() {
                 Some(s) => {
-                    s.gcm = key.gcm();
+                    s.gcm = gcm;
                     s.key_bytes.clear();
                     s.key_bytes.extend_from_slice(key.as_bytes());
                 }
@@ -641,7 +643,7 @@ impl MirrorModel {
                     let sealed_total = self.slots.iter().map(|s| s.sealed_len).sum();
                     *guard = Some(MirrorScratch {
                         key_bytes: key.as_bytes().to_vec(),
-                        gcm: key.gcm(),
+                        gcm,
                         plain: vec![0u8; plain_total],
                         arena: vec![0u8; sealed_total],
                         ivs: vec![[0u8; IV_LEN]; self.slots.len()],
@@ -1365,7 +1367,7 @@ impl MirrorModel {
         };
         if stale {
             let key = ctx.key()?;
-            let gcm = key.gcm();
+            let gcm = ctx.gcm()?;
             let slots: Arc<[TensorSlot]> = self.slots.clone().into();
             let worker = Pipeline::spawn("plinius-mirror-seal", move |job: SealJob| {
                 let SealJob { mut bufs } = job;

@@ -92,10 +92,9 @@ impl SsdCheckpointer {
         ctx: &PliniusContext,
         network: &Network,
     ) -> Result<SsdSaveReport, PliniusError> {
-        let key = ctx.key()?;
-        // Build the GCM context (key schedule + GHASH tables) once for the whole
-        // checkpoint instead of once per tensor.
-        let gcm = key.gcm();
+        // One warm GCM context (key schedule + GHASH tables + engine selection, from
+        // the enclave's per-key cache) for the whole checkpoint instead of per tensor.
+        let gcm = ctx.gcm()?;
         let clock = ctx.clock();
         let mut rng = ctx.enclave_rng();
         let mut model_bytes = 0usize;
@@ -174,9 +173,8 @@ impl SsdCheckpointer {
         if !self.exists() {
             return Err(PliniusError::NoMirrorModel);
         }
-        let key = ctx.key()?;
-        // One GCM context (key schedule + GHASH tables) for the whole restore.
-        let gcm = key.gcm();
+        // One warm GCM context (from the enclave's per-key cache) for the whole restore.
+        let gcm = ctx.gcm()?;
         let clock = ctx.clock();
         // Phase 1: read the whole checkpoint from the SSD into enclave memory.
         let (encoded, read) = SimSpan::record(&clock, || -> Result<Vec<u8>, PliniusError> {

@@ -8,7 +8,7 @@ use crate::mirror::{ring_depth_from_env, MirrorModel};
 use crate::persist::{ModelPersistence, NoOpBackend, PersistStats, PersistenceBackend};
 use crate::pmdata::PmDataset;
 use crate::{PliniusContext, PliniusError, TenantId};
-use plinius_crypto::Key;
+use plinius_crypto::{EnginePolicy, Key};
 use plinius_darknet::config::build_network;
 use plinius_darknet::{Dataset, Network};
 use plinius_pmem::CrashMode;
@@ -83,6 +83,12 @@ pub struct TrainerConfig {
     /// mirror-backed persistence specs use it. Defaults to the `PLINIUS_RING`
     /// environment variable (2 when unset).
     pub ring_depth: usize,
+    /// Which AES-GCM engine seals the model (hardware AES-NI + PCLMUL, scalar
+    /// tables, or the reference kernels). Applies when the trainer deploys its own
+    /// context; a context passed to [`PliniusBuilder::context`] keeps its enclave's
+    /// policy. Defaults to the `PLINIUS_CRYPTO` environment variable (auto when
+    /// unset). Sealed bytes are identical on every engine; only speed differs.
+    pub crypto: EnginePolicy,
 }
 
 impl Default for TrainerConfig {
@@ -95,6 +101,7 @@ impl Default for TrainerConfig {
             seed: 0xBEEF,
             pipeline: PipelineMode::from_env(),
             ring_depth: ring_depth_from_env(),
+            crypto: EnginePolicy::from_env(),
         }
     }
 }
@@ -352,6 +359,7 @@ impl TrainingSetup {
                 seed: 1,
                 pipeline: PipelineMode::from_env(),
                 ring_depth: ring_depth_from_env(),
+                crypto: EnginePolicy::from_env(),
             },
             backend: PersistenceBackend::PmMirror,
             model_seed: 3,
@@ -493,6 +501,15 @@ impl PliniusBuilder {
         self
     }
 
+    /// Pins the AES-GCM engine the deployment seals with (hardware, scalar or
+    /// reference; see [`EnginePolicy`]). Applies when this builder deploys its own
+    /// context; an explicit [`PliniusBuilder::context`] keeps its enclave's policy.
+    /// Sealed bytes are engine-independent, so persisted models stay portable.
+    pub fn crypto_engine(mut self, policy: EnginePolicy) -> Self {
+        self.setup.trainer.crypto = policy;
+        self
+    }
+
     /// Plaintext dataset for the unencrypted baseline; defaults to the setup's dataset.
     pub fn plain_data(mut self, data: Dataset) -> Self {
         self.plain_data = Some(data);
@@ -541,7 +558,11 @@ impl PliniusBuilder {
                 // Local deployment for tests and examples: fresh pool, seed-derived
                 // key provisioned directly (production uses the attested Fig. 5
                 // workflow), dataset loaded into PM.
-                let ctx = PliniusContext::create(setup.cost.clone(), setup.pm_bytes)?;
+                let ctx = PliniusContext::create_with_crypto(
+                    setup.cost.clone(),
+                    setup.pm_bytes,
+                    config.crypto,
+                )?;
                 let ctx = match tenant {
                     Some(t) => ctx.for_tenant(t),
                     None => ctx,

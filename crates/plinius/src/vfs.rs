@@ -347,7 +347,7 @@ impl MirrorVfs {
     /// [`PliniusError::KeyNotProvisioned`] without the model key, or
     /// authentication failures on tampered blobs.
     pub fn epoch_diff(&self, from: u64, to: u64) -> Result<EpochDiff, PliniusError> {
-        let gcm = self.ctx.key()?.gcm();
+        let gcm = self.ctx.gcm()?;
         let layout = self.mirror.slot_layout().to_vec();
         let max_sealed = layout.iter().map(|s| s.sealed_len).max().unwrap_or(0);
         let max_plain = layout.iter().map(|s| s.plain_len).max().unwrap_or(0);
@@ -445,7 +445,7 @@ impl MirrorVfs {
                 sealed.sealed_lens, expected
             )));
         }
-        let gcm = self.ctx.key()?.gcm();
+        let gcm = self.ctx.gcm()?;
         let mut plain = vec![0u8; layout.iter().map(|s| s.plain_len).max().unwrap_or(0)];
         for slot in layout {
             let blob = &sealed.arena[slot.sealed_off..slot.sealed_off + slot.sealed_len];

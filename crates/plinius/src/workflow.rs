@@ -42,6 +42,9 @@ pub struct WorkflowReport {
     /// `mirror.torn_read_retries` statistic. Non-zero values mean concurrent
     /// serve-vs-train races were detected (and resolved) by the seqlock protocol.
     pub torn_read_retries: u64,
+    /// Name of the AES-GCM engine the deployment sealed with (`"aesni+pclmul"`,
+    /// `"scalar"` or `"reference"`), as resolved from the enclave's crypto policy.
+    pub engine: &'static str,
 }
 
 impl WorkflowReport {
@@ -110,6 +113,7 @@ pub fn run_full_workflow(setup: &TrainingSetup) -> Result<WorkflowReport, Pliniu
         pipeline: setup.trainer.pipeline,
         persist_stats: trainer.persist_stats(),
         torn_read_retries: trainer.torn_read_retries(),
+        engine: trainer.context().engine_name(),
     })
 }
 

@@ -11,9 +11,12 @@
 //! The counting allocator is thread-local, so the serial assertions are exact even
 //! though the test binary runs tests on multiple threads.
 
-// The one place in the workspace that needs `unsafe`: a counting `GlobalAlloc`
-// wrapper is impossible to write without it. The production crates remain
-// `#![forbid(unsafe_code)]`.
+// A counting `GlobalAlloc` wrapper is impossible to write without `unsafe`. The
+// production crates stay `forbid(unsafe_code)` except `plinius-crypto`, which is
+// `deny(unsafe_code)` with exactly two exempt modules: the AES-NI and PCLMUL
+// hardware kernels (`aesarch`/`clmul`), whose intrinsics require it. This test
+// runs on whatever engine the dispatcher selects, so the zero-alloc guarantee
+// below covers the hardware path on AES-NI hosts.
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 

@@ -18,7 +18,7 @@
 
 use crate::SgxError;
 use parking_lot::Mutex;
-use plinius_crypto::{CryptoError, Key, SealedBuffer, Sha256};
+use plinius_crypto::{AesGcm, CryptoError, EnginePolicy, Key, SealedBuffer, Sha256};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sim_clock::{ClockHandle, CostModel, StatsHandle};
@@ -41,6 +41,7 @@ pub struct EnclaveBuilder {
     heap_size: u64,
     stack_size: u64,
     rng_seed: u64,
+    crypto: Option<EnginePolicy>,
 }
 
 impl EnclaveBuilder {
@@ -55,6 +56,7 @@ impl EnclaveBuilder {
             heap_size: DEFAULT_HEAP_SIZE,
             stack_size: DEFAULT_STACK_SIZE,
             rng_seed: 0x5047_5845,
+            crypto: None,
         }
     }
 
@@ -94,6 +96,15 @@ impl EnclaveBuilder {
         self
     }
 
+    /// Pins the AES-GCM engine policy for every cipher context this enclave derives
+    /// (see [`plinius_crypto::EnginePolicy`]). Defaults to the `PLINIUS_CRYPTO`
+    /// environment variable (`auto` when unset): hardware AES-NI + PCLMUL kernels
+    /// where the host supports them, the scalar table-driven engine elsewhere.
+    pub fn crypto_policy(mut self, policy: EnginePolicy) -> Self {
+        self.crypto = Some(policy);
+        self
+    }
+
     /// Creates the enclave (the equivalent of `sgx_create_enclave`).
     pub fn build(self) -> Enclave {
         let measurement = Sha256::digest(&self.binary);
@@ -108,6 +119,8 @@ impl EnclaveBuilder {
                 heap_used: AtomicU64::new(0),
                 peak_heap: AtomicU64::new(0),
                 keys: Mutex::new(HashMap::new()),
+                gcm_cache: Mutex::new(HashMap::new()),
+                crypto: self.crypto.unwrap_or_else(EnginePolicy::from_env),
                 rng: Mutex::new(StdRng::seed_from_u64(self.rng_seed)),
                 destroyed: AtomicU64::new(0),
             }),
@@ -126,6 +139,12 @@ struct EnclaveInner {
     heap_used: AtomicU64,
     peak_heap: AtomicU64,
     keys: Mutex<HashMap<String, Key>>,
+    /// Warm AES-GCM contexts (key schedule + GHASH tables, engine-selected) per stored
+    /// key name. Entries are invalidated whenever the underlying key changes, so a
+    /// cached context never outlives its key.
+    gcm_cache: Mutex<HashMap<String, Arc<AesGcm>>>,
+    /// Engine policy every derived cipher context is built with.
+    crypto: EnginePolicy,
     rng: Mutex<StdRng>,
     destroyed: AtomicU64,
 }
@@ -191,6 +210,7 @@ impl Enclave {
     pub fn destroy(&self) {
         self.inner.destroyed.store(1, Ordering::Relaxed);
         self.inner.keys.lock().clear();
+        self.inner.gcm_cache.lock().clear();
         self.inner.heap_used.store(0, Ordering::Relaxed);
     }
 
@@ -412,9 +432,13 @@ impl Enclave {
     }
 
     /// Stores a named key in trusted memory (e.g. the model key provisioned over the
-    /// attested channel).
+    /// attested channel). Any cached cipher context for the name is invalidated.
     pub fn store_key(&self, name: &str, key: Key) {
-        self.inner.keys.lock().insert(name.to_owned(), key);
+        // Lock order: keys, then gcm_cache (everywhere), so a concurrent
+        // `gcm_for_key` can never re-insert a context derived from the old key.
+        let mut keys = self.inner.keys.lock();
+        keys.insert(name.to_owned(), key);
+        self.inner.gcm_cache.lock().remove(name);
     }
 
     /// Retrieves a previously stored key.
@@ -431,9 +455,43 @@ impl Enclave {
         self.inner.keys.lock().get(name).map(f)
     }
 
-    /// Removes a stored key.
+    /// Removes a stored key (and any cached cipher context derived from it).
     pub fn remove_key(&self, name: &str) -> Option<Key> {
-        self.inner.keys.lock().remove(name)
+        let mut keys = self.inner.keys.lock();
+        self.inner.gcm_cache.lock().remove(name);
+        keys.remove(name)
+    }
+
+    /// The AES-GCM engine policy this enclave builds cipher contexts with.
+    pub fn crypto_policy(&self) -> EnginePolicy {
+        self.inner.crypto
+    }
+
+    /// Returns a warm AES-GCM context for the named stored key, building it (key
+    /// schedule + GHASH tables + engine selection per the enclave's policy) on first
+    /// use and caching it until the key is re-provisioned or removed. Returns `None`
+    /// if no key of that name is stored.
+    ///
+    /// The steady-state mirror/checkpoint paths call this once per batch, so key
+    /// expansion never recurs in the hot loop and the returned handle is shared
+    /// (cloning the `Arc` allocates nothing).
+    pub fn gcm_for_key(&self, name: &str) -> Option<Arc<AesGcm>> {
+        if let Some(gcm) = self.inner.gcm_cache.lock().get(name) {
+            return Some(Arc::clone(gcm));
+        }
+        // Build under the keys lock (keys before gcm_cache, as everywhere) so a
+        // concurrent re-provision of the same name cannot leave a stale context
+        // cached: store/remove also invalidate while holding the keys lock.
+        let keys = self.inner.keys.lock();
+        let key = keys.get(name)?;
+        let gcm = Arc::new(key.gcm_with_policy(self.inner.crypto));
+        Some(Arc::clone(
+            self.inner
+                .gcm_cache
+                .lock()
+                .entry(name.to_owned())
+                .or_insert(gcm),
+        ))
     }
 
     // ---------------------------------------------------------------- sealing
@@ -633,6 +691,43 @@ mod tests {
         assert!(enclave.key("missing").is_none());
         assert!(enclave.remove_key("model").is_some());
         assert!(enclave.key("model").is_none());
+    }
+
+    #[test]
+    fn gcm_cache_is_shared_until_the_key_changes() {
+        let enclave = Enclave::builder(b"bin".to_vec())
+            .crypto_policy(EnginePolicy::Auto)
+            .build();
+        assert_eq!(enclave.crypto_policy(), EnginePolicy::Auto);
+        assert!(enclave.gcm_for_key("model").is_none());
+
+        enclave.store_key("model", Key::new(&[1u8; 16]).unwrap());
+        let a = enclave.gcm_for_key("model").unwrap();
+        let b = enclave.gcm_for_key("model").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "warm lookups share one context");
+
+        // Re-provisioning the key invalidates the cached context...
+        enclave.store_key("model", Key::new(&[2u8; 16]).unwrap());
+        let c = enclave.gcm_for_key("model").unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "rotation must rebuild the context");
+        // ...and the fresh context really uses the new key: bytes sealed under the
+        // old context fail authentication under the new one.
+        let iv = [3u8; 12];
+        let (ct, tag) = a.encrypt(&iv, b"", b"payload").unwrap();
+        assert!(c.decrypt(&iv, b"", &ct, &tag).is_err());
+
+        enclave.remove_key("model");
+        assert!(enclave.gcm_for_key("model").is_none());
+    }
+
+    #[test]
+    fn explicit_crypto_policy_pins_the_engine() {
+        let enclave = Enclave::builder(b"bin".to_vec())
+            .crypto_policy(EnginePolicy::Reference)
+            .build();
+        enclave.store_key("model", Key::new(&[1u8; 16]).unwrap());
+        let gcm = enclave.gcm_for_key("model").unwrap();
+        assert_eq!(gcm.engine_name(), "reference");
     }
 
     #[test]

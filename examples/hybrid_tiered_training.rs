@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 6,
             pipeline: PipelineMode::from_env(),
             ring_depth: plinius::ring_depth_from_env(),
+            crypto: plinius::EnginePolicy::from_env(),
         },
         backend: PersistenceBackend::HybridTiered {
             ssd_path: "tier.ckpt".into(),

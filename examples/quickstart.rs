@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 7,
             pipeline: PipelineMode::from_env(),
             ring_depth: plinius::ring_depth_from_env(),
+            crypto: plinius::EnginePolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 3,

@@ -77,6 +77,7 @@ fn mirror_and_resume_across_contexts_with_key_reprovisioning() {
             seed: 5,
             pipeline: PipelineMode::from_env(),
             ring_depth: plinius::ring_depth_from_env(),
+            crypto: plinius::EnginePolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 13,
