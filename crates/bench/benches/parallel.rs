@@ -6,7 +6,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use plinius::{MirrorModel, PliniusContext};
 use plinius_crypto::Key;
 use plinius_darknet::config::{build_network, mnist_cnn_config};
-use plinius_darknet::matrix::{gemm_reference, gemm_with_threads};
+use plinius_darknet::matrix::{
+    gemm_reference, gemm_with_engine, gemm_with_threads, GEMM_DEFAULT_KC,
+};
+use plinius_darknet::{avx2_available, avx512_available, fma_available, GemmKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,6 +45,47 @@ fn bench_gemm(c: &mut Criterion) {
                 bch.iter(|| {
                     gemm_with_threads(
                         threads, ta, tb, DIM, DIM, DIM, 1.0, &a, DIM, &b, DIM, 0.0, &mut out, DIM,
+                    );
+                    black_box(out[0])
+                })
+            });
+        }
+        // One single-thread lane per *available* engine so `cargo bench` compares
+        // the dispatcher's kernels side by side on the same shape; unavailable
+        // engines are skipped rather than benchmarking a silent fallback.
+        let mut engines = vec![GemmKind::Scalar];
+        if avx2_available() {
+            engines.push(GemmKind::Avx2);
+        }
+        if avx512_available() {
+            engines.push(GemmKind::Avx512);
+        }
+        if fma_available() {
+            engines.push(GemmKind::Avx2Fma);
+        }
+        if avx512_available() {
+            engines.push(GemmKind::Avx512Fma);
+        }
+        for engine in engines {
+            group.bench_function(format!("engine_{}_{label}_1t", engine.name()), |bch| {
+                bch.iter(|| {
+                    gemm_with_engine(
+                        engine,
+                        1,
+                        GEMM_DEFAULT_KC,
+                        ta,
+                        tb,
+                        DIM,
+                        DIM,
+                        DIM,
+                        1.0,
+                        &a,
+                        DIM,
+                        &b,
+                        DIM,
+                        0.0,
+                        &mut out,
+                        DIM,
                     );
                     black_box(out[0])
                 })

@@ -54,6 +54,7 @@ fn main() {
             pipeline: PipelineMode::from_env(),
             ring_depth: plinius::ring_depth_from_env(),
             crypto: plinius::EnginePolicy::from_env(),
+            gemm: plinius::GemmPolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 6,

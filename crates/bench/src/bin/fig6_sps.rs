@@ -76,7 +76,9 @@ fn parallel_hot_path_sweep(mode: RunMode) {
 
     println!();
     println!(
-        "Parallel hot-path sweep (wall-clock; gemm {dim}x{dim}x{dim}, model {:.1} MB, auto = {auto} threads)",
+        "Parallel hot-path sweep (wall-clock; gemm {dim}x{dim}x{dim} on the {} engine, \
+         model {:.1} MB, auto = {auto} threads)",
+        plinius_darknet::selected_gemm().name(),
         model_bytes as f64 / (1024.0 * 1024.0)
     );
     println!(

@@ -80,6 +80,7 @@ fn setup_for(scale: &Scale, pipeline: PipelineMode) -> TrainingSetup {
             pipeline,
             ring_depth: plinius::ring_depth_from_env(),
             crypto: plinius::EnginePolicy::from_env(),
+            gemm: plinius::GemmPolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 8,
@@ -104,9 +105,12 @@ fn rate_sweep(scale: &Scale, pipeline: PipelineMode) -> Result<(), PliniusError>
     let template = setup.build_network()?;
     let mut trainer = PliniusBuilder::new(setup.clone()).build()?;
     trainer.run()?;
+    let probe = attach_server(&trainer, &template)?;
     println!(
-        "\n[{pipeline:?}] post-training serving — epoch {} from the PM mirror",
-        attach_server(&trainer, &template)?.epoch()
+        "\n[{pipeline:?}] post-training serving — epoch {} from the PM mirror, \
+         {} gemm engine",
+        probe.epoch(),
+        probe.gemm_engine().name()
     );
     println!(
         "{:>14} {:>12} {:>12} {:>12} {:>8}",

@@ -5,12 +5,13 @@
 //! `PLINIUS_THREADS` environment variable), an epoch-ring-depth override (`--ring N`,
 //! the CLI face of `PLINIUS_RING`), a tenant-count override (`--tenants N`, the CLI
 //! face of `PLINIUS_TENANTS`), a crypto-engine override (`--crypto
-//! {auto|scalar|reference}`, the CLI face of `PLINIUS_CRYPTO`) plus optional
-//! positional inputs (e.g. a spot-price CSV for `fig10_spot`). Unknown flags and
-//! malformed values are an error: a typo like `--smokee` aborts the run instead of
-//! being silently ignored and launching a paper-scale sweep.
+//! {auto|scalar|reference}`, the CLI face of `PLINIUS_CRYPTO`), a GEMM-engine
+//! override (`--gemm {auto|scalar|reference|fma}`, the CLI face of `PLINIUS_GEMM`)
+//! plus optional positional inputs (e.g. a spot-price CSV for `fig10_spot`).
+//! Unknown flags and malformed values are an error: a typo like `--smokee` aborts
+//! the run instead of being silently ignored and launching a paper-scale sweep.
 
-use plinius::EnginePolicy;
+use plinius::{EnginePolicy, GemmPolicy};
 use std::fmt;
 
 /// Scale of a figure-reproduction run, shared by every `src/bin/*` binary.
@@ -55,6 +56,10 @@ pub struct BenchArgs {
     /// Crypto-engine override from `--crypto {auto|scalar|reference}` (applied to
     /// every AES-GCM context via the `PLINIUS_CRYPTO` mechanism), if given.
     pub crypto: Option<EnginePolicy>,
+    /// GEMM-engine override from `--gemm {auto|scalar|reference|fma}` (applied to
+    /// every network's training hot path via the `PLINIUS_GEMM` mechanism), if
+    /// given.
+    pub gemm: Option<GemmPolicy>,
     /// Positional (non-flag) arguments, in order.
     pub inputs: Vec<String>,
 }
@@ -90,6 +95,8 @@ impl fmt::Display for CliError {
                     "an integer in 1..=MAX_TENANTS"
                 } else if flag == "--crypto" {
                     "one of `auto`, `scalar`, `reference`"
+                } else if flag == "--gemm" {
+                    "one of `auto`, `scalar`, `reference`, `fma`"
                 } else {
                     "a positive integer"
                 };
@@ -110,7 +117,7 @@ fn usage(accepts_inputs: bool) -> String {
     let files = if accepts_inputs { " [FILE]" } else { "" };
     format!(
         "usage: <binary> [--smoke | --quick | --full] [--threads N] [--ring N] [--tenants N] \
-         [--crypto E]{files}\n\
+         [--crypto E] [--gemm E]{files}\n\
         \n\
         --smoke      tiny bitrot-guard configuration (used by the smoke tests)\n\
         --quick      reduced sweep for interactive runs\n\
@@ -123,6 +130,9 @@ fn usage(accepts_inputs: bool) -> String {
         \u{20}            same override as the PLINIUS_TENANTS environment variable)\n\
         --crypto E   AES-GCM engine: auto (hardware when detected), scalar, or\n\
         \u{20}            reference (the same override as the PLINIUS_CRYPTO variable)\n\
+        --gemm E     GEMM engine: auto (widest vector kernel detected), scalar,\n\
+        \u{20}            reference, or fma (the same override as the PLINIUS_GEMM\n\
+        \u{20}            variable)\n\
         \n\
         With none of the flags the binary runs at its default scale. `--smoke` wins\n\
         over `--quick`, which wins over `--full`.",
@@ -165,6 +175,17 @@ fn parse_crypto(flag: &str, value: Option<String>) -> Result<EnginePolicy, CliEr
     })
 }
 
+/// Parses a `--gemm` value strictly: exactly one of `auto`, `scalar`, `reference`,
+/// `fma`. (The `PLINIUS_GEMM` env knob itself is lenient; the CLI aborts on typos so
+/// a mistyped engine never silently benchmarks the wrong kernels.)
+fn parse_gemm(flag: &str, value: Option<String>) -> Result<GemmPolicy, CliError> {
+    let value = value.ok_or_else(|| CliError::MissingValue(flag.to_owned()))?;
+    GemmPolicy::parse(value.trim()).ok_or_else(|| CliError::InvalidValue {
+        flag: flag.to_owned(),
+        value,
+    })
+}
+
 fn parse_at_least(flag: &str, value: Option<String>, min: usize) -> Result<usize, CliError> {
     let value = value.ok_or_else(|| CliError::MissingValue(flag.to_owned()))?;
     match value.trim().parse::<usize>() {
@@ -197,6 +218,7 @@ where
     let mut ring = None;
     let mut tenants = None;
     let mut crypto = None;
+    let mut gemm = None;
     let mut inputs = Vec::new();
     let mut iter = args.into_iter().map(Into::into);
     while let Some(arg) = iter.next() {
@@ -224,6 +246,11 @@ where
                 let value = s["--crypto=".len()..].to_owned();
                 crypto = Some(parse_crypto("--crypto", Some(value))?);
             }
+            "--gemm" => gemm = Some(parse_gemm("--gemm", iter.next())?),
+            s if s.starts_with("--gemm=") => {
+                let value = s["--gemm=".len()..].to_owned();
+                gemm = Some(parse_gemm("--gemm", Some(value))?);
+            }
             s if s.starts_with('-') => return Err(CliError::UnknownFlag(arg)),
             _ => inputs.push(arg),
         }
@@ -243,6 +270,7 @@ where
         ring,
         tenants,
         crypto,
+        gemm,
         inputs,
     })
 }
@@ -325,6 +353,15 @@ fn apply_crypto_override(crypto: Option<EnginePolicy>) {
     }
 }
 
+/// Applies a `--gemm` override to this process: every network resolves its GEMM
+/// policy from the `PLINIUS_GEMM` environment variable at construction, so the flag
+/// simply sets it before any network is built.
+fn apply_gemm_override(gemm: Option<GemmPolicy>) {
+    if let Some(policy) = gemm {
+        std::env::set_var(plinius::GEMM_ENV, policy.as_str());
+    }
+}
+
 /// Parses `std::env::args()` for a binary taking one optional positional input,
 /// printing usage and exiting on `--help`/`-h` (status 0), an unknown flag, a bad
 /// `--threads`/`--ring` value or a second positional (status 2). The `--threads` and
@@ -338,6 +375,7 @@ pub fn parse_args_single_input() -> (RunMode, Option<String>) {
     apply_ring_override(parsed.ring);
     apply_tenants_override(parsed.tenants);
     apply_crypto_override(parsed.crypto);
+    apply_gemm_override(parsed.gemm);
     (parsed.mode, parsed.inputs.pop())
 }
 
@@ -353,6 +391,7 @@ pub fn parse_args_mode_only() -> RunMode {
     apply_ring_override(parsed.ring);
     apply_tenants_override(parsed.tenants);
     apply_crypto_override(parsed.crypto);
+    apply_gemm_override(parsed.gemm);
     parsed.mode
 }
 
@@ -630,6 +669,59 @@ mod tests {
     }
 
     #[test]
+    fn gemm_flag_parses_space_and_equals_forms() {
+        assert_eq!(
+            parse_strs(&["--gemm", "scalar"]).unwrap().gemm,
+            Some(GemmPolicy::Scalar)
+        );
+        assert_eq!(
+            parse_strs(&["--gemm=reference"]).unwrap().gemm,
+            Some(GemmPolicy::Reference)
+        );
+        assert_eq!(
+            parse_strs(&["--gemm", "auto"]).unwrap().gemm,
+            Some(GemmPolicy::Auto)
+        );
+        assert_eq!(
+            parse_strs(&["--gemm=fma"]).unwrap().gemm,
+            Some(GemmPolicy::Fma)
+        );
+        assert_eq!(parse_strs(&["--smoke"]).unwrap().gemm, None);
+        let parsed = parse_strs(&["--smoke", "--gemm", "scalar", "--crypto", "scalar"]).unwrap();
+        assert_eq!(parsed.mode, RunMode::Smoke);
+        assert_eq!(parsed.gemm, Some(GemmPolicy::Scalar));
+        assert_eq!(parsed.crypto, Some(EnginePolicy::Scalar));
+    }
+
+    #[test]
+    fn gemm_flag_rejects_missing_and_invalid_values() {
+        assert_eq!(
+            parse_strs(&["--gemm"]),
+            Err(CliError::MissingValue("--gemm".to_owned()))
+        );
+        // Engine *names* (avx2, avx512) are not policies: the policy vocabulary is
+        // the four documented words, so a pasted engine label fails loudly.
+        for bad in ["", "FMA", "avx2", "avx512", "vector", "simd"] {
+            assert_eq!(
+                parse_strs(&["--gemm", bad]),
+                Err(CliError::InvalidValue {
+                    flag: "--gemm".to_owned(),
+                    value: bad.to_owned()
+                }),
+                "--gemm {bad:?} should be rejected"
+            );
+        }
+        let msg = parse_strs(&["--gemm", "avx2"]).unwrap_err().to_string();
+        assert!(
+            msg.contains("--gemm")
+                && msg.contains("scalar")
+                && msg.contains("reference")
+                && msg.contains("fma"),
+            "{msg}"
+        );
+    }
+
+    #[test]
     fn usage_advertises_inputs_only_where_accepted() {
         assert!(usage(true).contains("[FILE]"));
         assert!(!usage(false).contains("FILE"));
@@ -638,6 +730,7 @@ mod tests {
         assert!(usage(false).contains("--ring"));
         assert!(usage(false).contains("--tenants"));
         assert!(usage(false).contains("--crypto"));
+        assert!(usage(false).contains("--gemm"));
     }
 
     #[test]

@@ -371,6 +371,7 @@ pub fn pipeline_point(
             pipeline: PipelineMode::Sync,
             ring_depth: plinius::ring_depth_from_env(),
             crypto: plinius::EnginePolicy::from_env(),
+            gemm: plinius::GemmPolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 12,

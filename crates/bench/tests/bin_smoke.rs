@@ -259,6 +259,53 @@ fn crypto_flag_with_an_invalid_value_aborts() {
 }
 
 #[test]
+fn gemm_flag_is_accepted_by_the_smoke_run() {
+    // `--gemm E` is the CLI face of PLINIUS_GEMM: the bins must run normally
+    // with an explicitly pinned GEMM engine, in both flag forms.
+    run_smoke(
+        env!("CARGO_BIN_EXE_fig6_sps"),
+        &["--smoke", "--gemm", "scalar"],
+    );
+    run_smoke(
+        env!("CARGO_BIN_EXE_fig7_mirroring"),
+        &["--smoke", "--gemm=reference"],
+    );
+}
+
+#[test]
+fn gemm_flag_without_a_value_aborts() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fig6_sps"))
+        .args(["--smoke", "--gemm"])
+        .output()
+        .expect("failed to spawn fig6_sps");
+    assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--gemm") && stderr.contains("usage:"),
+        "stderr did not explain the missing value:\n{stderr}"
+    );
+    assert!(output.stdout.is_empty(), "a rejected run must not start");
+}
+
+#[test]
+fn gemm_flag_with_an_invalid_value_aborts() {
+    // Unlike the lenient env var (unknown values fall back to auto-detection),
+    // an explicit CLI engine must be exact: no engine labels, no case folding.
+    for bad in ["avx2", "FMA", "vector"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_fig6_sps"))
+            .args(["--smoke", "--gemm", bad])
+            .output()
+            .expect("failed to spawn fig6_sps");
+        assert_eq!(output.status.code(), Some(2), "{:?}", output.status);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("invalid value") && stderr.contains("--gemm"),
+            "stderr did not explain the invalid value:\n{stderr}"
+        );
+    }
+}
+
+#[test]
 fn help_flag_prints_usage_and_exits_cleanly() {
     let output = Command::new(env!("CARGO_BIN_EXE_fig9_crash"))
         .arg("--help")

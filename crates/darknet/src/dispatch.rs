@@ -1,0 +1,358 @@
+//! Runtime selection of the GEMM / vector-kernel engine.
+//!
+//! A family of register-tiled vector kernels backs [`crate::matrix::gemm`] and the
+//! AXPY/SCAL/DOT helpers, all consuming the same packed op(A)/op(B) panels:
+//!
+//! * **avx512** ([`GemmKind::Avx512`]) — a 6×32 C tile held in ZMM accumulators,
+//!   on `x86_64` hosts whose CPU reports `avx512f` at runtime. The lanes run
+//!   `mul` + `add` separately — the same IEEE rounding per element as the scalar
+//!   kernel — so its output is **bit-identical** to `scalar` by construction;
+//! * **avx2** ([`GemmKind::Avx2`]) — the same microkernel shape at YMM width
+//!   (6×16 C tile), for CPUs with `avx2` but not AVX-512; also `mul`+`add`
+//!   lanes, also bit-identical;
+//! * **avx512+fma** / **avx2+fma** ([`GemmKind::Avx512Fma`] / [`GemmKind::Avx2Fma`])
+//!   — the same tiles with fused multiply-adds (`vfmadd`), opt-in because the
+//!   fused rounding changes last-bit results (differential tests bound the
+//!   drift, see `tests/proptest_gemm.rs`);
+//! * **scalar** ([`GemmKind::Scalar`]) — the blocked, cache-aware portable kernel,
+//!   compiled and tested everywhere;
+//! * **reference** ([`GemmKind::Reference`]) — the naive triple-loop kernel, the
+//!   easy-to-audit ground truth for differential testing.
+//!
+//! The policy defaults to [`GemmPolicy::Auto`] (AVX2 when detected, scalar
+//! otherwise) and can be overridden with the `PLINIUS_GEMM` environment variable —
+//! the same knob shape as `PLINIUS_CRYPTO`/`PLINIUS_THREADS`. An unset or
+//! unparsable value falls back to `auto`; strict validation (exit 2) lives in the
+//! bench CLI, which writes this variable from its `--gemm` flag.
+//!
+//! The engine-specific tuning constants live here too: the register-tile width and
+//! the minimum work product before [`crate::matrix::gemm`] fans out across threads
+//! are properties of the *kernel*, not of the call site (the vector kernels chew
+//! through small products so fast that forking threads pays off later).
+
+use std::fmt;
+
+/// Environment variable overriding the GEMM-engine policy
+/// (`auto` | `scalar` | `reference` | `fma`).
+pub const GEMM_ENV: &str = "PLINIUS_GEMM";
+
+/// Which engine the caller *requests*. Resolved to a [`GemmKind`] against the
+/// running CPU via [`GemmPolicy::select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmPolicy {
+    /// The widest bit-identical vector kernel the CPU supports (AVX-512, then
+    /// AVX2), scalar otherwise (the default). Bit-identical to `scalar` either way.
+    #[default]
+    Auto,
+    /// Force the blocked portable kernel even on AVX2-capable hosts.
+    Scalar,
+    /// Force the naive triple-loop kernel (much slower; for differential testing
+    /// and auditing only).
+    Reference,
+    /// Opt into fused multiply-adds at the widest width the CPU has (falling back
+    /// through the bit-identical vector kernels to scalar). Fastest, but trades
+    /// the last-bit identity contract for ULP-bounded agreement.
+    Fma,
+}
+
+impl GemmPolicy {
+    /// The accepted spellings, in the order shown by help text.
+    pub const NAMES: [&'static str; 4] = ["auto", "scalar", "reference", "fma"];
+
+    /// Parses a policy name as used by `PLINIUS_GEMM` and `--gemm`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(GemmPolicy::Auto),
+            "scalar" => Some(GemmPolicy::Scalar),
+            "reference" => Some(GemmPolicy::Reference),
+            "fma" => Some(GemmPolicy::Fma),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of this policy.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GemmPolicy::Auto => "auto",
+            GemmPolicy::Scalar => "scalar",
+            GemmPolicy::Reference => "reference",
+            GemmPolicy::Fma => "fma",
+        }
+    }
+
+    /// Reads the policy from `PLINIUS_GEMM`. Unset, empty or unparsable values fall
+    /// back to [`GemmPolicy::Auto`] (the lenient env-knob contract shared with
+    /// `PLINIUS_CRYPTO`/`PLINIUS_RING`; the bench CLI validates strictly before
+    /// setting it).
+    pub fn from_env() -> Self {
+        std::env::var(GEMM_ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Resolves the policy against the running CPU. `Auto` picks the widest
+    /// bit-identical kernel; `Fma` picks the widest fused kernel and degrades
+    /// gracefully on hosts without fused units — through the bit-identical vector
+    /// kernels down to scalar — so an opted-in binary still runs everywhere.
+    pub fn select(self) -> GemmKind {
+        match self {
+            GemmPolicy::Auto => {
+                if avx512_available() {
+                    GemmKind::Avx512
+                } else if avx2_available() {
+                    GemmKind::Avx2
+                } else {
+                    GemmKind::Scalar
+                }
+            }
+            GemmPolicy::Scalar => GemmKind::Scalar,
+            GemmPolicy::Reference => GemmKind::Reference,
+            GemmPolicy::Fma => {
+                if avx512_available() {
+                    GemmKind::Avx512Fma
+                } else if fma_available() {
+                    GemmKind::Avx2Fma
+                } else if avx2_available() {
+                    GemmKind::Avx2
+                } else {
+                    GemmKind::Scalar
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for GemmPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which concrete kernel family a GEMM call (or a [`crate::Network`]) ended up with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmKind {
+    /// Register-tiled AVX-512 microkernel, `mul`+`add` lanes (bit-identical to scalar).
+    Avx512,
+    /// Register-tiled AVX-512 microkernel with fused multiply-adds (ULP-bounded).
+    Avx512Fma,
+    /// Register-tiled AVX2 microkernel, `mul`+`add` lanes (bit-identical to scalar).
+    Avx2,
+    /// Register-tiled AVX2 microkernel with fused multiply-adds (ULP-bounded).
+    Avx2Fma,
+    /// Blocked, cache-aware portable kernel.
+    Scalar,
+    /// Naive triple-loop reference kernel.
+    Reference,
+}
+
+impl GemmKind {
+    /// Short label used in stats, bench output and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmKind::Avx512 => "avx512",
+            GemmKind::Avx512Fma => "avx512+fma",
+            GemmKind::Avx2 => "avx2",
+            GemmKind::Avx2Fma => "avx2+fma",
+            GemmKind::Scalar => "scalar",
+            GemmKind::Reference => "reference",
+        }
+    }
+
+    /// Width (in `f32` lanes) of the register-resident C tile of this engine's
+    /// inner kernel. The scalar kernel streams 32-wide accumulator strips (eight
+    /// SSE-width chains, enough to hide FP-add latency without spilling); the AVX2
+    /// microkernels hold a 6×16 tile in twelve YMM accumulators, the AVX-512 ones
+    /// a 6×32 tile in twelve ZMM accumulators.
+    pub const fn tile_width(self) -> usize {
+        match self {
+            GemmKind::Avx2 | GemmKind::Avx2Fma => 16,
+            GemmKind::Avx512 | GemmKind::Avx512Fma => 32,
+            GemmKind::Scalar | GemmKind::Reference => 32,
+        }
+    }
+
+    /// Minimum `m * n * k` product before [`crate::matrix::gemm`] dispatches across
+    /// threads with this engine; below it the scoped-thread fork/join overhead
+    /// outweighs the kernel work. The vector kernels finish small products so much
+    /// faster that their threshold sits one doubling higher.
+    pub const fn par_min_work(self) -> usize {
+        match self {
+            GemmKind::Avx512 | GemmKind::Avx512Fma | GemmKind::Avx2 | GemmKind::Avx2Fma => 1 << 21,
+            GemmKind::Scalar | GemmKind::Reference => 1 << 20,
+        }
+    }
+}
+
+impl fmt::Display for GemmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the AVX2 kernels can run on this host: an `x86_64` CPU reporting the
+/// `avx2` feature at runtime.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the AVX-512 kernels can run on this host: an `x86_64` CPU reporting the
+/// `avx512f` feature at runtime (which covers both the `mul`+`add` and the fused
+/// 512-bit kernels).
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the 256-bit fused-multiply-add kernels can run on this host: an `x86_64`
+/// CPU reporting both the `avx2` and `fma` features at runtime.
+pub fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The engine an env-dispatching GEMM call would select right now (environment
+/// policy resolved against the running CPU).
+pub fn selected_gemm() -> GemmKind {
+    GemmPolicy::from_env().select()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that mutate `PLINIUS_GEMM` (the variable is
+    /// process-global; every other test in this crate pins engines explicitly
+    /// through the `*_with_engine` entry points, so only these tests race on it).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    struct EnvGuard(Option<String>);
+
+    impl EnvGuard {
+        fn set(value: &str) -> Self {
+            let prev = std::env::var(GEMM_ENV).ok();
+            std::env::set_var(GEMM_ENV, value);
+            EnvGuard(prev)
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.0 {
+                Some(v) => std::env::set_var(GEMM_ENV, v),
+                None => std::env::remove_var(GEMM_ENV),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_exactly_the_four_policies() {
+        assert_eq!(GemmPolicy::parse("auto"), Some(GemmPolicy::Auto));
+        assert_eq!(GemmPolicy::parse("scalar"), Some(GemmPolicy::Scalar));
+        assert_eq!(GemmPolicy::parse("reference"), Some(GemmPolicy::Reference));
+        assert_eq!(GemmPolicy::parse("fma"), Some(GemmPolicy::Fma));
+        for bad in ["", "AUTO", "avx2", "simd", "fast", " scalar", "FMA"] {
+            assert_eq!(GemmPolicy::parse(bad), None, "{bad:?} must not parse");
+        }
+        for name in GemmPolicy::NAMES {
+            assert_eq!(GemmPolicy::parse(name).unwrap().as_str(), name);
+        }
+    }
+
+    #[test]
+    fn explicit_policies_ignore_hardware_detection() {
+        assert_eq!(GemmPolicy::Scalar.select(), GemmKind::Scalar);
+        assert_eq!(GemmPolicy::Reference.select(), GemmKind::Reference);
+        let auto = GemmPolicy::Auto.select();
+        if avx512_available() {
+            assert_eq!(auto, GemmKind::Avx512);
+        } else if avx2_available() {
+            assert_eq!(auto, GemmKind::Avx2);
+        } else {
+            assert_eq!(auto, GemmKind::Scalar);
+        }
+        let fma = GemmPolicy::Fma.select();
+        if avx512_available() {
+            assert_eq!(fma, GemmKind::Avx512Fma);
+        } else if fma_available() {
+            assert_eq!(fma, GemmKind::Avx2Fma);
+        } else if avx2_available() {
+            assert_eq!(fma, GemmKind::Avx2);
+        } else {
+            assert_eq!(fma, GemmKind::Scalar);
+        }
+    }
+
+    #[test]
+    fn engine_tuning_constants_are_engine_specific() {
+        // The hoisted constants keep the scalar kernel's historical values and give
+        // the register-tiled kernels their own (see the satellite contract: tile
+        // shape is a property of the kernel, not the call site).
+        assert_eq!(GemmKind::Scalar.tile_width(), 32);
+        assert_eq!(GemmKind::Reference.tile_width(), 32);
+        assert_eq!(GemmKind::Scalar.par_min_work(), 1 << 20);
+        assert_eq!(GemmKind::Avx2.tile_width(), 16);
+        assert_eq!(GemmKind::Avx2Fma.tile_width(), 16);
+        assert_eq!(GemmKind::Avx512.tile_width(), 32);
+        assert_eq!(GemmKind::Avx512Fma.tile_width(), 32);
+        assert!(GemmKind::Avx2.par_min_work() > GemmKind::Scalar.par_min_work());
+        assert!(GemmKind::Avx512.par_min_work() > GemmKind::Scalar.par_min_work());
+    }
+
+    #[test]
+    fn env_scalar_forces_the_scalar_engine_even_when_avx2_is_detected() {
+        let _lock = ENV_LOCK.lock().unwrap();
+        let _guard = EnvGuard::set("scalar");
+        assert_eq!(GemmPolicy::from_env(), GemmPolicy::Scalar);
+        assert_eq!(selected_gemm(), GemmKind::Scalar);
+    }
+
+    #[test]
+    fn env_fma_reference_and_garbage_behave_as_documented() {
+        let _lock = ENV_LOCK.lock().unwrap();
+        {
+            let _guard = EnvGuard::set("reference");
+            assert_eq!(selected_gemm(), GemmKind::Reference);
+        }
+        {
+            let _guard = EnvGuard::set("fma");
+            assert_eq!(selected_gemm(), GemmPolicy::Fma.select());
+        }
+        {
+            // Lenient env contract: garbage falls back to auto instead of erroring
+            // (strict validation happens in the bench CLI before the env is set).
+            let _guard = EnvGuard::set("not-an-engine");
+            assert_eq!(GemmPolicy::from_env(), GemmPolicy::Auto);
+        }
+    }
+
+    #[test]
+    fn names_display_and_hash_are_stable() {
+        assert_eq!(GemmKind::Avx512.name(), "avx512");
+        assert_eq!(GemmKind::Avx512Fma.name(), "avx512+fma");
+        assert_eq!(GemmKind::Avx2.name(), "avx2");
+        assert_eq!(GemmKind::Avx2Fma.name(), "avx2+fma");
+        assert_eq!(GemmKind::Scalar.to_string(), "scalar");
+        assert_eq!(GemmPolicy::Fma.to_string(), "fma");
+    }
+}

@@ -1,8 +1,9 @@
 //! Fully connected (dense) layer.
 
 use crate::activation::Activation;
-use crate::layers::{ParamView, UpdateArgs, PARAM_TENSOR_NAMES};
-use crate::matrix::{axpy, gemm, scal};
+use crate::dispatch::{selected_gemm, GemmKind};
+use crate::layers::{layer_gemm, ParamView, UpdateArgs, PARAM_TENSOR_NAMES};
+use crate::matrix::{axpy_with_engine, scal_with_engine};
 use rand::Rng;
 
 /// A fully connected layer: `y = act(W x + b)` with `W` of shape `outputs x inputs`.
@@ -20,6 +21,10 @@ pub struct ConnectedLayer {
     rolling_variance: Vec<f32>,
     output: Vec<f32>,
     delta: Vec<f32>,
+    /// Resolved GEMM engine for every kernel this layer runs. Set from the
+    /// environment policy at construction; re-settable through
+    /// [`crate::Network::set_gemm_policy`].
+    engine: GemmKind,
 }
 
 impl ConnectedLayer {
@@ -56,7 +61,18 @@ impl ConnectedLayer {
             rolling_variance: vec![1.0; outputs],
             output: vec![0.0; outputs * batch],
             delta: vec![0.0; outputs * batch],
+            engine: selected_gemm(),
         }
+    }
+
+    /// The GEMM engine this layer's kernels run on.
+    pub fn gemm_engine(&self) -> GemmKind {
+        self.engine
+    }
+
+    /// Pins the GEMM engine for every kernel this layer runs.
+    pub fn set_gemm_engine(&mut self, engine: GemmKind) {
+        self.engine = engine;
     }
 
     /// Number of inputs per sample.
@@ -96,7 +112,8 @@ impl ConnectedLayer {
         let out = &mut self.output[..batch * self.outputs];
         out.iter_mut().for_each(|o| *o = 0.0);
         // output (batch x outputs) = input (batch x inputs) * W^T (inputs x outputs)
-        gemm(
+        layer_gemm(
+            self.engine,
             false,
             true,
             batch,
@@ -140,7 +157,8 @@ impl ConnectedLayer {
             }
         }
         // weight_updates (outputs x inputs) += delta^T (outputs x batch) * input (batch x inputs)
-        gemm(
+        layer_gemm(
+            self.engine,
             true,
             false,
             self.outputs,
@@ -157,7 +175,8 @@ impl ConnectedLayer {
         );
         if let Some(prev) = prev_delta {
             // prev_delta (batch x inputs) += delta (batch x outputs) * W (outputs x inputs)
-            gemm(
+            layer_gemm(
+                self.engine,
                 false,
                 false,
                 batch,
@@ -178,19 +197,26 @@ impl ConnectedLayer {
     /// Applies accumulated gradients (SGD + momentum + decay, Darknet convention).
     pub fn update(&mut self, args: &UpdateArgs) {
         let batch = args.batch.max(1) as f32;
-        axpy(
+        axpy_with_engine(
+            self.engine,
             args.learning_rate / batch,
             &self.bias_updates,
             &mut self.biases,
         );
-        scal(args.momentum, &mut self.bias_updates);
-        axpy(-args.decay * batch, &self.weights, &mut self.weight_updates);
-        axpy(
+        scal_with_engine(self.engine, args.momentum, &mut self.bias_updates);
+        axpy_with_engine(
+            self.engine,
+            -args.decay * batch,
+            &self.weights,
+            &mut self.weight_updates,
+        );
+        axpy_with_engine(
+            self.engine,
             args.learning_rate / batch,
             &self.weight_updates,
             &mut self.weights,
         );
-        scal(args.momentum, &mut self.weight_updates);
+        scal_with_engine(self.engine, args.momentum, &mut self.weight_updates);
     }
 
     /// Output buffer of the latest forward pass.

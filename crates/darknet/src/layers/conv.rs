@@ -8,8 +8,12 @@
 //! for every thread count.
 
 use crate::activation::Activation;
-use crate::layers::{ParamView, UpdateArgs, PARAM_TENSOR_NAMES};
-use crate::matrix::{axpy, col2im, conv_out_dim, gemm, gemm_with_threads, im2col, scal};
+use crate::dispatch::{selected_gemm, GemmKind};
+use crate::layers::{layer_gemm, ParamView, UpdateArgs, PARAM_TENSOR_NAMES};
+use crate::matrix::{
+    axpy_with_engine, col2im, conv_out_dim, gemm_with_engine, im2col, scal_with_engine,
+    GEMM_DEFAULT_KC,
+};
 use rand::Rng;
 use std::cell::RefCell;
 
@@ -62,6 +66,10 @@ pub struct ConvLayer {
     output: Vec<f32>,
     delta: Vec<f32>,
     col_buffer: Vec<f32>,
+    /// Resolved GEMM engine for every kernel this layer runs. Set from the
+    /// `PLINIUS_GEMM` policy at construction, re-settable through
+    /// [`crate::Network::set_gemm_policy`].
+    engine: GemmKind,
 }
 
 impl ConvLayer {
@@ -118,7 +126,18 @@ impl ConvLayer {
             output: vec![0.0; outputs * batch],
             delta: vec![0.0; outputs * batch],
             col_buffer: vec![0.0; in_c * ksize * ksize * out_h * out_w],
+            engine: selected_gemm(),
         }
+    }
+
+    /// The GEMM engine this layer's kernels run on.
+    pub fn gemm_engine(&self) -> GemmKind {
+        self.engine
+    }
+
+    /// Pins the GEMM engine for every kernel this layer runs.
+    pub fn set_gemm_engine(&mut self, engine: GemmKind) {
+        self.engine = engine;
     }
 
     /// Number of inputs per sample.
@@ -187,6 +206,7 @@ impl ConvLayer {
             let weights = &self.weights;
             let biases = &self.biases;
             let activation = self.activation;
+            let engine = self.engine;
             let (in_c, in_h, in_w) = (self.in_c, self.in_h, self.in_w);
             let (ksize, stride, pad) = (self.ksize, self.stride, self.pad);
             plinius_parallel::par_chunks_mut(
@@ -200,8 +220,23 @@ impl ConvLayer {
                         col.resize(k * n, 0.0);
                         im2col(sample, in_c, in_h, in_w, ksize, stride, pad, &mut col);
                         out.iter_mut().for_each(|o| *o = 0.0);
-                        gemm_with_threads(
-                            1, false, false, m, n, k, 1.0, weights, k, &col, n, 0.0, out, n,
+                        gemm_with_engine(
+                            engine,
+                            1,
+                            GEMM_DEFAULT_KC,
+                            false,
+                            false,
+                            m,
+                            n,
+                            k,
+                            1.0,
+                            weights,
+                            k,
+                            &col,
+                            n,
+                            0.0,
+                            out,
+                            n,
                         );
                     });
                     forward_epilogue(out, biases, n, activation);
@@ -224,7 +259,8 @@ impl ConvLayer {
                 out.iter_mut().for_each(|o| *o = 0.0);
                 // Row-band parallelism inside the GEMM still applies (e.g. single-
                 // sample inference on a large layer); results are thread-invariant.
-                gemm(
+                layer_gemm(
+                    self.engine,
                     false,
                     false,
                     m,
@@ -279,7 +315,8 @@ impl ConvLayer {
                 &mut self.col_buffer,
             );
             // weight_updates += delta * col^T
-            gemm(
+            layer_gemm(
+                self.engine,
                 false,
                 true,
                 m,
@@ -297,7 +334,8 @@ impl ConvLayer {
             if let Some(prev) = prev_delta.as_deref_mut() {
                 // col_delta = W^T * delta, then scatter back to image space.
                 col_delta.iter_mut().for_each(|v| *v = 0.0);
-                gemm(
+                layer_gemm(
+                    self.engine,
                     true,
                     false,
                     k,
@@ -331,19 +369,26 @@ impl ConvLayer {
     /// update rule; `delta` holds the negative gradient so updates are additive).
     pub fn update(&mut self, args: &UpdateArgs) {
         let batch = args.batch.max(1) as f32;
-        axpy(
+        axpy_with_engine(
+            self.engine,
             args.learning_rate / batch,
             &self.bias_updates,
             &mut self.biases,
         );
-        scal(args.momentum, &mut self.bias_updates);
-        axpy(-args.decay * batch, &self.weights, &mut self.weight_updates);
-        axpy(
+        scal_with_engine(self.engine, args.momentum, &mut self.bias_updates);
+        axpy_with_engine(
+            self.engine,
+            -args.decay * batch,
+            &self.weights,
+            &mut self.weight_updates,
+        );
+        axpy_with_engine(
+            self.engine,
             args.learning_rate / batch,
             &self.weight_updates,
             &mut self.weights,
         );
-        scal(args.momentum, &mut self.weight_updates);
+        scal_with_engine(self.engine, args.momentum, &mut self.weight_updates);
     }
 
     /// Output buffer of the latest forward pass.

@@ -13,7 +13,57 @@ pub use conv::ConvLayer;
 pub use maxpool::MaxPoolLayer;
 pub use softmax::SoftmaxLayer;
 
+use crate::dispatch::GemmKind;
+use crate::matrix::{gemm_with_engine, GEMM_DEFAULT_KC};
 use std::fmt;
+
+/// [`crate::matrix::gemm`] with the engine pinned instead of re-resolved from the
+/// environment: the layer hot paths capture the engine once at construction (or via
+/// [`Layer::set_gemm_engine`]) so a mid-training env change cannot mix kernels within
+/// one iteration. Threading mirrors `gemm`: fan out only past the engine's
+/// [`GemmKind::par_min_work`] product.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn layer_gemm(
+    engine: GemmKind,
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let threads = if work < engine.par_min_work() {
+        1
+    } else {
+        plinius_parallel::max_threads()
+    };
+    gemm_with_engine(
+        engine,
+        threads,
+        GEMM_DEFAULT_KC,
+        ta,
+        tb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+    );
+}
 
 /// Hyper-parameters used when applying accumulated gradients.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -231,6 +281,25 @@ impl Layer {
                     "non-trainable layer received parameters"
                 );
             }
+        }
+    }
+
+    /// Pins the GEMM engine for the layer's kernels (no-op for layers without GEMM,
+    /// i.e. pooling and softmax).
+    pub fn set_gemm_engine(&mut self, engine: GemmKind) {
+        match self {
+            Layer::Convolutional(l) => l.set_gemm_engine(engine),
+            Layer::Connected(l) => l.set_gemm_engine(engine),
+            Layer::MaxPool(_) | Layer::Softmax(_) => {}
+        }
+    }
+
+    /// The GEMM engine the layer's kernels run on, `None` for layers without GEMM.
+    pub fn gemm_engine(&self) -> Option<GemmKind> {
+        match self {
+            Layer::Convolutional(l) => Some(l.gemm_engine()),
+            Layer::Connected(l) => Some(l.gemm_engine()),
+            Layer::MaxPool(_) | Layer::Softmax(_) => None,
         }
     }
 

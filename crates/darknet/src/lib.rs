@@ -31,7 +31,10 @@
 //! # Ok::<(), plinius_darknet::DarknetError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` kernel module is the one place allowed
+// to opt back in (module-scoped `allow`, see its safety contract); everything
+// else in the crate still refuses `unsafe`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::error::Error;
@@ -40,9 +43,12 @@ use std::fmt;
 pub mod activation;
 pub mod config;
 pub mod data;
+pub mod dispatch;
 pub mod layers;
 pub mod matrix;
 pub mod network;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 pub use activation::Activation;
 pub use config::{
@@ -50,6 +56,9 @@ pub use config::{
     sized_model_config,
 };
 pub use data::{synthetic_images, synthetic_mnist, Dataset};
+pub use dispatch::{
+    avx2_available, avx512_available, fma_available, selected_gemm, GemmKind, GemmPolicy, GEMM_ENV,
+};
 pub use layers::{Layer, LayerKind, ParamView, UpdateArgs, PARAM_TENSORS_PER_LAYER};
 pub use matrix::Matrix;
 pub use network::{Network, NetworkConfig};

@@ -3,6 +3,7 @@
 //! representation the original C framework uses, which keeps the port to the (simulated)
 //! enclave straightforward.
 
+use crate::dispatch::{selected_gemm, GemmKind};
 use rand::Rng;
 use std::fmt;
 
@@ -141,32 +142,87 @@ impl fmt::Display for Matrix {
     }
 }
 
-/// `y += alpha * x` (the BLAS AXPY kernel).
+/// `y += alpha * x` (the BLAS AXPY kernel), engine from the `PLINIUS_GEMM` policy.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    axpy_with_engine(selected_gemm(), alpha, x, y);
+}
+
+/// [`axpy`] with an explicit engine. AXPY is elementwise (one `mul`, one `add` per
+/// element), so the `avx2` lanes are bit-identical to the scalar loop; only the
+/// opt-in `fma` engine fuses the rounding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy_with_engine(engine: GemmKind, alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    match engine {
+        GemmKind::Avx512 => return crate::simd::axpy_avx512(alpha, x, y),
+        GemmKind::Avx512Fma => return crate::simd::axpy_avx512_fma(alpha, x, y),
+        GemmKind::Avx2 => return crate::simd::axpy_avx2(alpha, x, y),
+        GemmKind::Avx2Fma => return crate::simd::axpy_avx2_fma(alpha, x, y),
+        GemmKind::Scalar | GemmKind::Reference => {}
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = engine;
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
     }
 }
 
-/// `x *= alpha` (the BLAS SCAL kernel).
+/// `x *= alpha` (the BLAS SCAL kernel), engine from the `PLINIUS_GEMM` policy.
 pub fn scal(alpha: f32, x: &mut [f32]) {
+    scal_with_engine(selected_gemm(), alpha, x);
+}
+
+/// [`scal`] with an explicit engine. A single multiply per element, so every engine
+/// (the vector ones included) produces bit-identical output.
+pub fn scal_with_engine(engine: GemmKind, alpha: f32, x: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    match engine {
+        GemmKind::Avx512 | GemmKind::Avx512Fma => return crate::simd::scal_avx512(alpha, x),
+        GemmKind::Avx2 | GemmKind::Avx2Fma => return crate::simd::scal_avx2(alpha, x),
+        GemmKind::Scalar | GemmKind::Reference => {}
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = engine;
     for xi in x.iter_mut() {
         *xi *= alpha;
     }
 }
 
-/// Dot product of two equally long slices.
+/// Dot product of two equally long slices, engine from the `PLINIUS_GEMM` policy.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    dot_with_engine(selected_gemm(), x, y)
+}
+
+/// [`dot`] with an explicit engine. DOT is a *reduction*: vector lanes would
+/// reassociate the sum and break the bit-identity contract, so the `avx2` engine
+/// keeps the scalar left-to-right accumulation and only the opt-in `fma` engine
+/// uses the fused eight-partial-sum kernel (deterministic, ULP-bounded).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_with_engine(engine: GemmKind, x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    match engine {
+        GemmKind::Avx512Fma => return crate::simd::dot_avx512_fma(x, y),
+        GemmKind::Avx2Fma => return crate::simd::dot_avx2_fma(x, y),
+        GemmKind::Avx512 | GemmKind::Avx2 | GemmKind::Scalar | GemmKind::Reference => {}
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = engine;
     x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
 }
 
@@ -176,22 +232,23 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
 /// order over `p` is preserved across block boundaries).
 pub const GEMM_DEFAULT_KC: usize = 128;
 
-/// Minimum `m * n * k` product before [`gemm`] dispatches across threads; below it the
-/// scoped-thread fork/join overhead outweighs the kernel work.
-const GEMM_PAR_MIN_WORK: usize = 1 << 20;
-
 /// General matrix multiply: `C = alpha * op(A) * op(B) + beta * C`, where `op` optionally
 /// transposes its argument. `A` is `m x k` (after `op`), `B` is `k x n`, `C` is `m x n`,
 /// all row-major with the given leading dimensions.
 ///
 /// This is the blocked, cache-aware kernel: the `op(A)`/`op(B)` panels are packed into
 /// contiguous buffers once (with `alpha` folded into the `A` panel), then an `ikj`-order
-/// loop runs over `KC`-sized k-blocks. Large products are dispatched across row bands on
-/// scoped threads (worker count from [`plinius_parallel::max_threads`], override with
-/// `PLINIUS_THREADS`). The result is **bit-identical for every thread count and block
-/// size** (the same compiled kernel runs in every configuration), and matches
-/// [`gemm_reference`] exactly for all finite results: every `C[i][j]` accumulates the
-/// same terms in the same order with no FMA contraction or reassociation. The one
+/// loop runs over `KC`-sized k-blocks with the engine's inner kernel — the register-tiled
+/// AVX2 microkernel when the `PLINIUS_GEMM` policy resolves to it (see
+/// [`crate::dispatch`]), the portable 32-wide-strip kernel otherwise. Large products are
+/// dispatched across row bands on scoped threads (worker count from
+/// [`plinius_parallel::max_threads`], override with `PLINIUS_THREADS`; the minimum work
+/// product before fanning out is engine-specific, [`GemmKind::par_min_work`]). The
+/// result is **bit-identical for every thread count, block size, and every engine except
+/// the opt-in `fma` one** — the `avx2` lanes run the same `mul`-then-`add` roundings in
+/// the same ascending-`p` order as the scalar kernel — and matches [`gemm_reference`]
+/// exactly for all finite results: every `C[i][j]` accumulates the same terms in the
+/// same order with no reassociation (and no FMA contraction outside `fma`). The one
 /// reference-comparison caveat: when inputs contain NaN/Inf, which values are NaN is
 /// identical but their *payload/sign bits* may differ from the reference, because the
 /// two kernels compile to different instruction schedules and the hardware propagates
@@ -216,14 +273,30 @@ pub fn gemm(
     c: &mut [f32],
     ldc: usize,
 ) {
+    let engine = selected_gemm();
     let work = m.saturating_mul(n).saturating_mul(k);
-    let threads = if work < GEMM_PAR_MIN_WORK {
+    let threads = if work < engine.par_min_work() {
         1
     } else {
         plinius_parallel::max_threads()
     };
-    gemm_with_threads(
-        threads, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+    gemm_with_engine(
+        engine,
+        threads,
+        GEMM_DEFAULT_KC,
+        ta,
+        tb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
     );
 }
 
@@ -250,7 +323,8 @@ pub fn gemm_with_threads(
     c: &mut [f32],
     ldc: usize,
 ) {
-    gemm_tuned(
+    gemm_with_engine(
+        selected_gemm(),
         threads,
         GEMM_DEFAULT_KC,
         ta,
@@ -294,6 +368,82 @@ pub fn gemm_tuned(
     c: &mut [f32],
     ldc: usize,
 ) {
+    gemm_with_engine(
+        selected_gemm(),
+        threads,
+        kc,
+        ta,
+        tb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+    );
+}
+
+/// The fully explicit GEMM entry: engine, worker-thread count and k-block size all
+/// pinned by the caller. This is what the env-dispatching wrappers above resolve to,
+/// and what the differential tests drive directly.
+///
+/// [`GemmKind::Reference`] routes to [`gemm_reference`] (single-threaded, unblocked:
+/// `threads` and `kc` are ignored — the naive kernel is the ground truth, not a tuning
+/// target). All other engines share the pack + row-band path; only the inner band
+/// kernel differs. On non-`x86_64` targets the vector engines fall back to the scalar
+/// band kernel (the dispatcher never selects them there — this arm is belt and braces
+/// for callers pinning an engine explicitly).
+///
+/// # Panics
+///
+/// Panics if any buffer is too small for the requested shape, or `kc` is zero (with
+/// `k > 0` and a non-reference engine), or a vector engine is pinned on an `x86_64`
+/// CPU that does not report the matching feature.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_engine(
+    engine: GemmKind,
+    threads: usize,
+    kc: usize,
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    if engine == GemmKind::Reference {
+        gemm_reference(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        return;
+    }
+    // Inner band kernel: (ap, bp, k, n, kc, c_band, ldc) over packed panels.
+    type BandKernel = fn(&[f32], &[f32], usize, usize, usize, &mut [f32], usize);
+    let band: BandKernel = match engine {
+        GemmKind::Scalar | GemmKind::Reference => gemm_packed_band,
+        #[cfg(target_arch = "x86_64")]
+        GemmKind::Avx512 => crate::simd::gemm_packed_band_avx512,
+        #[cfg(target_arch = "x86_64")]
+        GemmKind::Avx512Fma => crate::simd::gemm_packed_band_avx512_fma,
+        #[cfg(target_arch = "x86_64")]
+        GemmKind::Avx2 => crate::simd::gemm_packed_band_avx2,
+        #[cfg(target_arch = "x86_64")]
+        GemmKind::Avx2Fma => crate::simd::gemm_packed_band_avx2_fma,
+        #[cfg(not(target_arch = "x86_64"))]
+        GemmKind::Avx512 | GemmKind::Avx512Fma | GemmKind::Avx2 | GemmKind::Avx2Fma => {
+            gemm_packed_band
+        }
+    };
     assert!(
         c.len() >= (m.saturating_sub(1)) * ldc + n,
         "C buffer too small"
@@ -330,16 +480,16 @@ pub fn gemm_tuned(
     let c_rows = &mut c[..(m - 1) * ldc + n];
     let threads = threads.clamp(1, m);
     if threads == 1 {
-        gemm_packed_band(&ap, bp, k, n, kc, c_rows, ldc);
+        band(&ap, bp, k, n, kc, c_rows, ldc);
         return;
     }
     let rows_per_band = m.div_ceil(threads);
     let ap = &ap;
-    plinius_parallel::par_chunks_mut(c_rows, rows_per_band * ldc, threads, |band, c_band| {
-        let first_row = band * rows_per_band;
+    plinius_parallel::par_chunks_mut(c_rows, rows_per_band * ldc, threads, |band_idx, c_band| {
+        let first_row = band_idx * rows_per_band;
         let rows = c_band.len().div_ceil(ldc);
         let ap_band = &ap[first_row * k..(first_row + rows) * k];
-        gemm_packed_band(ap_band, bp, k, n, kc, c_band, ldc);
+        band(ap_band, bp, k, n, kc, c_band, ldc);
     });
 }
 
@@ -386,9 +536,11 @@ fn pack_op_b(tb: bool, k: usize, n: usize, b: &[f32], ldb: usize) -> Vec<f32> {
     out
 }
 
-/// Width of the register-resident C tile of the inner kernel (in `f32` lanes): enough
-/// independent accumulator vectors to hide FP-add latency without spilling.
-const GEMM_TILE_W: usize = 32;
+/// Width of the register-resident C tile of the scalar inner kernel (in `f32` lanes):
+/// enough independent accumulator vectors to hide FP-add latency without spilling.
+/// Hoisted into the dispatch layer so each engine declares its own tile shape (the
+/// AVX2 microkernels use [`GemmKind::tile_width`] = 16).
+const GEMM_TILE_W: usize = GemmKind::Scalar.tile_width();
 
 /// The blocked inner kernel over one band of C rows: `kb`-blocked `i / j-tile / p`
 /// order with a register-resident accumulator tile. Each `GEMM_TILE_W`-wide strip of a

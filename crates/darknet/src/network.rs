@@ -2,6 +2,7 @@
 //! (iteration counter, SGD hyper-parameters), mirroring Darknet's `network` struct.
 
 use crate::data::Dataset;
+use crate::dispatch::{GemmKind, GemmPolicy};
 use crate::layers::{Layer, UpdateArgs};
 use crate::DarknetError;
 use std::fmt;
@@ -61,6 +62,10 @@ pub struct Network {
     iteration: u64,
     /// Loss of the most recent training batch.
     last_loss: f32,
+    /// Resolved GEMM engine every layer's kernels run on. Layers capture the engine at
+    /// construction from the `PLINIUS_GEMM` policy; [`Network::set_gemm_policy`]
+    /// re-resolves and re-pins it across the whole stack.
+    gemm: GemmKind,
 }
 
 impl Network {
@@ -97,7 +102,25 @@ impl Network {
             layers,
             iteration: 0,
             last_loss: f32::NAN,
+            gemm: crate::dispatch::selected_gemm(),
         })
+    }
+
+    /// The GEMM engine the network's layer kernels run on.
+    pub fn gemm_engine(&self) -> GemmKind {
+        self.gemm
+    }
+
+    /// Resolves `policy` against the host CPU and pins the resulting engine on every
+    /// layer, overriding whatever the layers captured from `PLINIUS_GEMM` at
+    /// construction. Used by the Plinius trainer so a [`GemmPolicy`] chosen through
+    /// configuration (rather than the environment) reaches the hot path.
+    pub fn set_gemm_policy(&mut self, policy: GemmPolicy) {
+        let engine = policy.select();
+        self.gemm = engine;
+        for layer in &mut self.layers {
+            layer.set_gemm_engine(engine);
+        }
     }
 
     /// The network configuration.
@@ -603,6 +626,28 @@ mod tests {
             serial.1, parallel.1,
             "weights diverged across thread counts"
         );
+    }
+
+    #[test]
+    fn set_gemm_policy_pins_every_layer() {
+        let mut net = tiny_cnn(1, 5);
+        net.set_gemm_policy(GemmPolicy::Scalar);
+        assert_eq!(net.gemm_engine(), GemmKind::Scalar);
+        for layer in net.layers() {
+            match layer.gemm_engine() {
+                Some(engine) => assert_eq!(engine, GemmKind::Scalar),
+                None => assert!(!layer.is_trainable()),
+            }
+        }
+        // Reference is always selectable too — it never falls back.
+        net.set_gemm_policy(GemmPolicy::Reference);
+        assert_eq!(net.gemm_engine(), GemmKind::Reference);
+        // Training still works on the pinned engine.
+        let mut images = vec![0.3f32; 64];
+        images[..16].iter_mut().for_each(|v| *v = 1.0);
+        let labels = vec![1.0, 0.0, 0.0];
+        let loss = net.train_batch(&images, &labels, 1).unwrap();
+        assert!(loss.is_finite());
     }
 
     #[test]

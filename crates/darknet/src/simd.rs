@@ -1,0 +1,655 @@
+//! AVX2 / AVX-512 vector kernels for the GEMM hot path and the AXPY/SCAL/DOT
+//! helpers.
+//!
+//! This is the one module in the crate allowed to contain `unsafe` code (the
+//! `std::arch` SIMD intrinsics and the bounds-check-free inner loops they feed);
+//! everything else stays `#![deny(unsafe_code)]`. The module is only compiled on
+//! `x86_64` and is only reachable through the safe wrappers at the bottom, which
+//! verify the CPU actually reports the required features before entering a
+//! `#[target_feature]` function.
+//!
+//! # Safety contract
+//!
+//! * Every `#[target_feature]` kernel is private and reachable only through a safe
+//!   wrapper that (a) asserts the matching `is_x86_feature_detected!` result and
+//!   (b) asserts the slice-length preconditions that make every index the kernel
+//!   computes in-bounds. The kernels themselves never grow an index past what the
+//!   wrapper checked.
+//! * All vector loads and stores go through the unaligned intrinsics
+//!   (`loadu`/`storeu`); no alignment is assumed anywhere.
+//! * No raw pointer escapes the slice it was derived from, and no pointer is held
+//!   across a reallocation (the kernels allocate nothing).
+//!
+//! # Bit-identity contract
+//!
+//! The `avx2` and `avx512` kernels are lane-parallel transcriptions of their
+//! scalar counterparts: each output element sees the exact same sequence of
+//! `mul`-then-`add` roundings, in the same ascending-`p` order — lane width only
+//! changes how many *elements* are in flight, never the per-element arithmetic —
+//! so their results are bit-identical to the scalar kernels by construction
+//! (proptests pin this). The `*+fma` kernels fuse the multiply-add with a single
+//! rounding, which changes last-bit results; they are opt-in via
+//! `PLINIUS_GEMM=fma` and covered by ULP-bounded differential tests instead.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps,
+    _mm256_setzero_ps, _mm256_storeu_ps, _mm512_add_ps, _mm512_fmadd_ps, _mm512_loadu_ps,
+    _mm512_mul_ps, _mm512_set1_ps, _mm512_setzero_ps, _mm512_storeu_ps,
+};
+
+/// Rows of the register-resident C microtile. Six rows of two accumulator vectors
+/// leave headroom for the B strips and the broadcast A element in both the
+/// 16-register YMM file and the 32-register ZMM file.
+const MR: usize = 6;
+
+// Width-tagged wrappers over the per-ISA intrinsics, so one `band_kernel!` body
+// expands to both the 8-lane (YMM) and 16-lane (ZMM) kernels.
+macro_rules! vzero {
+    (w8) => {
+        _mm256_setzero_ps()
+    };
+    (w16) => {
+        _mm512_setzero_ps()
+    };
+}
+macro_rules! vload {
+    (w8, $p:expr) => {
+        _mm256_loadu_ps($p)
+    };
+    (w16, $p:expr) => {
+        _mm512_loadu_ps($p)
+    };
+}
+macro_rules! vstore {
+    (w8, $p:expr, $v:expr) => {
+        _mm256_storeu_ps($p, $v)
+    };
+    (w16, $p:expr, $v:expr) => {
+        _mm512_storeu_ps($p, $v)
+    };
+}
+macro_rules! vset1 {
+    (w8, $x:expr) => {
+        _mm256_set1_ps($x)
+    };
+    (w16, $x:expr) => {
+        _mm512_set1_ps($x)
+    };
+}
+
+macro_rules! vmul {
+    (w8, $a:expr, $b:expr) => {
+        _mm256_mul_ps($a, $b)
+    };
+    (w16, $a:expr, $b:expr) => {
+        _mm512_mul_ps($a, $b)
+    };
+}
+
+/// One multiply-accumulate step, expanded per engine: `mul_add` issues separate
+/// `vmulps` + `vaddps` (two roundings — bit-identical to the scalar kernel),
+/// `fused` issues `vfmadd` (one rounding — faster, ULP-bounded).
+macro_rules! vmadd {
+    (w8, mul_add, $a:expr, $b:expr, $acc:expr) => {
+        _mm256_add_ps($acc, _mm256_mul_ps($a, $b))
+    };
+    (w8, fused, $a:expr, $b:expr, $acc:expr) => {
+        _mm256_fmadd_ps($a, $b, $acc)
+    };
+    (w16, mul_add, $a:expr, $b:expr, $acc:expr) => {
+        _mm512_add_ps($acc, _mm512_mul_ps($a, $b))
+    };
+    (w16, fused, $a:expr, $b:expr, $acc:expr) => {
+        _mm512_fmadd_ps($a, $b, $acc)
+    };
+}
+
+/// Generates one packed-panel band kernel. The signature and accumulation order
+/// mirror `matrix::gemm_packed_band` exactly: `ap` is the band's packed
+/// row-major `rows x k` op(A) panel (alpha already folded in), `bp` the packed
+/// `k x n` op(B) panel, and `c` the band's rows of C (`ldc` apart, last row `n`
+/// wide). Each C element accumulates its `k` products in ascending-`p` order —
+/// blocking and tiling only reorder *which element* is worked on, never the
+/// per-element order — which is what makes the `mul_add` expansion bit-identical
+/// to the scalar kernel.
+macro_rules! band_kernel {
+    ($name:ident, $feat:literal, $w:tt, $mode:tt, $lanes:expr) => {
+        #[target_feature(enable = $feat)]
+        unsafe fn $name(
+            ap: &[f32],
+            bp: &[f32],
+            k: usize,
+            n: usize,
+            kc: usize,
+            c: &mut [f32],
+            ldc: usize,
+        ) {
+            const L: usize = $lanes;
+            const NR: usize = 2 * $lanes;
+            let rows = c.len().div_ceil(ldc);
+            let mut kb = 0usize;
+            while kb < k {
+                let kend = (kb + kc).min(k);
+                // Full MR-row blocks: constant-bound inner loops so the tile
+                // stays in registers.
+                let mut r0 = 0usize;
+                while r0 + MR <= rows {
+                    let mut jt = 0usize;
+                    while jt + NR <= n {
+                        let mut acc = [[vzero!($w); 2]; MR];
+                        for i in 0..MR {
+                            let base = (r0 + i) * ldc + jt;
+                            acc[i][0] = vload!($w, c.as_ptr().add(base));
+                            acc[i][1] = vload!($w, c.as_ptr().add(base + L));
+                        }
+                        for p in kb..kend {
+                            let bptr = bp.as_ptr().add(p * n + jt);
+                            let b0 = vload!($w, bptr);
+                            let b1 = vload!($w, bptr.add(L));
+                            for i in 0..MR {
+                                let a = vset1!($w, *ap.get_unchecked((r0 + i) * k + p));
+                                acc[i][0] = vmadd!($w, $mode, a, b0, acc[i][0]);
+                                acc[i][1] = vmadd!($w, $mode, a, b1, acc[i][1]);
+                            }
+                        }
+                        for i in 0..MR {
+                            let base = (r0 + i) * ldc + jt;
+                            vstore!($w, c.as_mut_ptr().add(base), acc[i][0]);
+                            vstore!($w, c.as_mut_ptr().add(base + L), acc[i][1]);
+                        }
+                        jt += NR;
+                    }
+                    if jt + L <= n {
+                        for i in 0..MR {
+                            let base = (r0 + i) * ldc + jt;
+                            let mut acc = vload!($w, c.as_ptr().add(base));
+                            for p in kb..kend {
+                                let b0 = vload!($w, bp.as_ptr().add(p * n + jt));
+                                let a = vset1!($w, *ap.get_unchecked((r0 + i) * k + p));
+                                acc = vmadd!($w, $mode, a, b0, acc);
+                            }
+                            vstore!($w, c.as_mut_ptr().add(base), acc);
+                        }
+                        jt += L;
+                    }
+                    if jt < n {
+                        // Scalar column tail: plain mul+add in *both* expansions,
+                        // keeping the tail columns exactly scalar-identical (and
+                        // comfortably inside the fma engines' ULP contract).
+                        for i in 0..MR {
+                            let row = r0 + i;
+                            for p in kb..kend {
+                                let a_ip = *ap.get_unchecked(row * k + p);
+                                for j in jt..n {
+                                    let cj = c.get_unchecked_mut(row * ldc + j);
+                                    *cj += a_ip * *bp.get_unchecked(p * n + j);
+                                }
+                            }
+                        }
+                    }
+                    r0 += MR;
+                }
+                // Remainder rows: one-row microkernel.
+                for row in r0..rows {
+                    let mut jt = 0usize;
+                    while jt + NR <= n {
+                        let base = row * ldc + jt;
+                        let mut acc0 = vload!($w, c.as_ptr().add(base));
+                        let mut acc1 = vload!($w, c.as_ptr().add(base + L));
+                        for p in kb..kend {
+                            let bptr = bp.as_ptr().add(p * n + jt);
+                            let a = vset1!($w, *ap.get_unchecked(row * k + p));
+                            acc0 = vmadd!($w, $mode, a, vload!($w, bptr), acc0);
+                            acc1 = vmadd!($w, $mode, a, vload!($w, bptr.add(L)), acc1);
+                        }
+                        vstore!($w, c.as_mut_ptr().add(base), acc0);
+                        vstore!($w, c.as_mut_ptr().add(base + L), acc1);
+                        jt += NR;
+                    }
+                    if jt + L <= n {
+                        let base = row * ldc + jt;
+                        let mut acc = vload!($w, c.as_ptr().add(base));
+                        for p in kb..kend {
+                            let a = vset1!($w, *ap.get_unchecked(row * k + p));
+                            acc =
+                                vmadd!($w, $mode, a, vload!($w, bp.as_ptr().add(p * n + jt)), acc);
+                        }
+                        vstore!($w, c.as_mut_ptr().add(base), acc);
+                        jt += L;
+                    }
+                    if jt < n {
+                        for p in kb..kend {
+                            let a_ip = *ap.get_unchecked(row * k + p);
+                            for j in jt..n {
+                                let cj = c.get_unchecked_mut(row * ldc + j);
+                                *cj += a_ip * *bp.get_unchecked(p * n + j);
+                            }
+                        }
+                    }
+                }
+                kb = kend;
+            }
+        }
+    };
+}
+
+band_kernel!(band_avx2, "avx2", w8, mul_add, 8);
+band_kernel!(band_avx2_fma, "avx2,fma", w8, fused, 8);
+band_kernel!(band_avx512, "avx512f", w16, mul_add, 16);
+band_kernel!(band_avx512_fma, "avx512f", w16, fused, 16);
+
+/// Generates an AXPY kernel (`y[i] += alpha * x[i]`): elementwise, so the
+/// `mul_add` expansions are exactly the scalar loop per lane.
+macro_rules! axpy_kernel {
+    ($name:ident, $feat:literal, $w:tt, $mode:tt, $lanes:expr) => {
+        #[target_feature(enable = $feat)]
+        unsafe fn $name(alpha: f32, x: &[f32], y: &mut [f32]) {
+            const L: usize = $lanes;
+            let n = x.len();
+            let av = vset1!($w, alpha);
+            let mut i = 0usize;
+            while i + L <= n {
+                let xv = vload!($w, x.as_ptr().add(i));
+                let yv = vload!($w, y.as_ptr().add(i));
+                vstore!($w, y.as_mut_ptr().add(i), vmadd!($w, $mode, av, xv, yv));
+                i += L;
+            }
+            while i < n {
+                *y.get_unchecked_mut(i) += alpha * *x.get_unchecked(i);
+                i += 1;
+            }
+        }
+    };
+}
+
+axpy_kernel!(axpy_kernel_avx2, "avx2", w8, mul_add, 8);
+axpy_kernel!(axpy_kernel_avx2_fma, "avx2,fma", w8, fused, 8);
+axpy_kernel!(axpy_kernel_avx512, "avx512f", w16, mul_add, 16);
+axpy_kernel!(axpy_kernel_avx512_fma, "avx512f", w16, fused, 16);
+
+/// Generates a SCAL kernel (`x[i] *= alpha`): a single rounding per element, so
+/// it is exact on every engine — the fused engines share their width's kernel.
+macro_rules! scal_kernel {
+    ($name:ident, $feat:literal, $w:tt, $lanes:expr) => {
+        #[target_feature(enable = $feat)]
+        unsafe fn $name(alpha: f32, x: &mut [f32]) {
+            const L: usize = $lanes;
+            let n = x.len();
+            let av = vset1!($w, alpha);
+            let mut i = 0usize;
+            while i + L <= n {
+                let xv = vload!($w, x.as_ptr().add(i));
+                vstore!($w, x.as_mut_ptr().add(i), vmul!($w, av, xv));
+                i += L;
+            }
+            while i < n {
+                *x.get_unchecked_mut(i) *= alpha;
+                i += 1;
+            }
+        }
+    };
+}
+
+scal_kernel!(scal_kernel_avx2, "avx2", w8, 8);
+scal_kernel!(scal_kernel_avx512, "avx512f", w16, 16);
+
+/// Generates a DOT kernel for the fused engines: `L` fused partial sums, folded
+/// in a fixed pairwise lane order, scalar tail. Deterministic, but the
+/// reassociated reduction is not bit-identical to the scalar left-to-right sum —
+/// which is why the bit-identical vector engines keep the scalar DOT (see
+/// `matrix::dot_with_engine`).
+macro_rules! dot_kernel {
+    ($name:ident, $feat:literal, $w:tt, $lanes:expr) => {
+        #[target_feature(enable = $feat)]
+        unsafe fn $name(x: &[f32], y: &[f32]) -> f32 {
+            const L: usize = $lanes;
+            let n = x.len();
+            let mut acc = vzero!($w);
+            let mut i = 0usize;
+            while i + L <= n {
+                acc = vmadd!(
+                    $w,
+                    fused,
+                    vload!($w, x.as_ptr().add(i)),
+                    vload!($w, y.as_ptr().add(i)),
+                    acc
+                );
+                i += L;
+            }
+            let mut lanes = [0f32; L];
+            vstore!($w, lanes.as_mut_ptr(), acc);
+            let mut width = L;
+            while width > 1 {
+                width /= 2;
+                for j in 0..width {
+                    lanes[j] += lanes[j + width];
+                }
+            }
+            let mut sum = lanes[0];
+            while i < n {
+                sum += *x.get_unchecked(i) * *y.get_unchecked(i);
+                i += 1;
+            }
+            sum
+        }
+    };
+}
+
+dot_kernel!(dot_kernel_avx2_fma, "avx2,fma", w8, 8);
+dot_kernel!(dot_kernel_avx512_fma, "avx512f", w16, 16);
+
+/// Asserts the slice-length preconditions shared by all band kernels: every
+/// index they compute stays inside its source slice.
+fn check_band(ap: &[f32], bp: &[f32], k: usize, n: usize, kc: usize, c: &[f32], ldc: usize) {
+    assert!(kc > 0, "kc must be positive");
+    assert!(ldc >= n, "ldc must cover a full row of C");
+    let rows = c.len().div_ceil(ldc);
+    if rows > 0 {
+        assert!(
+            (rows - 1) * ldc + n <= c.len(),
+            "C band too short for its last row"
+        );
+    }
+    assert!(ap.len() >= rows * k, "packed A band too short");
+    assert!(bp.len() >= k * n, "packed B panel too short");
+}
+
+/// Generates the safe band-kernel entry: availability assert + bounds asserts,
+/// then the `#[target_feature]` call.
+macro_rules! band_wrapper {
+    ($name:ident, $kernel:ident, $avail:ident, $label:literal) => {
+        #[doc = concat!("Safe entry to the ", $label, " band kernel; panics if")]
+        #[doc = "dispatched on a CPU without the feature."]
+        pub(crate) fn $name(
+            ap: &[f32],
+            bp: &[f32],
+            k: usize,
+            n: usize,
+            kc: usize,
+            c: &mut [f32],
+            ldc: usize,
+        ) {
+            assert!(
+                crate::dispatch::$avail(),
+                concat!($label, " GEMM kernel dispatched on a CPU without it")
+            );
+            if c.is_empty() || n == 0 {
+                return;
+            }
+            check_band(ap, bp, k, n, kc, c, ldc);
+            // SAFETY: the assert above proves the CPU supports the kernel's target
+            // features; `check_band` proves every index it computes is in bounds.
+            unsafe { $kernel(ap, bp, k, n, kc, c, ldc) }
+        }
+    };
+}
+
+band_wrapper!(gemm_packed_band_avx2, band_avx2, avx2_available, "avx2");
+band_wrapper!(
+    gemm_packed_band_avx2_fma,
+    band_avx2_fma,
+    fma_available,
+    "avx2+fma"
+);
+band_wrapper!(
+    gemm_packed_band_avx512,
+    band_avx512,
+    avx512_available,
+    "avx512"
+);
+band_wrapper!(
+    gemm_packed_band_avx512_fma,
+    band_avx512_fma,
+    avx512_available,
+    "avx512+fma"
+);
+
+/// Generates the safe AXPY entry: availability + length asserts.
+macro_rules! axpy_wrapper {
+    ($name:ident, $kernel:ident, $avail:ident, $label:literal) => {
+        #[doc = concat!("Safe ", $label, " AXPY; panics without the CPU feature.")]
+        pub(crate) fn $name(alpha: f32, x: &[f32], y: &mut [f32]) {
+            assert!(
+                crate::dispatch::$avail(),
+                concat!($label, " axpy dispatched on a CPU without it")
+            );
+            assert_eq!(x.len(), y.len(), "axpy length mismatch");
+            // SAFETY: feature asserted; the kernel never indexes past
+            // x.len() == y.len().
+            unsafe { $kernel(alpha, x, y) }
+        }
+    };
+}
+
+axpy_wrapper!(axpy_avx2, axpy_kernel_avx2, avx2_available, "avx2");
+axpy_wrapper!(
+    axpy_avx2_fma,
+    axpy_kernel_avx2_fma,
+    fma_available,
+    "avx2+fma"
+);
+axpy_wrapper!(axpy_avx512, axpy_kernel_avx512, avx512_available, "avx512");
+axpy_wrapper!(
+    axpy_avx512_fma,
+    axpy_kernel_avx512_fma,
+    avx512_available,
+    "avx512+fma"
+);
+
+/// Safe lane-parallel AVX2 SCAL (exact on every engine).
+pub(crate) fn scal_avx2(alpha: f32, x: &mut [f32]) {
+    assert!(
+        crate::dispatch::avx2_available(),
+        "avx2 scal dispatched on a CPU without it"
+    );
+    // SAFETY: feature asserted; the kernel never indexes past x.len().
+    unsafe { scal_kernel_avx2(alpha, x) }
+}
+
+/// Safe lane-parallel AVX-512 SCAL (exact on every engine).
+pub(crate) fn scal_avx512(alpha: f32, x: &mut [f32]) {
+    assert!(
+        crate::dispatch::avx512_available(),
+        "avx512 scal dispatched on a CPU without it"
+    );
+    // SAFETY: feature asserted; the kernel never indexes past x.len().
+    unsafe { scal_kernel_avx512(alpha, x) }
+}
+
+/// Safe fused AVX2 DOT (deterministic eight-partial reduction; fma engine only).
+pub(crate) fn dot_avx2_fma(x: &[f32], y: &[f32]) -> f32 {
+    assert!(
+        crate::dispatch::fma_available(),
+        "avx2+fma dot dispatched on a CPU without it"
+    );
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    // SAFETY: feature asserted; the kernel never indexes past x.len() == y.len().
+    unsafe { dot_kernel_avx2_fma(x, y) }
+}
+
+/// Safe fused AVX-512 DOT (deterministic sixteen-partial reduction; fma engine only).
+pub(crate) fn dot_avx512_fma(x: &[f32], y: &[f32]) -> f32 {
+    assert!(
+        crate::dispatch::avx512_available(),
+        "avx512+fma dot dispatched on a CPU without it"
+    );
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    // SAFETY: feature asserted; the kernel never indexes past x.len() == y.len().
+    unsafe { dot_kernel_avx512_fma(x, y) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Packed band kernel: `(ap, bp, k, n, kc, c_band, ldc)`.
+    type BandFn = fn(&[f32], &[f32], usize, usize, usize, &mut [f32], usize);
+    type AxpyFn = fn(f32, &[f32], &mut [f32]);
+    type ScalFn = fn(f32, &mut [f32]);
+    type DotFn = fn(&[f32], &[f32]) -> f32;
+
+    fn scalar_band(ap: &[f32], bp: &[f32], k: usize, n: usize, c: &mut [f32], ldc: usize) {
+        let rows = c.len().div_ceil(ldc);
+        for r in 0..rows {
+            for p in 0..k {
+                let a = ap[r * k + p];
+                for j in 0..n {
+                    c[r * ldc + j] += a * bp[p * n + j];
+                }
+            }
+        }
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let v = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                (v % 97) as f32 / 17.0 - 2.5
+            })
+            .collect()
+    }
+
+    // Ragged shapes exercise the wide/narrow/scalar column tails and the row
+    // remainder path of every kernel; kc=5 exercises the k-blocking.
+    const SHAPES: [(usize, usize, usize, usize); 5] = [
+        (1, 1, 3, 2),
+        (6, 16, 8, 16),
+        (7, 19, 11, 23),
+        (13, 40, 5, 41),
+        (12, 71, 9, 73),
+    ];
+
+    fn assert_band_bit_identical(vec_band: BandFn, label: &str) {
+        for (rows, n, k, ldc) in SHAPES {
+            let ap = fill(rows * k, 1);
+            let bp = fill(k * n, 2);
+            let mut c_ref = fill((rows - 1) * ldc + n, 3);
+            let mut c_vec = c_ref.clone();
+            scalar_band(&ap, &bp, k, n, &mut c_ref, ldc);
+            vec_band(&ap, &bp, k, n, 5, &mut c_vec, ldc);
+            let same = c_ref
+                .iter()
+                .zip(&c_vec)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{label}: rows={rows} n={n} k={k} ldc={ldc}");
+        }
+    }
+
+    #[test]
+    fn mul_add_bands_are_bit_identical_to_the_scalar_accumulation_order() {
+        if crate::dispatch::avx2_available() {
+            assert_band_bit_identical(gemm_packed_band_avx2, "avx2");
+        } else {
+            eprintln!("skipping avx2: CPU does not report it");
+        }
+        if crate::dispatch::avx512_available() {
+            assert_band_bit_identical(gemm_packed_band_avx512, "avx512");
+        } else {
+            eprintln!("skipping avx512: CPU does not report it");
+        }
+    }
+
+    #[test]
+    fn fused_bands_stay_close_to_scalar() {
+        let mut kernels: Vec<(BandFn, &str)> = Vec::new();
+        if crate::dispatch::fma_available() {
+            kernels.push((gemm_packed_band_avx2_fma, "avx2+fma"));
+        }
+        if crate::dispatch::avx512_available() {
+            kernels.push((gemm_packed_band_avx512_fma, "avx512+fma"));
+        }
+        if kernels.is_empty() {
+            eprintln!("skipping: CPU reports neither fma nor avx512f");
+            return;
+        }
+        for (band, label) in kernels {
+            let (rows, n, k, ldc) = (9, 37, 13, 40);
+            let ap = fill(rows * k, 7);
+            let bp = fill(k * n, 8);
+            let mut c_ref = fill((rows - 1) * ldc + n, 9);
+            let mut c_vec = c_ref.clone();
+            scalar_band(&ap, &bp, k, n, &mut c_ref, ldc);
+            band(&ap, &bp, k, n, 4, &mut c_vec, ldc);
+            for (a, b) in c_ref.iter().zip(&c_vec) {
+                assert!(
+                    (a - b).abs() <= 1e-4 * (1.0 + a.abs()),
+                    "{label}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_scal_match_the_scalar_loops_bit_for_bit() {
+        let mut axpys: Vec<(AxpyFn, ScalFn, &str)> = Vec::new();
+        if crate::dispatch::avx2_available() {
+            axpys.push((axpy_avx2, scal_avx2, "avx2"));
+        }
+        if crate::dispatch::avx512_available() {
+            axpys.push((axpy_avx512, scal_avx512, "avx512"));
+        }
+        if axpys.is_empty() {
+            eprintln!("skipping: CPU reports neither avx2 nor avx512f");
+            return;
+        }
+        for (axpy_fn, scal_fn, label) in axpys {
+            for len in [0, 1, 7, 8, 9, 15, 16, 17, 31, 64, 100] {
+                let x = fill(len, 11);
+                let mut y_ref = fill(len, 12);
+                let mut y_vec = y_ref.clone();
+                for (yi, xi) in y_ref.iter_mut().zip(&x) {
+                    *yi += 1.25 * xi;
+                }
+                axpy_fn(1.25, &x, &mut y_vec);
+                assert!(
+                    y_ref
+                        .iter()
+                        .zip(&y_vec)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{label} axpy len={len}"
+                );
+
+                let mut s_ref = fill(len, 13);
+                let mut s_vec = s_ref.clone();
+                for v in s_ref.iter_mut() {
+                    *v *= 0.75;
+                }
+                scal_fn(0.75, &mut s_vec);
+                assert!(
+                    s_ref
+                        .iter()
+                        .zip(&s_vec)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{label} scal len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_dots_are_deterministic_and_close_to_scalar() {
+        let mut dots: Vec<(DotFn, &str)> = Vec::new();
+        if crate::dispatch::fma_available() {
+            dots.push((dot_avx2_fma, "avx2+fma"));
+        }
+        if crate::dispatch::avx512_available() {
+            dots.push((dot_avx512_fma, "avx512+fma"));
+        }
+        if dots.is_empty() {
+            eprintln!("skipping: CPU reports neither fma nor avx512f");
+            return;
+        }
+        for (dot_fn, label) in dots {
+            let x = fill(1000, 21);
+            let y = fill(1000, 22);
+            let scalar: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let fused = dot_fn(&x, &y);
+            assert_eq!(fused.to_bits(), dot_fn(&x, &y).to_bits(), "{label}");
+            assert!(
+                (scalar - fused).abs() <= 1e-3 * (1.0 + scalar.abs()),
+                "{label}: {scalar} vs {fused}"
+            );
+        }
+    }
+}

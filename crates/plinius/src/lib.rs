@@ -96,6 +96,9 @@ pub use workflow::{run_full_workflow, WorkflowReport};
 // Crypto engine selection (`PLINIUS_CRYPTO={auto,scalar,reference}`), re-exported so
 // deployments can pin the sealing engine without depending on `plinius-crypto`.
 pub use plinius_crypto::{hw_available, selected_engine, EngineKind, EnginePolicy, CRYPTO_ENV};
+pub use plinius_darknet::{
+    avx2_available, avx512_available, fma_available, selected_gemm, GemmKind, GemmPolicy, GEMM_ENV,
+};
 
 /// Name under which the model encryption key is stored in the enclave's key store
 /// (tenant 0; other tenants use [`tenant_key_name`]).

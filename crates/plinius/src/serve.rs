@@ -113,6 +113,13 @@ impl InferenceServer {
         self.swaps
     }
 
+    /// The GEMM engine the serving networks classify on (inherited from the
+    /// template network at construction, hot-swaps included — both instances are
+    /// clones of the template).
+    pub fn gemm_engine(&self) -> plinius_darknet::GemmKind {
+        self.active.gemm_engine()
+    }
+
     /// Largest batch one [`InferenceServer::classify_batch`] call accepts (the layer
     /// buffers of the serving networks are sized for it).
     pub fn max_batch(&self) -> usize {

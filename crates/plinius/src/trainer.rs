@@ -10,7 +10,7 @@ use crate::pmdata::PmDataset;
 use crate::{PliniusContext, PliniusError, TenantId};
 use plinius_crypto::{EnginePolicy, Key};
 use plinius_darknet::config::build_network;
-use plinius_darknet::{Dataset, Network};
+use plinius_darknet::{Dataset, GemmPolicy, Network};
 use plinius_pmem::CrashMode;
 use plinius_spot::SpotSimulator;
 use rand::rngs::StdRng;
@@ -89,6 +89,13 @@ pub struct TrainerConfig {
     /// policy. Defaults to the `PLINIUS_CRYPTO` environment variable (auto when
     /// unset). Sealed bytes are identical on every engine; only speed differs.
     pub crypto: EnginePolicy,
+    /// Which GEMM engine the training hot path runs on (AVX-512/AVX2 vector
+    /// kernels, the portable scalar kernel, the naive reference kernel, or the
+    /// opt-in FMA variants; see [`GemmPolicy`]). Resolved against the host CPU and
+    /// pinned on every layer when the trainer builds its network. Defaults to the
+    /// `PLINIUS_GEMM` environment variable (auto when unset). Every engine except
+    /// the opt-in `fma` one trains bit-identically.
+    pub gemm: GemmPolicy,
 }
 
 impl Default for TrainerConfig {
@@ -102,6 +109,7 @@ impl Default for TrainerConfig {
             pipeline: PipelineMode::from_env(),
             ring_depth: ring_depth_from_env(),
             crypto: EnginePolicy::from_env(),
+            gemm: GemmPolicy::from_env(),
         }
     }
 }
@@ -360,6 +368,7 @@ impl TrainingSetup {
                 pipeline: PipelineMode::from_env(),
                 ring_depth: ring_depth_from_env(),
                 crypto: EnginePolicy::from_env(),
+                gemm: GemmPolicy::from_env(),
             },
             backend: PersistenceBackend::PmMirror,
             model_seed: 3,
@@ -510,6 +519,16 @@ impl PliniusBuilder {
         self
     }
 
+    /// Pins the GEMM engine the training hot path runs on (vector, scalar,
+    /// reference or FMA; see [`GemmPolicy`]). The policy is resolved against the
+    /// host CPU in `build()` and pinned on every layer of the enclave model. Every
+    /// policy except the opt-in `fma` one trains bit-identically, so persisted
+    /// models stay portable across engines.
+    pub fn gemm_engine(mut self, policy: GemmPolicy) -> Self {
+        self.setup.trainer.gemm = policy;
+        self
+    }
+
     /// Plaintext dataset for the unencrypted baseline; defaults to the setup's dataset.
     pub fn plain_data(mut self, data: Dataset) -> Self {
         self.plain_data = Some(data);
@@ -575,6 +594,9 @@ impl PliniusBuilder {
         };
         let pm_data = PmDataset::open(&ctx)?;
         let mut network = setup.build_network()?;
+        // Resolve the configured GEMM policy once and pin the engine across the layer
+        // stack, so the hot path ignores later env changes.
+        network.set_gemm_policy(config.gemm);
         // The enclave model and its training buffers occupy trusted memory; this is what
         // pushes large models past the EPC limit.
         ctx.enclave()

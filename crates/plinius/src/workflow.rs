@@ -45,6 +45,10 @@ pub struct WorkflowReport {
     /// Name of the AES-GCM engine the deployment sealed with (`"aesni+pclmul"`,
     /// `"scalar"` or `"reference"`), as resolved from the enclave's crypto policy.
     pub engine: &'static str,
+    /// Name of the GEMM engine the training hot path ran on (`"avx512"`, `"avx2"`,
+    /// `"avx512+fma"`, `"avx2+fma"`, `"scalar"` or `"reference"`), as resolved from
+    /// the trainer's GEMM policy against the host CPU.
+    pub gemm_engine: &'static str,
 }
 
 impl WorkflowReport {
@@ -114,6 +118,7 @@ pub fn run_full_workflow(setup: &TrainingSetup) -> Result<WorkflowReport, Pliniu
         persist_stats: trainer.persist_stats(),
         torn_read_retries: trainer.torn_read_retries(),
         engine: trainer.context().engine_name(),
+        gemm_engine: trainer.network().gemm_engine().name(),
     })
 }
 
@@ -151,6 +156,17 @@ mod tests {
         // No inference server races this single-lane run, so the seqlock never
         // observes a torn snapshot — the plumbed counter must read zero.
         assert_eq!(report.torn_read_retries, 0);
+        // Engine labels come from the resolved policies — one of the known names each.
+        assert!(["aesni+pclmul", "scalar", "reference"].contains(&report.engine));
+        assert!([
+            "avx512",
+            "avx512+fma",
+            "avx2",
+            "avx2+fma",
+            "scalar",
+            "reference"
+        ]
+        .contains(&report.gemm_engine));
     }
 
     #[test]

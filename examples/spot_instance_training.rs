@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pipeline: PipelineMode::from_env(),
             ring_depth: plinius::ring_depth_from_env(),
             crypto: plinius::EnginePolicy::from_env(),
+            gemm: plinius::GemmPolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 4,

@@ -78,6 +78,7 @@ fn mirror_and_resume_across_contexts_with_key_reprovisioning() {
             pipeline: PipelineMode::from_env(),
             ring_depth: plinius::ring_depth_from_env(),
             crypto: plinius::EnginePolicy::from_env(),
+            gemm: plinius::GemmPolicy::from_env(),
         },
         backend: PersistenceBackend::PmMirror,
         model_seed: 13,
